@@ -1,0 +1,164 @@
+//! Attack impact: each intrusion must measurably damage the network
+//! compared to a clean run with the same seed and workload.
+
+use manet_attacks::{
+    AodvBlackhole, DropPolicy, DsrBlackhole, PacketDropper, Schedule, UpdateStorm,
+};
+use manet_routing::{aodv::AodvAgent, dsr::DsrAgent, AodvHeader, DsrHeader};
+use manet_sim::{Agent, Direction, NodeId, SimConfig, SimTime, Simulator, TracePacketKind};
+use manet_traffic::{ConnectionPattern, Transport};
+
+const N: u16 = 50;
+const SECS: f64 = 300.0;
+const ATTACKER: NodeId = NodeId(7);
+
+type BoxedAodv = Box<dyn Agent<Header = AodvHeader>>;
+type BoxedDsr = Box<dyn Agent<Header = DsrHeader>>;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .nodes(N)
+        .duration_secs(SECS)
+        .seed(seed)
+        .build()
+}
+
+fn ratio<A: Agent>(sim: &Simulator<A>) -> f64 {
+    let (mut sent, mut recv) = (0usize, 0usize);
+    for i in 0..N {
+        let t = sim.trace(NodeId(i));
+        sent += t.count_packets(TracePacketKind::Data, Direction::Sent);
+        recv += t.count_packets(TracePacketKind::Data, Direction::Received);
+    }
+    recv as f64 / sent.max(1) as f64
+}
+
+fn run_aodv(seed: u64, factory: impl FnMut(NodeId) -> BoxedAodv) -> f64 {
+    let mut sim = Simulator::new(cfg(seed), factory);
+    let pat = ConnectionPattern::random(N, 20, Transport::Cbr, SimTime::from_secs(SECS), seed);
+    pat.install(&mut sim);
+    sim.run();
+    ratio(&sim)
+}
+
+fn run_dsr(seed: u64, factory: impl FnMut(NodeId) -> BoxedDsr) -> f64 {
+    let mut sim = Simulator::new(cfg(seed), factory);
+    let pat = ConnectionPattern::random(N, 20, Transport::Cbr, SimTime::from_secs(SECS), seed);
+    pat.install(&mut sim);
+    sim.run();
+    ratio(&sim)
+}
+
+#[test]
+fn aodv_blackhole_degrades_delivery() {
+    let clean = run_aodv(9, |_| Box::new(AodvAgent::new()));
+    let attacked = run_aodv(9, |id| -> BoxedAodv {
+        if id == ATTACKER {
+            Box::new(AodvBlackhole::new(AodvAgent::new(), Schedule::Always, N))
+        } else {
+            Box::new(AodvAgent::new())
+        }
+    });
+    assert!(
+        attacked < clean - 0.15,
+        "black hole should markedly cut delivery: clean={clean:.2} attacked={attacked:.2}"
+    );
+}
+
+#[test]
+fn dsr_blackhole_degrades_delivery() {
+    let clean = run_dsr(10, |_| Box::new(DsrAgent::new()));
+    let attacked = run_dsr(10, |id| -> BoxedDsr {
+        if id == ATTACKER {
+            Box::new(DsrBlackhole::new(DsrAgent::new(), Schedule::Always, N))
+        } else {
+            Box::new(DsrAgent::new())
+        }
+    });
+    assert!(
+        attacked < clean - 0.10,
+        "black hole should cut delivery: clean={clean:.2} attacked={attacked:.2}"
+    );
+}
+
+#[test]
+fn constant_dropper_degrades_delivery() {
+    let clean = run_aodv(11, |_| Box::new(AodvAgent::new()));
+    let attacked = run_aodv(11, |id| -> BoxedAodv {
+        if id == ATTACKER {
+            Box::new(PacketDropper::new(
+                AodvAgent::new(),
+                DropPolicy::Constant,
+                Schedule::Always,
+            ))
+        } else {
+            Box::new(AodvAgent::new())
+        }
+    });
+    assert!(
+        attacked < clean,
+        "a constant dropper on a relay must cost some delivery: clean={clean:.2} attacked={attacked:.2}"
+    );
+}
+
+#[test]
+fn update_storm_congests_network() {
+    let clean = run_aodv(12, |_| Box::new(AodvAgent::new()));
+    let attacked = run_aodv(12, |id| -> BoxedAodv {
+        if id == ATTACKER {
+            Box::new(UpdateStorm::new(
+                AodvAgent::new(),
+                Schedule::Always,
+                N,
+                SimTime::from_secs(0.1),
+                10,
+            ))
+        } else {
+            Box::new(AodvAgent::new())
+        }
+    });
+    assert!(
+        attacked < clean,
+        "storm should congest: clean={clean:.2} attacked={attacked:.2}"
+    );
+}
+
+#[test]
+fn scheduled_attack_only_hurts_during_sessions() {
+    // Attack on [100, 200); compare delivery inside vs outside the window.
+    let sched = Schedule::sessions([(SimTime::from_secs(100.0), SimTime::from_secs(200.0))]);
+    let mut sim = Simulator::new(cfg(13), |id| -> BoxedAodv {
+        if id == ATTACKER {
+            Box::new(AodvBlackhole::new(AodvAgent::new(), sched.clone(), N))
+        } else {
+            Box::new(AodvAgent::new())
+        }
+    });
+    let pat = ConnectionPattern::random(N, 20, Transport::Cbr, SimTime::from_secs(SECS), 13);
+    pat.install(&mut sim);
+    sim.run();
+    let window = |lo: f64, hi: f64, dir: Direction| -> usize {
+        (0..N)
+            .map(|i| {
+                sim.trace(NodeId(i))
+                    .packet_events
+                    .iter()
+                    .filter(|e| {
+                        e.kind == TracePacketKind::Data
+                            && e.dir == dir
+                            && e.t.as_secs() >= lo
+                            && e.t.as_secs() < hi
+                    })
+                    .count()
+            })
+            .sum()
+    };
+    let during = window(110.0, 200.0, Direction::Received) as f64
+        / window(110.0, 200.0, Direction::Sent).max(1) as f64;
+    let after = window(230.0, 300.0, Direction::Received) as f64
+        / window(230.0, 300.0, Direction::Sent).max(1) as f64;
+    assert!(
+        during < after,
+        "delivery should be worse during the session: during={during:.2} after={after:.2}"
+    );
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks: classifier training and prediction on
+//! realistic (140-column, 5-bucket) synthetic tables.
+
+use cfa_ml::{C45, Classifier, Learner, NaiveBayes, NominalTable, Ripper};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+/// Synthetic table shaped like the paper's data: `cols` columns of 5
+/// buckets with mild inter-feature correlation.
+fn synthetic_table(rows: usize, cols: usize, seed: u64) -> NominalTable {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<u8>> = (0..rows)
+        .map(|_| {
+            let base: u8 = rng.gen_range(0..5);
+            (0..cols)
+                .map(|_| {
+                    if rng.gen_bool(0.6) {
+                        base
+                    } else {
+                        rng.gen_range(0..5)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    NominalTable::new(
+        (0..cols).map(|i| format!("f{i}")).collect(),
+        vec![5; cols],
+        data,
+    )
+    .expect("valid synthetic table")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier_training");
+    group.sample_size(10);
+    let table = synthetic_table(2000, 30, 7);
+    group.bench_function(BenchmarkId::new("c45", "2000x30"), |b| {
+        b.iter(|| C45::default().fit(&table, 0))
+    });
+    group.bench_function(BenchmarkId::new("ripper", "2000x30"), |b| {
+        b.iter(|| Ripper::default().fit(&table, 0))
+    });
+    group.bench_function(BenchmarkId::new("naive_bayes", "2000x30"), |b| {
+        b.iter(|| NaiveBayes::default().fit(&table, 0))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier_prediction");
+    let table = synthetic_table(2000, 30, 7);
+    let x = vec![2u8; 29];
+    let c45 = C45::default().fit(&table, 0);
+    let rip = Ripper::default().fit(&table, 0);
+    let nb = NaiveBayes::default().fit(&table, 0);
+    group.bench_function("c45", |b| b.iter(|| c45.class_probs(&x)));
+    group.bench_function("ripper", |b| b.iter(|| rip.class_probs(&x)));
+    group.bench_function("naive_bayes", |b| b.iter(|| nb.class_probs(&x)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks: cross-feature ensemble training
+//! (Algorithm 1) and per-event scoring (Algorithms 2 and 3) at the
+//! paper's 140-feature width.
+
+use cfa_core::{CrossFeatureModel, ScoreMethod};
+use cfa_ml::{NaiveBayes, NominalTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn paper_width_table(rows: usize, seed: u64) -> NominalTable {
+    let cols = 140;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<u8>> = (0..rows)
+        .map(|_| {
+            let base: u8 = rng.gen_range(0..5);
+            (0..cols)
+                .map(|_| if rng.gen_bool(0.5) { base } else { rng.gen_range(0..5) })
+                .collect()
+        })
+        .collect();
+    NominalTable::new(
+        (0..cols).map(|i| format!("f{i}")).collect(),
+        vec![5; cols],
+        data,
+    )
+    .expect("valid table")
+}
+
+fn bench_cross_feature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_feature");
+    group.sample_size(10);
+    let table = paper_width_table(1000, 3);
+    group.bench_function("train_140_submodels_nb_1000rows", |b| {
+        b.iter(|| CrossFeatureModel::train(&NaiveBayes::default(), &table))
+    });
+    let model = CrossFeatureModel::train(&NaiveBayes::default(), &table);
+    let row = table.rows()[0].clone();
+    group.bench_function("score_match_count", |b| {
+        b.iter(|| model.score(&row, ScoreMethod::MatchCount))
+    });
+    group.bench_function("score_avg_probability", |b| {
+        b.iter(|| model.score(&row, ScoreMethod::AvgProbability))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_feature);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion macro-benchmarks: simulator event throughput and feature
+//! extraction over realistic scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_cfa::features::FeatureExtractor;
+use manet_cfa::routing::{aodv::AodvAgent, dsr::DsrAgent};
+use manet_cfa::sim::{NodeId, SimConfig, SimTime, Simulator};
+use manet_cfa::traffic::{ConnectionPattern, Transport};
+
+fn scenario_cfg(seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .nodes(50)
+        .duration_secs(100.0)
+        .seed(seed)
+        .build()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_100s_50nodes");
+    group.sample_size(10);
+    let pattern = ConnectionPattern::random(50, 20, Transport::Cbr, SimTime::from_secs(100.0), 1);
+    group.bench_function("aodv_cbr", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(scenario_cfg(1), |_| AodvAgent::new());
+            pattern.install(&mut sim);
+            sim.run();
+            sim.frame_stats()
+        })
+    });
+    group.bench_function("dsr_cbr", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(scenario_cfg(1), |_| DsrAgent::new());
+            pattern.install(&mut sim);
+            sim.run();
+            sim.frame_stats()
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(10);
+    // One 1000 s trace, extracted repeatedly.
+    let cfg = SimConfig::builder().nodes(50).duration_secs(1000.0).seed(2).build();
+    let pattern = ConnectionPattern::random(50, 20, Transport::Cbr, SimTime::from_secs(1000.0), 2);
+    let mut sim = Simulator::new(cfg, |_| AodvAgent::new());
+    pattern.install(&mut sim);
+    sim.run();
+    let trace = sim.trace(NodeId(0)).clone();
+    let extractor = FeatureExtractor::new();
+    group.bench_function("140_features_1000s_trace", |b| {
+        b.iter(|| extractor.extract(&trace, SimTime::from_secs(1000.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_feature_extraction);
+criterion_main!(benches);

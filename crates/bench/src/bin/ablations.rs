@@ -1,0 +1,132 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! 1. match count vs average probability, for every classifier;
+//! 2. discretization bucket count (the paper fixes 5);
+//! 3. number of sub-models (the paper's future-work question);
+//! 4. sampling windows (drop the 60 s / 900 s windows);
+//! 5. threshold confidence level (false-alarm budget sweep).
+//!
+//! All ablations run on the AODV/UDP scenario set.
+
+use cfa_bench::experiments::{summarize_outcome, ScenarioSet};
+use manet_cfa::core::eval::{auc_above_diagonal, recall_precision_curve};
+use manet_cfa::core::{CrossFeatureModel, ScoreMethod, ScoredEvent};
+use manet_cfa::features::EqualFrequencyDiscretizer;
+use manet_cfa::pipeline::{ClassifierKind, DynLearner, Pipeline};
+use manet_cfa::scenario::{Protocol, Transport};
+
+fn main() {
+    println!("Ablations on AODV/UDP ({} mode)\n",
+        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    let set = ScenarioSet::build(Protocol::Aodv, Transport::Cbr);
+
+    println!("1. Combining rule: match count vs average probability");
+    for kind in ClassifierKind::ALL {
+        for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+            let outcome = set.evaluate(&Pipeline::new(kind, method));
+            println!("  {}", summarize_outcome(&format!("{} {:?}", kind.name(), method), &outcome));
+        }
+    }
+
+    println!("\n2. Discretization buckets (paper default: 5)");
+    for buckets in [2usize, 3, 5, 8, 12] {
+        let p = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
+            .with_buckets(buckets);
+        let outcome = set.evaluate(&p);
+        println!("  {}", summarize_outcome(&format!("buckets = {buckets}"), &outcome));
+    }
+
+    println!("\n3. Number of sub-models (paper future work: fewer models)");
+    ablate_submodels(&set);
+
+    println!("\n3b. Informed sub-model selection (correlation-analysis reduction)");
+    ablate_informed_reduction(&set);
+
+    println!("\n4. Threshold confidence level (training false-alarm budget)");
+    for fa in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let p = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
+            .with_false_alarm_rate(fa);
+        let outcome = set.evaluate(&p);
+        let (recall, precision) = outcome.at_threshold();
+        println!(
+            "  fa budget {fa:4.2} -> threshold {:.3}, at-threshold recall {:.2} precision {:.2}",
+            outcome.threshold, recall, precision
+        );
+    }
+
+    println!("\n5. Score smoothing window (snapshots of 5 s)");
+    for k in [1usize, 3, 6, 12, 24] {
+        let p = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
+            .with_smoothing(k);
+        let outcome = set.evaluate(&p);
+        println!("  {}", summarize_outcome(&format!("smoothing = {k}"), &outcome));
+    }
+}
+
+/// Informed reduction: predictability-ranked sub-model selection
+/// (`cfa_core::reduction`), compared with the random subsets above.
+fn ablate_informed_reduction(set: &ScenarioSet) {
+    use manet_cfa::core::{select_informative, submodel_predictability};
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability);
+    let mut train_matrix = set.train[0].matrix.clone();
+    for b in &set.train[1..] {
+        train_matrix.rows.extend(b.matrix.rows.iter().cloned());
+    }
+    let disc = EqualFrequencyDiscretizer::fit(&train_matrix, pipeline.n_buckets, Some(500), 1);
+    let table = disc.transform(&train_matrix).expect("schema");
+    let model = CrossFeatureModel::train(&DynLearner(pipeline.classifier), &table);
+    let stats = submodel_predictability(&model, &table);
+    let degenerate = stats.iter().filter(|s| s.is_degenerate()).count();
+    println!("  {} of {} sub-models are degenerate (constant features)", degenerate, stats.len());
+    for k in [70usize, 35, 15, 5] {
+        let subset = select_informative(&stats, k);
+        let mut events = Vec::new();
+        for bundle in set.test_bundles() {
+            let t = disc.transform(&bundle.matrix).expect("schema");
+            for (row, &label) in t.rows().iter().zip(&bundle.labels) {
+                let score = model.score_subset(row, ScoreMethod::AvgProbability, Some(&subset));
+                events.push(ScoredEvent { score, is_anomaly: label });
+            }
+        }
+        let curve = recall_precision_curve(&events);
+        println!(
+            "  top-{k:3} informative sub-models -> AUC {:+.3}",
+            auc_above_diagonal(&curve)
+        );
+    }
+}
+
+/// Sub-model-count ablation: random subsets of the 140 sub-models.
+fn ablate_submodels(set: &ScenarioSet) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    // Train one full ensemble, then score with subsets.
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability);
+    let mut train_matrix = set.train[0].matrix.clone();
+    for b in &set.train[1..] {
+        train_matrix.rows.extend(b.matrix.rows.iter().cloned());
+    }
+    let disc = EqualFrequencyDiscretizer::fit(&train_matrix, pipeline.n_buckets, Some(500), 1);
+    let table = disc.transform(&train_matrix).expect("schema");
+    let model = CrossFeatureModel::train(&DynLearner(pipeline.classifier), &table);
+    let n = model.n_features();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    for subset_size in [n, 70, 35, 15, 5] {
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(subset_size);
+        let mut events = Vec::new();
+        for bundle in set.test_bundles() {
+            let t = disc.transform(&bundle.matrix).expect("schema");
+            for (row, &label) in t.rows().iter().zip(&bundle.labels) {
+                let score = model.score_subset(row, ScoreMethod::AvgProbability, Some(&indices));
+                events.push(ScoredEvent { score, is_anomaly: label });
+            }
+        }
+        let curve = recall_precision_curve(&events);
+        println!(
+            "  {subset_size:3} sub-models -> AUC {:+.3}",
+            auc_above_diagonal(&curve)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 4: average-probability density distributions,
+//! normal vs abnormal traces, C4.5, four scenarios.
+
+use cfa_bench::experiments::ScenarioSet;
+use cfa_bench::{paper_combos, write_series_csv};
+use manet_cfa::core::eval::density_histogram;
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+
+const BINS: usize = 25;
+
+fn main() {
+    println!("Figure 4: score density distributions (C4.5) ({} mode)\n",
+        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    for (protocol, transport) in paper_combos() {
+        let set = ScenarioSet::build(protocol, transport);
+        let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
+        let outcome = set.evaluate(&pipeline);
+        let normal = density_histogram(&outcome.normal_scores, BINS);
+        let abnormal = density_histogram(&outcome.abnormal_scores, BINS);
+        // Overlap on the wrong side of the threshold.
+        // The paper determines its operating threshold empirically (§4.2:
+        // "we here show alternative results ... and explain how an optimal
+        // threshold value can be achieved empirically"); report both the
+        // training-derived threshold and the empirical optimum.
+        let empirical = outcome.optimal.map_or(outcome.threshold, |p| p.threshold);
+        let below = |scores: &[f64], theta: f64| {
+            scores.iter().filter(|&&s| s < theta).count() as f64
+                / scores.len().max(1) as f64
+        };
+        println!(
+            "--- scenario {} (training threshold {:.3}, empirical optimum {:.3}) ---",
+            set.label(),
+            outcome.threshold,
+            empirical
+        );
+        println!(
+            "  at empirical threshold: false alarms {:.1}%, missed anomalies {:.1}%",
+            100.0 * below(&outcome.normal_scores, empirical),
+            100.0 * (1.0 - below(&outcome.abnormal_scores, empirical))
+        );
+        write_series_csv(
+            &format!("fig4_{}_{}_normal.csv", protocol.name(), transport.name()),
+            "score,density", &normal);
+        write_series_csv(
+            &format!("fig4_{}_{}_abnormal.csv", protocol.name(), transport.name()),
+            "score,density", &abnormal);
+        println!();
+    }
+    println!("Expected shape: distinct normal/abnormal masses; DSR shows more abnormal");
+    println!("mass to the right of the threshold than AODV (paper Fig. 4).");
+}

@@ -1,0 +1,49 @@
+//! Regenerates Figure 6: score density distributions for the
+//! single-intrusion-type traces of Figure 5.
+
+use cfa_bench::cache::cached_bundle;
+use cfa_bench::experiments::{blackhole_only_scenario, dropping_only_scenario, ScenarioSet};
+use cfa_bench::write_series_csv;
+use manet_cfa::core::eval::density_histogram;
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::scenario::{Protocol, Transport};
+
+const BINS: usize = 25;
+
+fn main() {
+    println!("Figure 6: per-intrusion-type densities, AODV/UDP/C4.5 ({} mode)\n",
+        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    let set = ScenarioSet::build(Protocol::Aodv, Transport::Cbr);
+    let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
+    for (name, scenario) in [
+        ("blackhole", blackhole_only_scenario(Protocol::Aodv, Transport::Cbr, 21)),
+        ("dropping", dropping_only_scenario(Protocol::Aodv, Transport::Cbr, 22)),
+    ] {
+        let bundle = cached_bundle(&scenario);
+        let outcome = set.evaluate_against(&pipeline, &[bundle]);
+        let normal = density_histogram(&outcome.normal_scores, BINS);
+        let abnormal = density_histogram(&outcome.abnormal_scores, BINS);
+        // The paper determines its operating threshold empirically (§4.2:
+        // "we here show alternative results ... and explain how an optimal
+        // threshold value can be achieved empirically"); report both the
+        // training-derived threshold and the empirical optimum.
+        let empirical = outcome.optimal.map_or(outcome.threshold, |p| p.threshold);
+        let below = |scores: &[f64], theta: f64| {
+            scores.iter().filter(|&&s| s < theta).count() as f64
+                / scores.len().max(1) as f64
+        };
+        println!(
+            "--- {name} only (training threshold {:.3}, empirical optimum {:.3}) ---",
+            outcome.threshold, empirical
+        );
+        println!("  at empirical threshold: false alarms {:.1}%  missed anomalies {:.1}%",
+            100.0 * below(&outcome.normal_scores, empirical),
+            100.0 * (1.0 - below(&outcome.abnormal_scores, empirical)));
+        write_series_csv(&format!("fig6_{name}_normal.csv"), "score,density", &normal);
+        write_series_csv(&format!("fig6_{name}_abnormal.csv"), "score,density", &abnormal);
+        println!();
+    }
+    println!("Expected shape: normal and abnormal plots distinct for every intrusion");
+    println!("scenario, with small wrong-side areas (paper Fig. 6).");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 5: Feature Set II traffic-feature dimensions,
+//! and verifies the (6 × 4 − 2) × 3 × 2 = 132 feature count.
+
+use manet_cfa::features::{FeatureSpec, N_TRAFFIC_FEATURES};
+
+fn main() {
+    println!("Table 5: Feature Set II — traffic related feature dimensions");
+    println!("{:-<72}", "");
+    println!("Packet type        : data, route (all), ROUTE REQUEST, ROUTE REPLY,");
+    println!("                     ROUTE ERROR, HELLO");
+    println!("Flow direction     : received, sent, forwarded, dropped");
+    println!("                     (data x forwarded and data x dropped excluded)");
+    println!("Sampling periods   : 5, 60 and 900 seconds");
+    println!("Statistics measures: count, standard deviation of inter-packet intervals");
+    println!("{:-<72}", "");
+    let spec = FeatureSpec::new();
+    println!(
+        "(6 x 4 - 2) x 3 x 2 = {} traffic features; implementation provides {}.",
+        N_TRAFFIC_FEATURES,
+        spec.traffic_features().len()
+    );
+    assert_eq!(spec.traffic_features().len(), 132);
+    println!("\nAll {} feature columns:", spec.len());
+    for (i, name) in spec.names().iter().enumerate() {
+        println!("  f{:<3} {}", i, name);
+    }
+}

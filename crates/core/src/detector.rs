@@ -1,0 +1,171 @@
+//! The end-to-end anomaly detector: ensemble + threshold.
+
+use crate::model::{CrossFeatureModel, ScoreMethod};
+use crate::threshold::select_threshold;
+use cfa_ml::{Classifier, Learner, NominalTable};
+
+/// Classification outcome for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The event's score reached the threshold.
+    Normal,
+    /// The event's score fell below the threshold.
+    Anomaly,
+}
+
+/// A trained cross-feature anomaly detector.
+///
+/// Combines a [`CrossFeatureModel`] with a decision threshold chosen from
+/// the training scores at a target false-alarm rate (the paper's
+/// "confidence level" is one minus that rate).
+#[derive(Debug)]
+pub struct AnomalyDetector<M> {
+    model: CrossFeatureModel<M>,
+    method: ScoreMethod,
+    threshold: f64,
+}
+
+impl<M: Classifier> AnomalyDetector<M> {
+    /// Trains the ensemble on `normal` (Algorithm 1) and fixes the
+    /// threshold so that at most `false_alarm_rate` of the normal training
+    /// events would be flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table, fewer than two feature columns, or a
+    /// false-alarm rate outside `[0, 1)`.
+    pub fn fit<L>(
+        learner: &L,
+        normal: &NominalTable,
+        method: ScoreMethod,
+        false_alarm_rate: f64,
+    ) -> AnomalyDetector<M>
+    where
+        L: Learner<Model = M>,
+    {
+        let model = CrossFeatureModel::train(learner, normal);
+        let scores = model.scores(normal, method);
+        let threshold = select_threshold(&scores, false_alarm_rate);
+        AnomalyDetector {
+            model,
+            method,
+            threshold,
+        }
+    }
+
+    /// Builds a detector from an existing ensemble and explicit threshold
+    /// (used when sweeping thresholds for recall–precision curves).
+    pub fn with_threshold(
+        model: CrossFeatureModel<M>,
+        method: ScoreMethod,
+        threshold: f64,
+    ) -> AnomalyDetector<M> {
+        AnomalyDetector {
+            model,
+            method,
+            threshold,
+        }
+    }
+
+    /// The decision threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The scoring method in use.
+    pub fn method(&self) -> ScoreMethod {
+        self.method
+    }
+
+    /// The underlying ensemble.
+    pub fn model(&self) -> &CrossFeatureModel<M> {
+        &self.model
+    }
+
+    /// Scores a full-width event vector (higher = more normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    pub fn score(&self, row: &[u8]) -> f64 {
+        self.model.score(row, self.method)
+    }
+
+    /// Classifies a full-width event vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    pub fn classify(&self, row: &[u8]) -> Verdict {
+        if self.score(row) >= self.threshold {
+            Verdict::Normal
+        } else {
+            Verdict::Anomaly
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa_ml::c45::C45;
+
+    fn correlated_normal() -> NominalTable {
+        // f1 == f0, f2 == f0 XOR occasional noise-free copy; all mutually
+        // predictable.
+        let rows: Vec<Vec<u8>> = (0..120)
+            .map(|i| {
+                let a = (i % 2) as u8;
+                vec![a, a, a]
+            })
+            .collect();
+        NominalTable::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![2, 2, 2],
+            rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_correlation_violations() {
+        let det = AnomalyDetector::fit(
+            &C45::default(),
+            &correlated_normal(),
+            ScoreMethod::AvgProbability,
+            0.01,
+        );
+        assert_eq!(det.classify(&[0, 0, 0]), Verdict::Normal);
+        assert_eq!(det.classify(&[1, 1, 1]), Verdict::Normal);
+        assert_eq!(det.classify(&[0, 1, 0]), Verdict::Anomaly);
+        assert_eq!(det.classify(&[1, 0, 0]), Verdict::Anomaly);
+    }
+
+    #[test]
+    fn training_false_alarm_rate_is_bounded() {
+        let normal = correlated_normal();
+        for fa in [0.0, 0.05, 0.2] {
+            let det =
+                AnomalyDetector::fit(&C45::default(), &normal, ScoreMethod::MatchCount, fa);
+            let alarms = normal
+                .rows()
+                .iter()
+                .filter(|r| det.classify(r) == Verdict::Anomaly)
+                .count();
+            let rate = alarms as f64 / normal.n_rows() as f64;
+            assert!(
+                rate <= fa + 1e-9,
+                "training false-alarm rate {rate} exceeds requested {fa}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_threshold_overrides() {
+        let model = CrossFeatureModel::train(&C45::default(), &correlated_normal());
+        let det = AnomalyDetector::with_threshold(model, ScoreMethod::MatchCount, 2.0);
+        // Threshold above the score range: everything is anomalous.
+        assert_eq!(det.classify(&[0, 0, 0]), Verdict::Anomaly);
+        assert_eq!(det.threshold(), 2.0);
+    }
+}

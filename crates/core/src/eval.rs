@@ -1,0 +1,251 @@
+//! Evaluation toolkit: recall–precision curves, the paper's AUC measure,
+//! score time-series and density histograms (Figures 1–6).
+
+/// One scored, ground-truth-labelled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEvent {
+    /// The detector's normality score (higher = more normal).
+    pub score: f64,
+    /// Ground truth: was an attack active for this event?
+    pub is_anomaly: bool,
+}
+
+/// One operating point on a recall–precision curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// The decision threshold producing this point (alarm iff score < θ).
+    pub threshold: f64,
+    /// `p(A|I)`: fraction of true anomalies that raised an alarm.
+    pub recall: f64,
+    /// `p(I|A)`: fraction of alarms that were true anomalies.
+    pub precision: f64,
+}
+
+/// Sweeps the decision threshold over all distinct scores and returns the
+/// recall–precision curve (sorted by ascending recall).
+///
+/// An event is classified as an alarm iff `score < θ`; larger thresholds
+/// flag more events, raising recall and (typically) lowering precision.
+/// Points with zero alarms are skipped (precision undefined).
+///
+/// # Panics
+///
+/// Panics if `events` contains no true anomalies (recall undefined).
+pub fn recall_precision_curve(events: &[ScoredEvent]) -> Vec<PrPoint> {
+    let positives = events.iter().filter(|e| e.is_anomaly).count();
+    assert!(positives > 0, "recall is undefined without true anomalies");
+    // Candidate thresholds: every distinct score, plus one above the max so
+    // the curve reaches recall 1.
+    let mut thresholds: Vec<f64> = events.iter().map(|e| e.score).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("comparable scores"));
+    thresholds.dedup();
+    let max = thresholds.last().copied().unwrap_or(1.0);
+    thresholds.push(max + 1e-9);
+
+    let mut curve = Vec::with_capacity(thresholds.len());
+    for theta in thresholds {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        for e in events {
+            if e.score < theta {
+                if e.is_anomaly {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        if tp + fp == 0 {
+            continue;
+        }
+        curve.push(PrPoint {
+            threshold: theta,
+            recall: tp as f64 / positives as f64,
+            precision: tp as f64 / (tp + fp) as f64,
+        });
+    }
+    // Generated in ascending-threshold order, so recall is already
+    // monotone non-decreasing (a larger threshold flags a superset).
+    curve
+}
+
+/// The paper's accuracy measure: the area between the recall–precision
+/// curve and the 45° "random guess" diagonal.
+///
+/// Computed as `∫ precision d(recall) − ½` by trapezoidal integration,
+/// extending the curve horizontally to recall 0 and 1. Perfect detection
+/// gives ≈ 0.5; random guessing ≈ 0.
+pub fn auc_above_diagonal(curve: &[PrPoint]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    // Extend flat to recall = 0.
+    let first = curve[0];
+    area += first.recall * first.precision;
+    for w in curve.windows(2) {
+        let dr = w[1].recall - w[0].recall;
+        area += dr * (w[0].precision + w[1].precision) / 2.0;
+    }
+    // Extend flat to recall = 1.
+    let last = curve[curve.len() - 1];
+    area += (1.0 - last.recall) * last.precision;
+    area - 0.5
+}
+
+/// The paper's simplified optimality criterion: the curve point closest to
+/// the perfect corner `(recall, precision) = (1, 1)`.
+///
+/// Returns `None` for an empty curve.
+pub fn optimal_point(curve: &[PrPoint]) -> Option<PrPoint> {
+    curve
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            let da = (1.0 - a.recall).powi(2) + (1.0 - a.precision).powi(2);
+            let db = (1.0 - b.recall).powi(2) + (1.0 - b.precision).powi(2);
+            da.partial_cmp(&db).expect("comparable distances")
+        })
+}
+
+/// A normalised histogram ("density distribution") of scores over `[0, 1]`
+/// with `bins` equal-width buckets; returns `(bin_centre, density)` pairs
+/// where densities integrate to 1 (Figures 4 and 6).
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn density_histogram(scores: &[f64], bins: usize) -> Vec<(f64, f64)> {
+    assert!(bins > 0, "need at least one bin");
+    let mut counts = vec![0usize; bins];
+    for &s in scores {
+        let idx = ((s.clamp(0.0, 1.0)) * bins as f64) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    let n = scores.len().max(1) as f64;
+    let width = 1.0 / bins as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let centre = (i as f64 + 0.5) * width;
+            (centre, c as f64 / n / width)
+        })
+        .collect()
+}
+
+/// Averages several score time-series into buckets of `bucket_secs`
+/// (Figures 3 and 5 average multiple traces of the same condition).
+///
+/// Input: per-trace `(time_secs, score)` samples. Output: `(bucket_centre,
+/// mean_score)` for every bucket that received at least one sample, sorted
+/// by time.
+pub fn average_timeseries(traces: &[Vec<(f64, f64)>], bucket_secs: f64) -> Vec<(f64, f64)> {
+    assert!(bucket_secs > 0.0, "bucket width must be positive");
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<i64, (f64, usize)> = BTreeMap::new();
+    for trace in traces {
+        for &(t, s) in trace {
+            let key = (t / bucket_secs).floor() as i64;
+            let e = buckets.entry(key).or_insert((0.0, 0));
+            e.0 += s;
+            e.1 += 1;
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|(k, (sum, n))| ((k as f64 + 0.5) * bucket_secs, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_events() -> Vec<ScoredEvent> {
+        // Anomalies score low, normals high, perfectly separable at 0.5.
+        let mut v = Vec::new();
+        for i in 0..50 {
+            v.push(ScoredEvent {
+                score: 0.6 + 0.4 * (i as f64 / 50.0),
+                is_anomaly: false,
+            });
+            v.push(ScoredEvent {
+                score: 0.4 * (i as f64 / 50.0),
+                is_anomaly: true,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn perfect_separation_reaches_the_corner() {
+        let curve = recall_precision_curve(&separable_events());
+        let best = optimal_point(&curve).unwrap();
+        assert_eq!(best.recall, 1.0);
+        assert_eq!(best.precision, 1.0);
+        let auc = auc_above_diagonal(&curve);
+        assert!(auc > 0.45, "near-perfect AUC expected, got {auc}");
+    }
+
+    #[test]
+    fn random_scores_give_near_zero_auc() {
+        // Scores independent of labels.
+        let mut v = Vec::new();
+        for i in 0..200 {
+            v.push(ScoredEvent {
+                score: (i % 100) as f64 / 100.0,
+                is_anomaly: i % 2 == 0,
+            });
+        }
+        let curve = recall_precision_curve(&v);
+        let auc = auc_above_diagonal(&curve);
+        assert!(auc.abs() < 0.12, "random guessing AUC ≈ 0, got {auc}");
+    }
+
+    #[test]
+    fn recall_is_monotone_in_threshold() {
+        let curve = recall_precision_curve(&separable_events());
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold >= w[0].threshold);
+        }
+        assert_eq!(curve.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without true anomalies")]
+    fn curve_requires_positives() {
+        let _ = recall_precision_curve(&[ScoredEvent {
+            score: 0.5,
+            is_anomaly: false,
+        }]);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let scores: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 / 97.0).collect();
+        let hist = density_histogram(&scores, 20);
+        let integral: f64 = hist.iter().map(|&(_, d)| d * (1.0 / 20.0)).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+        assert_eq!(hist.len(), 20);
+    }
+
+    #[test]
+    fn density_handles_boundary_scores() {
+        let hist = density_histogram(&[0.0, 1.0, 1.0], 10);
+        assert!(hist[0].1 > 0.0);
+        assert!(hist[9].1 > 0.0);
+    }
+
+    #[test]
+    fn timeseries_averaging_buckets_and_averages() {
+        let a = vec![(1.0, 0.8), (6.0, 0.4)];
+        let b = vec![(2.0, 0.6), (7.0, 0.2)];
+        let avg = average_timeseries(&[a, b], 5.0);
+        assert_eq!(avg.len(), 2);
+        assert!((avg[0].1 - 0.7).abs() < 1e-12);
+        assert!((avg[1].1 - 0.3).abs() < 1e-12);
+        assert_eq!(avg[0].0, 2.5);
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's illustrative two-node example (§3, Tables 1–3), reproduced
+//! exactly.
+//!
+//! A two-node ad hoc network with three binary features per event:
+//!
+//! 1. *Reachable?* — is the other node within transmission range;
+//! 2. *Delivered?* — was any packet delivered in the last 5 seconds;
+//! 3. *Cached?* — was any packet cached for delivery in the last 5 seconds.
+//!
+//! Table 1 enumerates the four normal events. The paper defines an
+//! illustrative classifier for each sub-model: given the two non-labelled
+//! feature values,
+//!
+//! * if exactly one class appears among matching normal events → predict
+//!   it with probability 1.0;
+//! * if both classes appear → predict `true` with probability 0.5;
+//! * if the combination never appears → predict the label that appears
+//!   more often among the *other* rules, with probability 0.5.
+//!
+//! The probability for the true class is the rule's probability when the
+//! prediction matches, and one minus it otherwise. This module reproduces
+//! Tables 2 and 3 exactly and serves as an executable specification of
+//! Algorithms 2 and 3.
+
+use crate::model::ScoreMethod;
+
+/// One event in the two-node network: `(reachable, delivered, cached)`.
+pub type Event = [bool; 3];
+
+/// Table 1: the complete set of normal events.
+pub const NORMAL_EVENTS: [Event; 4] = [
+    [true, true, true],
+    [true, false, false],
+    [false, false, true],
+    [false, false, false],
+];
+
+/// All eight possible events, normal first — the rows of Table 3.
+pub const ALL_EVENTS: [Event; 8] = [
+    [true, true, true],
+    [true, false, false],
+    [false, false, true],
+    [false, false, false],
+    [true, true, false],
+    [true, false, true],
+    [false, true, true],
+    [false, true, false],
+];
+
+/// One rule of an illustrative sub-model: for the two non-labelled feature
+/// values, the predicted class and its associated probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubModelRule {
+    /// Values of the two non-labelled features (in feature order).
+    pub inputs: [bool; 2],
+    /// Predicted value of the labelled feature.
+    pub predicted: bool,
+    /// Probability associated with the prediction.
+    pub probability: f64,
+}
+
+/// The illustrative sub-model with respect to one labelled feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubModel {
+    /// Index of the labelled feature (0 = Reachable, 1 = Delivered,
+    /// 2 = Cached).
+    pub labeled: usize,
+    /// The four rules, one per combination of the other two features.
+    pub rules: Vec<SubModelRule>,
+}
+
+impl SubModel {
+    /// Builds the sub-model for `labeled` from the normal events, using
+    /// the paper's illustrative classifier.
+    pub fn build(labeled: usize) -> SubModel {
+        assert!(labeled < 3, "feature index out of range");
+        let others: Vec<usize> = (0..3).filter(|&i| i != labeled).collect();
+        let combos = [
+            [true, true],
+            [true, false],
+            [false, true],
+            [false, false],
+        ];
+        // First pass: combinations that appear in normal data.
+        let mut rules: Vec<Option<SubModelRule>> = Vec::new();
+        for inputs in combos {
+            let classes: Vec<bool> = NORMAL_EVENTS
+                .iter()
+                .filter(|e| e[others[0]] == inputs[0] && e[others[1]] == inputs[1])
+                .map(|e| e[labeled])
+                .collect();
+            let rule = if classes.is_empty() {
+                None // resolved in the second pass
+            } else if classes.iter().all(|&c| c) {
+                Some(SubModelRule {
+                    inputs,
+                    predicted: true,
+                    probability: 1.0,
+                })
+            } else if classes.iter().all(|&c| !c) {
+                Some(SubModelRule {
+                    inputs,
+                    predicted: false,
+                    probability: 1.0,
+                })
+            } else {
+                Some(SubModelRule {
+                    inputs,
+                    predicted: true,
+                    probability: 0.5,
+                })
+            };
+            rules.push(rule);
+        }
+        // Second pass: unseen combinations take the majority label of the
+        // defined rules, with probability 0.5 (ties go to `true`).
+        let trues = rules
+            .iter()
+            .flatten()
+            .filter(|r| r.predicted)
+            .count();
+        let falses = rules.iter().flatten().count() - trues;
+        let majority = trues >= falses;
+        let rules = rules
+            .into_iter()
+            .zip(combos)
+            .map(|(r, inputs)| {
+                r.unwrap_or(SubModelRule {
+                    inputs,
+                    predicted: majority,
+                    probability: 0.5,
+                })
+            })
+            .collect();
+        SubModel { labeled, rules }
+    }
+
+    /// Looks up the rule for an event's non-labelled feature values.
+    pub fn rule_for(&self, event: &Event) -> SubModelRule {
+        let others: Vec<usize> = (0..3).filter(|&i| i != self.labeled).collect();
+        let inputs = [event[others[0]], event[others[1]]];
+        *self
+            .rules
+            .iter()
+            .find(|r| r.inputs == inputs)
+            .expect("all four combinations have rules")
+    }
+
+    /// Whether the sub-model's prediction matches the event's true value.
+    pub fn matches(&self, event: &Event) -> bool {
+        self.rule_for(event).predicted == event[self.labeled]
+    }
+
+    /// Probability assigned to the event's true value: the rule probability
+    /// if the prediction matches, and one minus it otherwise.
+    pub fn prob_of_truth(&self, event: &Event) -> f64 {
+        let rule = self.rule_for(event);
+        if rule.predicted == event[self.labeled] {
+            rule.probability
+        } else {
+            1.0 - rule.probability
+        }
+    }
+}
+
+/// The full three-sub-model ensemble of the example.
+#[derive(Debug, Clone)]
+pub struct TwoNodeExample {
+    /// Sub-models with respect to Reachable, Delivered and Cached.
+    pub sub_models: [SubModel; 3],
+}
+
+impl Default for TwoNodeExample {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoNodeExample {
+    /// Builds the three sub-models of Table 2.
+    pub fn new() -> TwoNodeExample {
+        TwoNodeExample {
+            sub_models: [SubModel::build(0), SubModel::build(1), SubModel::build(2)],
+        }
+    }
+
+    /// Scores an event with Algorithm 2 (average match count) or
+    /// Algorithm 3 (average probability).
+    pub fn score(&self, event: &Event, method: ScoreMethod) -> f64 {
+        let total: f64 = self
+            .sub_models
+            .iter()
+            .map(|m| match method {
+                ScoreMethod::MatchCount => f64::from(m.matches(event)),
+                ScoreMethod::AvgProbability => m.prob_of_truth(event),
+            })
+            .sum();
+        total / 3.0
+    }
+
+    /// Whether an event is normal (appears in Table 1).
+    pub fn is_normal(event: &Event) -> bool {
+        NORMAL_EVENTS.contains(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 0.005
+    }
+
+    #[test]
+    fn table2a_submodel_reachable() {
+        let m = SubModel::build(0);
+        // (Delivered, Cached) -> (Reachable prediction, probability)
+        let expect = [
+            ([true, true], true, 1.0),
+            ([false, false], true, 0.5),
+            ([false, true], false, 1.0),
+            ([true, false], true, 0.5),
+        ];
+        for (inputs, pred, prob) in expect {
+            let r = m.rules.iter().find(|r| r.inputs == inputs).unwrap();
+            assert_eq!(r.predicted, pred, "prediction for {inputs:?}");
+            assert_eq!(r.probability, prob, "probability for {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn table2b_submodel_delivered() {
+        let m = SubModel::build(1);
+        let expect = [
+            ([true, true], true, 1.0),
+            ([true, false], false, 1.0),
+            ([false, true], false, 1.0),
+            ([false, false], false, 1.0),
+        ];
+        for (inputs, pred, prob) in expect {
+            let r = m.rules.iter().find(|r| r.inputs == inputs).unwrap();
+            assert_eq!((r.predicted, r.probability), (pred, prob), "{inputs:?}");
+        }
+    }
+
+    #[test]
+    fn table2c_submodel_cached() {
+        let m = SubModel::build(2);
+        let expect = [
+            ([true, true], true, 1.0),
+            ([true, false], false, 1.0),
+            ([false, false], true, 0.5),
+            ([false, true], true, 0.5),
+        ];
+        for (inputs, pred, prob) in expect {
+            let r = m.rules.iter().find(|r| r.inputs == inputs).unwrap();
+            assert_eq!((r.predicted, r.probability), (pred, prob), "{inputs:?}");
+        }
+    }
+
+    #[test]
+    fn table3_all_sixteen_numbers() {
+        let ex = TwoNodeExample::new();
+        // (event, class-is-normal, avg match count, avg probability)
+        let expect: [(Event, bool, f64, f64); 8] = [
+            ([true, true, true], true, 1.0, 1.0),
+            ([true, false, false], true, 1.0, 0.8333),
+            ([false, false, true], true, 1.0, 0.8333),
+            ([false, false, false], true, 0.3333, 0.6667),
+            ([true, true, false], false, 0.3333, 0.1667),
+            ([true, false, true], false, 0.0, 0.0),
+            ([false, true, true], false, 0.3333, 0.1667),
+            ([false, true, false], false, 0.0, 0.3333),
+        ];
+        for (event, normal, match_count, avg_prob) in expect {
+            assert_eq!(TwoNodeExample::is_normal(&event), normal, "{event:?}");
+            let mc = ex.score(&event, ScoreMethod::MatchCount);
+            let ap = ex.score(&event, ScoreMethod::AvgProbability);
+            assert!(approx(mc, match_count), "{event:?}: match count {mc} != {match_count}");
+            assert!(approx(ap, avg_prob), "{event:?}: avg prob {ap} != {avg_prob}");
+        }
+    }
+
+    #[test]
+    fn threshold_half_separates_with_avg_probability() {
+        // The paper: with θ = 0.5, Algorithm 3 achieves perfect accuracy;
+        // Algorithm 2 has one false alarm ({False, False, False}).
+        let ex = TwoNodeExample::new();
+        let mut match_count_errors = 0;
+        for event in ALL_EVENTS {
+            let normal = TwoNodeExample::is_normal(&event);
+            let by_prob = ex.score(&event, ScoreMethod::AvgProbability) >= 0.5;
+            assert_eq!(by_prob, normal, "Algorithm 3 must be perfect at θ=0.5");
+            let by_match = ex.score(&event, ScoreMethod::MatchCount) >= 0.5;
+            if by_match != normal {
+                match_count_errors += 1;
+            }
+        }
+        assert_eq!(
+            match_count_errors, 1,
+            "Algorithm 2 has exactly one false alarm"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The cross-feature ensemble: Algorithms 1–3 of the paper.
+
+use cfa_ml::{Classifier, Learner, NominalTable};
+
+/// How sub-model outputs are combined into an event score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMethod {
+    /// Algorithm 2: the fraction of sub-models whose *predicted* value for
+    /// their labelled feature equals the event's true value.
+    MatchCount,
+    /// Algorithm 3: the mean probability the sub-models assign to the true
+    /// values, `Σᵢ p(fᵢ(x) | x) / L`. Treats Algorithm 2 as the special
+    /// case where the predicted class has probability 1.
+    AvgProbability,
+}
+
+/// The ensemble of per-feature sub-models produced by Algorithm 1.
+///
+/// `CrossFeatureModel::train` fits one classifier per feature column on a
+/// table of **normal** events; [`CrossFeatureModel::score`] evaluates how
+/// normal a (full-width) feature vector looks, in `[0, 1]` — higher is more
+/// normal.
+#[derive(Debug)]
+pub struct CrossFeatureModel<M> {
+    sub_models: Vec<M>,
+    n_features: usize,
+}
+
+impl<M: Classifier> CrossFeatureModel<M> {
+    /// Algorithm 1: trains `L` sub-models, one per feature of `normal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no rows or fewer than two columns (with one
+    /// feature there is nothing to cross-correlate).
+    pub fn train<L>(learner: &L, normal: &NominalTable) -> CrossFeatureModel<M>
+    where
+        L: Learner<Model = M>,
+    {
+        assert!(normal.n_rows() > 0, "need normal training data");
+        assert!(
+            normal.n_cols() >= 2,
+            "cross-feature analysis needs at least two features"
+        );
+        let sub_models = (0..normal.n_cols())
+            .map(|i| learner.fit(normal, i))
+            .collect();
+        CrossFeatureModel {
+            sub_models,
+            n_features: normal.n_cols(),
+        }
+    }
+
+    /// Builds an ensemble from pre-trained sub-models (`sub_models[i]`
+    /// predicts feature `i` from the rest). Useful for model-reduction
+    /// experiments and for custom classifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_models` is empty.
+    pub fn from_sub_models(sub_models: Vec<M>) -> CrossFeatureModel<M> {
+        assert!(!sub_models.is_empty(), "need at least one sub-model");
+        let n_features = sub_models.len();
+        CrossFeatureModel {
+            sub_models,
+            n_features,
+        }
+    }
+
+    /// Number of features / sub-models (the paper's `L`).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The sub-models, indexed by labelled feature.
+    pub fn sub_models(&self) -> &[M] {
+        &self.sub_models
+    }
+
+    /// Scores one full-width event vector; higher = more normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.n_features()`.
+    pub fn score(&self, row: &[u8], method: ScoreMethod) -> f64 {
+        self.score_subset(row, method, None)
+    }
+
+    /// Scores using only the sub-models listed in `subset` (all when
+    /// `None`) — supports the paper's future-work question of how few
+    /// sub-models suffice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, an empty subset, or out-of-range indices.
+    pub fn score_subset(
+        &self,
+        row: &[u8],
+        method: ScoreMethod,
+        subset: Option<&[usize]>,
+    ) -> f64 {
+        assert_eq!(row.len(), self.n_features, "event width mismatch");
+        let indices: Vec<usize> = match subset {
+            Some(s) => {
+                assert!(!s.is_empty(), "sub-model subset must be non-empty");
+                s.to_vec()
+            }
+            None => (0..self.n_features).collect(),
+        };
+        let mut total = 0.0;
+        for &i in &indices {
+            let model = &self.sub_models[i];
+            let (attrs, truth) = NominalTable::split_row(row, i);
+            total += match method {
+                ScoreMethod::MatchCount => f64::from(model.predict(&attrs) == truth),
+                ScoreMethod::AvgProbability => model.prob_of(&attrs, truth),
+            };
+        }
+        total / indices.len() as f64
+    }
+
+    /// Scores every row of a table.
+    pub fn scores(&self, table: &NominalTable, method: ScoreMethod) -> Vec<f64> {
+        table
+            .rows()
+            .iter()
+            .map(|r| self.score(r, method))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa_ml::naive_bayes::NaiveBayes;
+    use cfa_ml::c45::C45;
+
+    /// Normal data where f0 == f1 and f2 is uniform noise.
+    fn correlated_normal() -> NominalTable {
+        let rows: Vec<Vec<u8>> = (0..90)
+            .map(|i| {
+                let a = (i % 2) as u8;
+                vec![a, a, (i % 3) as u8]
+            })
+            .collect();
+        NominalTable::new(
+            vec!["a".into(), "b".into(), "noise".into()],
+            vec![2, 2, 3],
+            rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normal_events_score_higher_than_violations() {
+        let t = correlated_normal();
+        for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+            let m = CrossFeatureModel::train(&C45::default(), &t);
+            let normal = m.score(&[1, 1, 2], method);
+            let abnormal = m.score(&[1, 0, 2], method);
+            assert!(
+                normal > abnormal,
+                "{method:?}: normal {normal} should beat abnormal {abnormal}"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let t = correlated_normal();
+        let m = CrossFeatureModel::train(&NaiveBayes::default(), &t);
+        for row in t.rows() {
+            for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+                let s = m.score(row, method);
+                assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn trains_one_model_per_feature() {
+        let t = correlated_normal();
+        let m = CrossFeatureModel::train(&NaiveBayes::default(), &t);
+        assert_eq!(m.n_features(), 3);
+        assert_eq!(m.sub_models().len(), 3);
+    }
+
+    #[test]
+    fn subset_scoring_uses_selected_models_only() {
+        let t = correlated_normal();
+        let m = CrossFeatureModel::train(&C45::default(), &t);
+        // Only the noise sub-model: the a/b violation becomes invisible.
+        let s = m.score_subset(&[1, 0, 2], ScoreMethod::MatchCount, Some(&[2]));
+        let full = m.score(&[1, 0, 2], ScoreMethod::MatchCount);
+        assert!(s >= full, "hiding the correlated models can only help");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two features")]
+    fn rejects_single_feature_tables() {
+        let t = NominalTable::new(vec!["a".into()], vec![2], vec![vec![0]]).unwrap();
+        let _ = CrossFeatureModel::train(&NaiveBayes::default(), &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width_events() {
+        let t = correlated_normal();
+        let m = CrossFeatureModel::train(&NaiveBayes::default(), &t);
+        let _ = m.score(&[0, 0], ScoreMethod::MatchCount);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the cross-feature combiner and evaluation
+//! toolkit.
+
+use cfa_core::eval::{auc_above_diagonal, density_histogram, recall_precision_curve};
+use cfa_core::{select_threshold, CrossFeatureModel, ScoreMethod, ScoredEvent};
+use cfa_ml::naive_bayes::NaiveBayes;
+use cfa_ml::NominalTable;
+use proptest::prelude::*;
+
+fn events_strategy() -> impl Strategy<Value = Vec<ScoredEvent>> {
+    proptest::collection::vec(
+        (0.0f64..=1.0, proptest::bool::ANY).prop_map(|(score, is_anomaly)| ScoredEvent {
+            score,
+            is_anomaly,
+        }),
+        2..200,
+    )
+    .prop_filter("need at least one anomaly", |v| {
+        v.iter().any(|e| e.is_anomaly)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn curve_recall_monotone_and_bounded(events in events_strategy()) {
+        let curve = recall_precision_curve(&events);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall - 1e-12);
+        }
+        for p in &curve {
+            assert!((0.0..=1.0).contains(&p.recall));
+            assert!((0.0..=1.0).contains(&p.precision));
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12,
+            "curve must reach full recall");
+        let auc = auc_above_diagonal(&curve);
+        assert!((-0.5..=0.5).contains(&auc), "AUC measure bounded, got {auc}");
+    }
+
+    #[test]
+    fn threshold_respects_false_alarm_budget(
+        scores in proptest::collection::vec(0.0f64..=1.0, 1..300),
+        fa in 0.0f64..0.5,
+    ) {
+        let theta = select_threshold(&scores, fa);
+        let flagged = scores.iter().filter(|&&s| s < theta).count();
+        assert!(
+            flagged as f64 <= fa * scores.len() as f64 + 1e-9,
+            "{flagged} of {} flagged exceeds budget {fa}",
+            scores.len()
+        );
+    }
+
+    #[test]
+    fn densities_integrate_to_one(
+        scores in proptest::collection::vec(0.0f64..=1.0, 1..300),
+        bins in 1usize..40,
+    ) {
+        let hist = density_histogram(&scores, bins);
+        let integral: f64 = hist.iter().map(|&(_, d)| d / bins as f64).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ensemble_scores_stay_in_unit_interval(
+        rows in proptest::collection::vec(proptest::collection::vec(0u8..3, 4), 8..60),
+        probe in proptest::collection::vec(0u8..3, 4),
+    ) {
+        let table = NominalTable::new(
+            (0..4).map(|i| format!("f{i}")).collect(),
+            vec![3; 4],
+            rows,
+        ).expect("valid");
+        let model = CrossFeatureModel::train(&NaiveBayes::default(), &table);
+        for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+            let s = model.score(&probe, method);
+            assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn match_count_is_quantized(
+        rows in proptest::collection::vec(proptest::collection::vec(0u8..2, 3), 8..40),
+        probe in proptest::collection::vec(0u8..2, 3),
+    ) {
+        let table = NominalTable::new(
+            (0..3).map(|i| format!("f{i}")).collect(),
+            vec![2; 3],
+            rows,
+        ).expect("valid");
+        let model = CrossFeatureModel::train(&NaiveBayes::default(), &table);
+        let s = model.score(&probe, ScoreMethod::MatchCount);
+        // With 3 sub-models the match count is k/3.
+        let k = (s * 3.0).round();
+        assert!((s - k / 3.0).abs() < 1e-12);
+    }
+}

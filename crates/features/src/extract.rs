@@ -1,0 +1,319 @@
+//! Feature extraction: audit trace → continuous feature matrix.
+
+use crate::spec::{FeatureSpec, StatMeasure, N_TOPOLOGY_FEATURES};
+use manet_sim::trace::NodeTrace;
+use manet_sim::{Direction, RouteEventKind, SimTime, TracePacketKind};
+
+/// A continuous feature matrix: one row per 5-second snapshot.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    /// Feature names (columns), in [`FeatureSpec`] order.
+    pub names: Vec<String>,
+    /// Snapshot times, seconds (the paper's `time` reference column —
+    /// excluded from classification).
+    pub times: Vec<f64>,
+    /// One row of 140 feature values per snapshot.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FeatureMatrix {
+    /// Number of snapshots.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of features.
+    pub fn n_cols(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Extracts the paper's 140 features from a node's audit trace.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    spec: FeatureSpec,
+    snapshot_interval: f64,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-(type, direction) sorted event-time index, in seconds.
+struct TimeIndex {
+    /// `by[ptype_idx][dir_idx]` → sorted times.
+    by: Vec<Vec<Vec<f64>>>,
+}
+
+impl TimeIndex {
+    fn build(trace: &NodeTrace, spec: &FeatureSpec) -> TimeIndex {
+        use crate::spec::PacketTypeDim;
+        let dir_idx = |d: Direction| Direction::ALL.iter().position(|&x| x == d).unwrap();
+        // Raw (kind, dir) buckets first.
+        let kind_idx =
+            |k: TracePacketKind| TracePacketKind::ALL.iter().position(|&x| x == k).unwrap();
+        let mut raw: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 4]; TracePacketKind::ALL.len()];
+        for e in &trace.packet_events {
+            raw[kind_idx(e.kind)][dir_idx(e.dir)].push(e.t.as_secs());
+        }
+        // Aggregate into the spec's packet-type dimension.
+        let _ = spec;
+        let mut by: Vec<Vec<Vec<f64>>> = Vec::with_capacity(PacketTypeDim::ALL.len());
+        for ptype in PacketTypeDim::ALL {
+            let mut per_dir: Vec<Vec<f64>> = Vec::with_capacity(4);
+            #[allow(clippy::needless_range_loop)] // d indexes every kind's raw bucket
+            for d in 0..4 {
+                let mut merged: Vec<f64> = Vec::new();
+                for &k in ptype.trace_kinds() {
+                    merged.extend_from_slice(&raw[kind_idx(k)][d]);
+                }
+                merged.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                per_dir.push(merged);
+            }
+            by.push(per_dir);
+        }
+        TimeIndex { by }
+    }
+
+    /// Events with `lo <= t < hi` for a (ptype, dir) pair.
+    fn window(&self, ptype_idx: usize, dir_idx: usize, lo: f64, hi: f64) -> &[f64] {
+        let v = &self.by[ptype_idx][dir_idx];
+        let start = v.partition_point(|&t| t < lo);
+        let end = v.partition_point(|&t| t < hi);
+        &v[start..end]
+    }
+}
+
+fn interval_stddev(times: &[f64]) -> f64 {
+    if times.len() < 3 {
+        // Fewer than two intervals: no spread to measure.
+        return 0.0;
+    }
+    let intervals: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let n = intervals.len() as f64;
+    let mean = intervals.iter().sum::<f64>() / n;
+    let var = intervals.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the paper's 5-second snapshot cadence.
+    pub fn new() -> FeatureExtractor {
+        FeatureExtractor {
+            spec: FeatureSpec::new(),
+            snapshot_interval: 5.0,
+        }
+    }
+
+    /// The feature layout in use.
+    pub fn spec(&self) -> &FeatureSpec {
+        &self.spec
+    }
+
+    /// Extracts feature rows for snapshots at `5, 10, …` up to
+    /// `duration` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn extract(&self, trace: &NodeTrace, duration: SimTime) -> FeatureMatrix {
+        let dur = duration.as_secs();
+        assert!(dur > 0.0, "duration must be positive");
+        let index = TimeIndex::build(trace, &self.spec);
+        let dir_idx = |d: Direction| Direction::ALL.iter().position(|&x| x == d).unwrap();
+        let ptype_idx = |p: crate::spec::PacketTypeDim| {
+            crate::spec::PacketTypeDim::ALL
+                .iter()
+                .position(|&x| x == p)
+                .unwrap()
+        };
+
+        // Route events and mobility samples, sorted by construction.
+        let route_times: Vec<(f64, RouteEventKind, Option<u8>)> = trace
+            .route_events
+            .iter()
+            .map(|e| (e.t.as_secs(), e.kind, e.route_len))
+            .collect();
+
+        let mut times = Vec::new();
+        let mut rows = Vec::new();
+        let mut t = self.snapshot_interval;
+        let mut route_lo = 0usize;
+        while t <= dur + 1e-9 {
+            let lo = t - self.snapshot_interval;
+            let mut row = Vec::with_capacity(self.spec.len());
+
+            // --- Feature Set I ---
+            // Velocity: the mobility sample closest to this snapshot time.
+            let velocity = trace
+                .mobility
+                .iter()
+                .min_by(|a, b| {
+                    let da = (a.t.as_secs() - t).abs();
+                    let db = (b.t.as_secs() - t).abs();
+                    da.partial_cmp(&db).expect("finite times")
+                })
+                .map_or(0.0, |s| s.velocity);
+            row.push(velocity);
+
+            // Route-event counters over the base 5 s window.
+            while route_lo < route_times.len() && route_times[route_lo].0 < lo {
+                route_lo += 1;
+            }
+            let mut counts = [0usize; 5];
+            let mut len_sum = 0.0;
+            let mut len_n = 0usize;
+            let kind_pos =
+                |k: RouteEventKind| RouteEventKind::ALL.iter().position(|&x| x == k).unwrap();
+            for &(rt, kind, route_len) in &route_times[route_lo..] {
+                if rt >= t {
+                    break;
+                }
+                counts[kind_pos(kind)] += 1;
+                if matches!(kind, RouteEventKind::Added | RouteEventKind::Noticed) {
+                    if let Some(l) = route_len {
+                        len_sum += f64::from(l);
+                        len_n += 1;
+                    }
+                }
+            }
+            let add = counts[kind_pos(RouteEventKind::Added)] as f64;
+            let removal = counts[kind_pos(RouteEventKind::Removed)] as f64;
+            row.push(add);
+            row.push(removal);
+            row.push(counts[kind_pos(RouteEventKind::Found)] as f64);
+            row.push(counts[kind_pos(RouteEventKind::Noticed)] as f64);
+            row.push(counts[kind_pos(RouteEventKind::Repaired)] as f64);
+            row.push(add + removal); // total route change
+            row.push(if len_n > 0 { len_sum / len_n as f64 } else { 0.0 });
+            debug_assert_eq!(row.len(), N_TOPOLOGY_FEATURES);
+
+            // --- Feature Set II ---
+            for f in self.spec.traffic_features() {
+                let lo_w = (t - f.period).max(0.0);
+                let window = index.window(ptype_idx(f.ptype), dir_idx(f.dir), lo_w, t);
+                let v = match f.stat {
+                    StatMeasure::Count => window.len() as f64,
+                    StatMeasure::IntervalStdDev => interval_stddev(window),
+                };
+                row.push(v);
+            }
+
+            times.push(t);
+            rows.push(row);
+            t += self.snapshot_interval;
+        }
+        FeatureMatrix {
+            names: self.spec.names().to_vec(),
+            times,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::SimTime;
+
+    fn trace_with_events() -> NodeTrace {
+        let mut tr = NodeTrace::new();
+        // 3 data sends in the first 5 s, evenly spaced.
+        for i in 0..3 {
+            tr.packet(
+                SimTime::from_secs(1.0 + i as f64),
+                TracePacketKind::Data,
+                Direction::Sent,
+            );
+        }
+        // 2 RREQ forwards in the second window.
+        tr.packet(SimTime::from_secs(6.0), TracePacketKind::Rreq, Direction::Forwarded);
+        tr.packet(SimTime::from_secs(8.0), TracePacketKind::Rreq, Direction::Forwarded);
+        // Route events.
+        tr.route(SimTime::from_secs(2.0), RouteEventKind::Added, Some(3));
+        tr.route(SimTime::from_secs(3.0), RouteEventKind::Removed, None);
+        tr.mobility_sample(SimTime::from_secs(5.0), 7.5);
+        tr.mobility_sample(SimTime::from_secs(10.0), 2.5);
+        tr
+    }
+
+    fn col(m: &FeatureMatrix, name: &str) -> usize {
+        m.names.iter().position(|n| n == name).expect("feature exists")
+    }
+
+    #[test]
+    fn produces_one_row_per_snapshot() {
+        let m = FeatureExtractor::new().extract(&trace_with_events(), SimTime::from_secs(20.0));
+        assert_eq!(m.n_rows(), 4); // snapshots at 5, 10, 15, 20
+        assert_eq!(m.n_cols(), 140);
+        assert_eq!(m.times, vec![5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn counts_events_in_the_right_windows() {
+        let m = FeatureExtractor::new().extract(&trace_with_events(), SimTime::from_secs(20.0));
+        let c = col(&m, "data_sent_5s_count");
+        assert_eq!(m.rows[0][c], 3.0, "3 sends in [0,5)");
+        assert_eq!(m.rows[1][c], 0.0, "none in [5,10)");
+        let rf = col(&m, "rreq_fwd_5s_count");
+        assert_eq!(m.rows[0][rf], 0.0);
+        assert_eq!(m.rows[1][rf], 2.0);
+        // The 60 s window sees everything from the start.
+        let c60 = col(&m, "data_sent_60s_count");
+        assert_eq!(m.rows[3][c60], 3.0);
+    }
+
+    #[test]
+    fn route_all_includes_control_and_transit() {
+        let mut tr = NodeTrace::new();
+        tr.packet(SimTime::from_secs(1.0), TracePacketKind::Rreq, Direction::Forwarded);
+        tr.packet(SimTime::from_secs(2.0), TracePacketKind::DataTransit, Direction::Forwarded);
+        tr.packet(SimTime::from_secs(3.0), TracePacketKind::Hello, Direction::Forwarded);
+        let m = FeatureExtractor::new().extract(&tr, SimTime::from_secs(5.0));
+        let c = col(&m, "route_fwd_5s_count");
+        assert_eq!(m.rows[0][c], 3.0);
+    }
+
+    #[test]
+    fn topology_features_populate() {
+        let m = FeatureExtractor::new().extract(&trace_with_events(), SimTime::from_secs(20.0));
+        assert_eq!(m.rows[0][col(&m, "route_add_count")], 1.0);
+        assert_eq!(m.rows[0][col(&m, "route_removal_count")], 1.0);
+        assert_eq!(m.rows[0][col(&m, "total_route_change")], 2.0);
+        assert_eq!(m.rows[0][col(&m, "average_route_length")], 3.0);
+        assert_eq!(m.rows[0][col(&m, "absolute_velocity")], 7.5);
+        assert_eq!(m.rows[1][col(&m, "absolute_velocity")], 2.5);
+        assert_eq!(m.rows[1][col(&m, "route_add_count")], 0.0);
+    }
+
+    #[test]
+    fn interval_stddev_matches_hand_computation() {
+        // Times 1, 2, 3 -> intervals [1, 1] -> stddev 0.
+        assert_eq!(interval_stddev(&[1.0, 2.0, 3.0]), 0.0);
+        // Times 0, 1, 3 -> intervals [1, 2] -> mean 1.5, var 0.25, sd 0.5.
+        assert!((interval_stddev(&[0.0, 1.0, 3.0]) - 0.5).abs() < 1e-12);
+        // Too few events.
+        assert_eq!(interval_stddev(&[1.0, 4.0]), 0.0);
+        assert_eq!(interval_stddev(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_feature_flows_through() {
+        let mut tr = NodeTrace::new();
+        for t in [0.5, 1.5, 4.5] {
+            tr.packet(SimTime::from_secs(t), TracePacketKind::Data, Direction::Sent);
+        }
+        let m = FeatureExtractor::new().extract(&tr, SimTime::from_secs(5.0));
+        let c = col(&m, "data_sent_5s_ivstd");
+        assert!((m.rows[0][c] - 1.0).abs() < 1e-9, "intervals [1,3] -> sd 1");
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_features() {
+        let m = FeatureExtractor::new().extract(&NodeTrace::new(), SimTime::from_secs(10.0));
+        assert_eq!(m.n_rows(), 2);
+        assert!(m.rows.iter().flatten().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! # manet-features
+//!
+//! Turns a node's audit trace ([`manet_sim::NodeTrace`]) into the feature
+//! vectors the paper's detector consumes:
+//!
+//! * **Feature Set I** (Table 4) — topology and route-fabric features:
+//!   absolute velocity, the five route-event counters, total route change
+//!   and average route length, sampled every 5 seconds;
+//! * **Feature Set II** (Table 5) — traffic features over the dimension
+//!   grid ⟨packet type, flow direction, sampling period, statistics
+//!   measure⟩: `(6 × 4 − 2) × 3 × 2 = 132` features;
+//! * **equal-frequency discretization** — continuous features are replaced
+//!   by the index of their frequency bucket (5 buckets in the paper),
+//!   with cut points learned from a pre-filtering sample of normal data;
+//! * a builder assembling everything into a [`cfa_ml::NominalTable`] plus
+//!   ground-truth labels.
+//!
+//! The snapshot cadence is the paper's: "route statistics logged every 5
+//! seconds" over a 10 000-second run.
+
+pub mod discretize;
+pub mod extract;
+pub mod spec;
+
+pub use discretize::EqualFrequencyDiscretizer;
+pub use extract::{FeatureExtractor, FeatureMatrix};
+pub use spec::{FeatureSpec, PacketTypeDim, StatMeasure, N_FEATURES, N_TRAFFIC_FEATURES};

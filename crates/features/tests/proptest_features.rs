@@ -1,0 +1,85 @@
+//! Property-based tests for feature extraction and discretization.
+
+use manet_features::{EqualFrequencyDiscretizer, FeatureExtractor, FeatureMatrix};
+use manet_sim::trace::NodeTrace;
+use manet_sim::{Direction, SimTime, TracePacketKind};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = NodeTrace> {
+    proptest::collection::vec((0.0f64..100.0, 0usize..6, 0usize..4), 0..200).prop_map(|events| {
+        let mut sorted = events;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut tr = NodeTrace::new();
+        for (t, k, d) in sorted {
+            tr.packet(
+                SimTime::from_secs(t),
+                TracePacketKind::ALL[k],
+                Direction::ALL[d],
+            );
+        }
+        tr
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extraction_never_loses_or_invents_counts(trace in trace_strategy()) {
+        let m = FeatureExtractor::new().extract(&trace, SimTime::from_secs(100.0));
+        prop_assert_eq!(m.rows.len(), 20);
+        // The 900 s window at the last snapshot covers the entire run, so
+        // the route(all) received count there equals the raw route-kind
+        // received total.
+        let col = m.names.iter().position(|n| n == "route_recv_900s_count").unwrap();
+        let expected: usize = TracePacketKind::ALL
+            .iter()
+            .filter(|k| k.is_route())
+            .map(|&k| trace.count_packets(k, Direction::Received))
+            .sum();
+        // Events at exactly t = 100 fall outside the half-open window.
+        let at_end: usize = trace
+            .packet_events
+            .iter()
+            .filter(|e| e.t >= SimTime::from_secs(100.0) && e.kind.is_route() && e.dir == Direction::Received)
+            .count();
+        prop_assert_eq!(m.rows[19][col] as usize, expected - at_end);
+    }
+
+    #[test]
+    fn all_features_are_finite_and_nonnegative(trace in trace_strategy()) {
+        let m = FeatureExtractor::new().extract(&trace, SimTime::from_secs(100.0));
+        for row in &m.rows {
+            for &v in row {
+                prop_assert!(v.is_finite());
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn discretizer_output_respects_cards(
+        vals in proptest::collection::vec(0.0f64..1000.0, 10..200),
+        buckets in 2usize..10,
+    ) {
+        let n = vals.len();
+        let matrix = FeatureMatrix {
+            names: vec!["x".into()],
+            times: (0..n).map(|i| i as f64).collect(),
+            rows: vals.iter().map(|&v| vec![v]).collect(),
+        };
+        let d = EqualFrequencyDiscretizer::fit(&matrix, buckets, None, 0);
+        let cards = d.cards();
+        prop_assert!(cards[0] <= buckets);
+        let t = d.transform(&matrix).expect("schema");
+        for r in t.rows() {
+            prop_assert!((r[0] as usize) < cards[0]);
+        }
+        // Monotone: larger values never get smaller buckets.
+        let mut pairs: Vec<(f64, u8)> = vals.iter().map(|&v| (v, d.bucket(0, v))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

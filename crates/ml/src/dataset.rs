@@ -1,0 +1,294 @@
+//! Nominal datasets.
+
+use std::fmt;
+
+/// Error building or manipulating a [`NominalTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `names` and `cards` lengths differ.
+    ShapeMismatch {
+        /// Number of column names supplied.
+        names: usize,
+        /// Number of cardinalities supplied.
+        cards: usize,
+    },
+    /// A row's length differs from the number of columns.
+    RowLength {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The expected length.
+        expected: usize,
+    },
+    /// A value exceeds its column's declared cardinality.
+    ValueOutOfRange {
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+        /// The offending value.
+        value: u8,
+        /// The column's cardinality.
+        card: usize,
+    },
+    /// A column has cardinality zero (no possible values).
+    EmptyDomain {
+        /// Column index.
+        col: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ShapeMismatch { names, cards } => {
+                write!(f, "got {names} column names but {cards} cardinalities")
+            }
+            DatasetError::RowLength { row, len, expected } => {
+                write!(f, "row {row} has {len} values, expected {expected}")
+            }
+            DatasetError::ValueOutOfRange {
+                row,
+                col,
+                value,
+                card,
+            } => write!(
+                f,
+                "row {row}, column {col}: value {value} outside domain of size {card}"
+            ),
+            DatasetError::EmptyDomain { col } => {
+                write!(f, "column {col} has an empty value domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A dataset of discrete (nominal) attributes: named columns with finite
+/// value domains `0..card`, and rows of `u8` values.
+///
+/// This is the common currency between feature extraction, the learners in
+/// this crate and the cross-feature combiner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NominalTable {
+    names: Vec<String>,
+    cards: Vec<usize>,
+    rows: Vec<Vec<u8>>,
+}
+
+impl NominalTable {
+    /// Builds a validated table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] if shapes disagree, any value falls
+    /// outside its column's domain, or a domain is empty.
+    pub fn new(
+        names: Vec<String>,
+        cards: Vec<usize>,
+        rows: Vec<Vec<u8>>,
+    ) -> Result<NominalTable, DatasetError> {
+        if names.len() != cards.len() {
+            return Err(DatasetError::ShapeMismatch {
+                names: names.len(),
+                cards: cards.len(),
+            });
+        }
+        for (col, &card) in cards.iter().enumerate() {
+            if card == 0 {
+                return Err(DatasetError::EmptyDomain { col });
+            }
+        }
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != names.len() {
+                return Err(DatasetError::RowLength {
+                    row: r,
+                    len: row.len(),
+                    expected: names.len(),
+                });
+            }
+            for (c, (&v, &card)) in row.iter().zip(&cards).enumerate() {
+                if v as usize >= card {
+                    return Err(DatasetError::ValueOutOfRange {
+                        row: r,
+                        col: c,
+                        value: v,
+                        card,
+                    });
+                }
+            }
+        }
+        Ok(NominalTable { names, cards, rows })
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column cardinalities (domain sizes).
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<u8>] {
+        &self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// A single row's attribute vector with column `class_col` removed —
+    /// the shape learners' models expect at prediction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `class_col` is out of range.
+    pub fn attrs_without(&self, row: usize, class_col: usize) -> Vec<u8> {
+        let r = &self.rows[row];
+        assert!(class_col < r.len(), "class column out of range");
+        let mut v = Vec::with_capacity(r.len() - 1);
+        v.extend_from_slice(&r[..class_col]);
+        v.extend_from_slice(&r[class_col + 1..]);
+        v
+    }
+
+    /// Splits an arbitrary full-width row into `(attrs, class)` for a given
+    /// class column (helper mirroring [`NominalTable::attrs_without`] for
+    /// rows not stored in the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_col >= row.len()`.
+    pub fn split_row(row: &[u8], class_col: usize) -> (Vec<u8>, u8) {
+        assert!(class_col < row.len(), "class column out of range");
+        let mut attrs = Vec::with_capacity(row.len() - 1);
+        attrs.extend_from_slice(&row[..class_col]);
+        attrs.extend_from_slice(&row[class_col + 1..]);
+        (attrs, row[class_col])
+    }
+
+    /// Appends a validated row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] on shape or domain violations.
+    pub fn push_row(&mut self, row: Vec<u8>) -> Result<(), DatasetError> {
+        if row.len() != self.names.len() {
+            return Err(DatasetError::RowLength {
+                row: self.rows.len(),
+                len: row.len(),
+                expected: self.names.len(),
+            });
+        }
+        for (c, (&v, &card)) in row.iter().zip(&self.cards).enumerate() {
+            if v as usize >= card {
+                return Err(DatasetError::ValueOutOfRange {
+                    row: self.rows.len(),
+                    col: c,
+                    value: v,
+                    card,
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// A table with the same schema but only the selected rows (by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> NominalTable {
+        NominalTable {
+            names: self.names.clone(),
+            cards: self.cards.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn builds_valid_table() {
+        let t = NominalTable::new(names(3), vec![2, 3, 2], vec![vec![1, 2, 0]]).unwrap();
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_domain_values() {
+        let err = NominalTable::new(names(2), vec![2, 2], vec![vec![0, 2]]).unwrap_err();
+        assert!(matches!(err, DatasetError::ValueOutOfRange { col: 1, value: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = NominalTable::new(names(2), vec![2, 2], vec![vec![0]]).unwrap_err();
+        assert!(matches!(err, DatasetError::RowLength { .. }));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_and_empty_domains() {
+        assert!(matches!(
+            NominalTable::new(names(2), vec![2], vec![]).unwrap_err(),
+            DatasetError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            NominalTable::new(names(1), vec![0], vec![]).unwrap_err(),
+            DatasetError::EmptyDomain { col: 0 }
+        ));
+    }
+
+    #[test]
+    fn attrs_without_removes_class_column() {
+        let t = NominalTable::new(names(3), vec![4, 4, 4], vec![vec![1, 2, 3]]).unwrap();
+        assert_eq!(t.attrs_without(0, 1), vec![1, 3]);
+        assert_eq!(NominalTable::split_row(&[1, 2, 3], 0), (vec![2, 3], 1));
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let mut t = NominalTable::new(names(2), vec![2, 2], vec![]).unwrap();
+        assert!(t.push_row(vec![1, 1]).is_ok());
+        assert!(t.push_row(vec![1, 2]).is_err());
+        assert!(t.push_row(vec![1]).is_err());
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let t = NominalTable::new(
+            names(1),
+            vec![5],
+            vec![vec![0], vec![1], vec![2], vec![3]],
+        )
+        .unwrap();
+        let s = t.select_rows(&[3, 1]);
+        assert_eq!(s.rows(), &[vec![3], vec![1]]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = NominalTable::new(names(2), vec![2], vec![]).unwrap_err();
+        assert!(err.to_string().contains("2 column names"));
+    }
+}

@@ -1,0 +1,146 @@
+//! # cfa-ml
+//!
+//! From-scratch inductive learners with calibrated class probabilities —
+//! the three classifier families the paper evaluates:
+//!
+//! * [`c45::C45`] — a decision-tree learner in the style of Quinlan's C4.5:
+//!   multiway splits on nominal attributes chosen by gain ratio, with
+//!   pessimistic-error pruning; leaves expose Laplace-smoothed class
+//!   frequencies.
+//! * [`ripper::Ripper`] — an ordered-rule learner in the style of Cohen's
+//!   RIPPER (IREP*): per-class grow/prune rule induction with FOIL gain,
+//!   classes processed from rarest to most frequent, the last class as
+//!   default.
+//! * [`naive_bayes::NaiveBayes`] — a categorical naive Bayes classifier
+//!   with Laplace smoothing, exactly the probability form given in §3 of
+//!   the paper.
+//!
+//! All learners consume [`NominalTable`]s — datasets of discrete (nominal)
+//! attributes — through the [`Learner`] trait and produce [`Classifier`]s
+//! whose [`Classifier::class_probs`] output feeds the cross-feature
+//! analysis combiner (Algorithm 3 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use cfa_ml::{Learner, Classifier, NominalTable, c45::C45};
+//!
+//! // Toy data: class = attr0 AND attr1.
+//! let rows = vec![
+//!     vec![0, 0, 0], vec![0, 1, 0], vec![1, 0, 0], vec![1, 1, 1],
+//!     vec![0, 0, 0], vec![0, 1, 0], vec![1, 0, 0], vec![1, 1, 1],
+//! ];
+//! let table = NominalTable::new(
+//!     vec!["a".into(), "b".into(), "and".into()],
+//!     vec![2, 2, 2],
+//!     rows,
+//! ).unwrap();
+//! let model = C45::default().fit(&table, 2);
+//! assert_eq!(model.predict(&[0, 1]), 0);
+//! assert_eq!(model.predict(&[1, 1]), 1);
+//! ```
+
+pub mod c45;
+pub mod dataset;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod ripper;
+
+pub use c45::C45;
+pub use dataset::{DatasetError, NominalTable};
+pub use naive_bayes::NaiveBayes;
+pub use ripper::Ripper;
+
+/// A trained model over nominal attributes.
+///
+/// `x` is the attribute vector *excluding* the class column, in the same
+/// order the learner saw during [`Learner::fit`].
+pub trait Classifier {
+    /// Number of classes the model distinguishes.
+    fn n_classes(&self) -> usize;
+
+    /// Estimated probability distribution over classes for `x`.
+    ///
+    /// The returned vector has length [`Classifier::n_classes`] and sums to
+    /// 1 (within floating-point error).
+    fn class_probs(&self, x: &[u8]) -> Vec<f64>;
+
+    /// The most probable class for `x`.
+    fn predict(&self, x: &[u8]) -> u8 {
+        let probs = self.class_probs(x);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are comparable"))
+            .map(|(i, _)| i as u8)
+            .unwrap_or(0)
+    }
+
+    /// Estimated probability of a specific class for `x`.
+    ///
+    /// This is the `p(f_i(x) | x)` of the paper's Algorithm 3.
+    fn prob_of(&self, x: &[u8], class: u8) -> f64 {
+        self.class_probs(x)
+            .get(class as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Boxed classifiers are classifiers, so heterogeneous model kinds can sit
+/// behind one ensemble type.
+impl Classifier for Box<dyn Classifier> {
+    fn n_classes(&self) -> usize {
+        (**self).n_classes()
+    }
+
+    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
+        (**self).class_probs(x)
+    }
+
+    fn predict(&self, x: &[u8]) -> u8 {
+        (**self).predict(x)
+    }
+
+    fn prob_of(&self, x: &[u8], class: u8) -> f64 {
+        (**self).prob_of(x, class)
+    }
+}
+
+/// A learning algorithm that fits a [`Classifier`] predicting one column of
+/// a [`NominalTable`] from all the others.
+pub trait Learner {
+    /// The model type this learner produces.
+    type Model: Classifier;
+
+    /// Fits a model predicting column `class_col` from the remaining
+    /// columns (in their original order, with `class_col` removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_col` is out of range or the table has no rows.
+    fn fit(&self, table: &NominalTable, class_col: usize) -> Self::Model;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    struct Fixed(Vec<f64>);
+    impl Classifier for Fixed {
+        fn n_classes(&self) -> usize {
+            self.0.len()
+        }
+        fn class_probs(&self, _x: &[u8]) -> Vec<f64> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn predict_is_argmax_of_probs() {
+        let c = Fixed(vec![0.1, 0.7, 0.2]);
+        assert_eq!(c.predict(&[]), 1);
+        assert!((c.prob_of(&[], 2) - 0.2).abs() < 1e-12);
+        assert_eq!(c.prob_of(&[], 9), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Evaluation metrics for classifiers.
+
+use crate::dataset::NominalTable;
+use crate::Classifier;
+
+/// Fraction of rows of `table` whose class column the model predicts
+/// correctly.
+///
+/// # Panics
+///
+/// Panics if `class_col` is out of range.
+pub fn accuracy<C: Classifier>(model: &C, table: &NominalTable, class_col: usize) -> f64 {
+    assert!(class_col < table.n_cols(), "class column out of range");
+    if table.n_rows() == 0 {
+        return 0.0;
+    }
+    let correct = table
+        .rows()
+        .iter()
+        .filter(|row| {
+            let (attrs, y) = NominalTable::split_row(row, class_col);
+            model.predict(&attrs) == y
+        })
+        .count();
+    correct as f64 / table.n_rows() as f64
+}
+
+/// Confusion matrix: `matrix[actual][predicted]` counts.
+///
+/// # Panics
+///
+/// Panics if `class_col` is out of range.
+pub fn confusion_matrix<C: Classifier>(
+    model: &C,
+    table: &NominalTable,
+    class_col: usize,
+) -> Vec<Vec<usize>> {
+    assert!(class_col < table.n_cols(), "class column out of range");
+    let k = model.n_classes();
+    let mut m = vec![vec![0usize; k]; k];
+    for row in table.rows() {
+        let (attrs, y) = NominalTable::split_row(row, class_col);
+        let pred = model.predict(&attrs) as usize;
+        if (y as usize) < k && pred < k {
+            m[y as usize][pred] += 1;
+        }
+    }
+    m
+}
+
+/// Mean log-probability assigned to the true class (higher is better);
+/// a calibration-sensitive companion to [`accuracy`].
+///
+/// # Panics
+///
+/// Panics if `class_col` is out of range.
+pub fn mean_log_likelihood<C: Classifier>(
+    model: &C,
+    table: &NominalTable,
+    class_col: usize,
+) -> f64 {
+    assert!(class_col < table.n_cols(), "class column out of range");
+    if table.n_rows() == 0 {
+        return 0.0;
+    }
+    let total: f64 = table
+        .rows()
+        .iter()
+        .map(|row| {
+            let (attrs, y) = NominalTable::split_row(row, class_col);
+            model.prob_of(&attrs, y).max(1e-12).ln()
+        })
+        .sum();
+    total / table.n_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c45::C45;
+    use crate::Learner;
+
+    fn identity_table() -> NominalTable {
+        let rows: Vec<Vec<u8>> = (0..40).map(|i| vec![i % 3, i % 3]).collect();
+        NominalTable::new(vec!["a".into(), "y".into()], vec![3, 3], rows).unwrap()
+    }
+
+    #[test]
+    fn perfect_model_scores_one() {
+        let t = identity_table();
+        let m = C45::default().fit(&t, 1);
+        assert_eq!(accuracy(&m, &t, 1), 1.0);
+        let cm = confusion_matrix(&m, &t, 1);
+        assert_eq!(cm[0][0] + cm[1][1] + cm[2][2], 40);
+        assert_eq!(cm[0][1], 0);
+        assert!(mean_log_likelihood(&m, &t, 1) > -0.5);
+    }
+
+    #[test]
+    fn empty_table_scores_zero() {
+        let t = NominalTable::new(vec!["a".into(), "y".into()], vec![2, 2], vec![]).unwrap();
+        let m = C45::default().fit(&identity_table(), 1);
+        assert_eq!(accuracy(&m, &t, 1), 0.0);
+        assert_eq!(mean_log_likelihood(&m, &t, 1), 0.0);
+    }
+}

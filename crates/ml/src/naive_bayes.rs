@@ -1,0 +1,201 @@
+//! Categorical naive Bayes.
+//!
+//! Implements exactly the probability model the paper quotes for NBC:
+//! score `n(ℓᵢ|x) = p(ℓᵢ) ∏ⱼ p(aⱼ|ℓᵢ)` normalised to
+//! `p(ℓᵢ|x) = n(ℓᵢ|x) / Σₖ n(ℓₖ|x)`, with Laplace smoothing of the
+//! per-attribute conditionals so unseen attribute values never zero out a
+//! class.
+
+use crate::dataset::NominalTable;
+use crate::{Classifier, Learner};
+
+/// The naive Bayes learning algorithm (stateless; configuration lives in
+/// the smoothing constant).
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// Additive (Laplace) smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        NaiveBayes { alpha: 1.0 }
+    }
+}
+
+/// A fitted naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesModel {
+    n_classes: usize,
+    /// Log prior per class.
+    log_prior: Vec<f64>,
+    /// `log_cond[attr][class * card + value]` = log p(value | class).
+    log_cond: Vec<Vec<f64>>,
+    /// Cardinality per attribute (class column removed).
+    attr_cards: Vec<usize>,
+}
+
+impl Learner for NaiveBayes {
+    type Model = NaiveBayesModel;
+
+    fn fit(&self, table: &NominalTable, class_col: usize) -> NaiveBayesModel {
+        assert!(class_col < table.n_cols(), "class column out of range");
+        assert!(table.n_rows() > 0, "cannot fit on an empty table");
+        let n_classes = table.cards()[class_col];
+        let attr_cards: Vec<usize> = table
+            .cards()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != class_col)
+            .map(|(_, &c)| c)
+            .collect();
+        let n = table.n_rows() as f64;
+        let alpha = self.alpha.max(1e-12);
+
+        let mut class_counts = vec![0usize; n_classes];
+        let mut cond_counts: Vec<Vec<usize>> = attr_cards
+            .iter()
+            .map(|&card| vec![0usize; n_classes * card])
+            .collect();
+        for row in table.rows() {
+            let (attrs, y) = NominalTable::split_row(row, class_col);
+            class_counts[y as usize] += 1;
+            for (a, &v) in attrs.iter().enumerate() {
+                let card = attr_cards[a];
+                cond_counts[a][y as usize * card + v as usize] += 1;
+            }
+        }
+        let log_prior = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + alpha) / (n + alpha * n_classes as f64)).ln())
+            .collect();
+        let log_cond = cond_counts
+            .iter()
+            .enumerate()
+            .map(|(a, counts)| {
+                let card = attr_cards[a];
+                (0..n_classes * card)
+                    .map(|idx| {
+                        let class = idx / card;
+                        let class_n = class_counts[class] as f64;
+                        ((counts[idx] as f64 + alpha) / (class_n + alpha * card as f64)).ln()
+                    })
+                    .collect()
+            })
+            .collect();
+        NaiveBayesModel {
+            n_classes,
+            log_prior,
+            log_cond,
+            attr_cards,
+        }
+    }
+}
+
+impl Classifier for NaiveBayesModel {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.attr_cards.len(),
+            "attribute vector length mismatch"
+        );
+        let mut log_scores: Vec<f64> = self.log_prior.clone();
+        for (a, &v) in x.iter().enumerate() {
+            let card = self.attr_cards[a];
+            // Clamp unseen (out-of-domain) values to the last bucket.
+            let v = (v as usize).min(card - 1);
+            for (class, score) in log_scores.iter_mut().enumerate() {
+                *score += self.log_cond[a][class * card + v];
+            }
+        }
+        // Softmax-normalise in a numerically stable way.
+        let max = log_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: Vec<Vec<u8>>, cards: Vec<usize>) -> NominalTable {
+        let names = (0..cards.len()).map(|i| format!("f{i}")).collect();
+        NominalTable::new(names, cards, rows).unwrap()
+    }
+
+    #[test]
+    fn learns_a_deterministic_mapping() {
+        // class == attr0.
+        let t = table(
+            vec![vec![0, 0], vec![0, 0], vec![1, 1], vec![1, 1]],
+            vec![2, 2],
+        );
+        let m = NaiveBayes::default().fit(&t, 1);
+        assert_eq!(m.predict(&[0]), 0);
+        assert_eq!(m.predict(&[1]), 1);
+        // With Laplace alpha=1 on 4 rows the posterior is exactly 0.75.
+        assert!((m.prob_of(&[1], 1) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let t = table(
+            vec![vec![0, 1, 0], vec![1, 0, 1], vec![0, 0, 1], vec![1, 1, 0]],
+            vec![2, 2, 2],
+        );
+        let m = NaiveBayes::default().fit(&t, 2);
+        for x in [[0, 0], [0, 1], [1, 0], [1, 1]] {
+            let p = m.class_probs(&x);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v > 0.0), "smoothing keeps probs positive");
+        }
+    }
+
+    #[test]
+    fn respects_class_priors() {
+        // 3:1 prior for class 0, attribute carries no information.
+        let t = table(
+            vec![vec![0, 0], vec![0, 0], vec![0, 0], vec![0, 1]],
+            vec![1, 2],
+        );
+        let m = NaiveBayes::default().fit(&t, 1);
+        let p = m.class_probs(&[0]);
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn unseen_values_are_handled_via_smoothing() {
+        let t = table(vec![vec![0, 0], vec![1, 1]], vec![3, 2]);
+        let m = NaiveBayes::default().fit(&t, 1);
+        // Value 2 never appeared in training.
+        let p = m.class_probs(&[2]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_output() {
+        let t = table(
+            vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![0, 0], vec![1, 1], vec![2, 2]],
+            vec![3, 3],
+        );
+        let m = NaiveBayes::default().fit(&t, 1);
+        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.predict(&[2]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn rejects_empty_training_set() {
+        let t = table(vec![], vec![2, 2]);
+        let _ = NaiveBayes::default().fit(&t, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: invariants every classifier must satisfy on
+//! arbitrary (valid) nominal tables.
+
+use cfa_ml::{C45, Classifier, Learner, NaiveBayes, NominalTable, Ripper};
+use proptest::prelude::*;
+
+/// Strategy: a random nominal table with 2–5 columns of cardinality 2–4
+/// and 4–60 rows, plus a designated class column.
+fn table_strategy() -> impl Strategy<Value = (NominalTable, usize)> {
+    (2usize..=5, 2usize..=4).prop_flat_map(|(n_cols, card)| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(0u8..card as u8, n_cols),
+            4..60,
+        );
+        (rows, 0..n_cols).prop_map(move |(rows, class_col)| {
+            let names = (0..n_cols).map(|i| format!("f{i}")).collect();
+            let cards = vec![card; n_cols];
+            (
+                NominalTable::new(names, cards, rows).expect("generated within domain"),
+                class_col,
+            )
+        })
+    })
+}
+
+fn check_model<C: Classifier>(model: &C, table: &NominalTable, class_col: usize) {
+    check_model_inner(model, table, class_col, true);
+}
+
+/// `predict_is_argmax`: RIPPER's first-match rule semantics legitimately
+/// let `predict` differ from the argmax of `class_probs` (the rule's class
+/// wins even when its captured distribution is impure).
+fn check_model_inner<C: Classifier>(
+    model: &C,
+    table: &NominalTable,
+    class_col: usize,
+    predict_is_argmax: bool,
+) {
+    let k = table.cards()[class_col];
+    assert_eq!(model.n_classes(), k);
+    for row in table.rows().iter().take(20) {
+        let (attrs, _) = NominalTable::split_row(row, class_col);
+        let probs = model.class_probs(&attrs);
+        assert_eq!(probs.len(), k);
+        let sum: f64 = probs.iter().sum();
+        prop_assert_in_range(sum);
+        assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        let pred = model.predict(&attrs);
+        assert!((pred as usize) < k, "prediction within class domain");
+        if predict_is_argmax {
+            // predict must be the argmax of class_probs.
+            let max = probs.iter().cloned().fold(f64::MIN, f64::max);
+            assert!((probs[pred as usize] - max).abs() < 1e-9);
+        }
+    }
+}
+
+fn prop_assert_in_range(sum: f64) {
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1, got {sum}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn c45_invariants((table, class_col) in table_strategy()) {
+        let model = C45::default().fit(&table, class_col);
+        check_model(&model, &table, class_col);
+    }
+
+    #[test]
+    fn ripper_invariants((table, class_col) in table_strategy()) {
+        let model = Ripper::default().fit(&table, class_col);
+        check_model_inner(&model, &table, class_col, false);
+    }
+
+    #[test]
+    fn naive_bayes_invariants((table, class_col) in table_strategy()) {
+        let model = NaiveBayes::default().fit(&table, class_col);
+        check_model(&model, &table, class_col);
+    }
+
+    #[test]
+    fn constant_class_is_always_predicted(
+        rows in proptest::collection::vec(proptest::collection::vec(0u8..3, 3), 4..40)
+    ) {
+        // Force the class column constant.
+        let rows: Vec<Vec<u8>> = rows.into_iter().map(|mut r| { r[2] = 1; r }).collect();
+        let table = NominalTable::new(
+            vec!["a".into(), "b".into(), "y".into()],
+            vec![3, 3, 3],
+            rows,
+        ).expect("valid");
+        for model in [
+            Box::new(C45::default().fit(&table, 2)) as Box<dyn Classifier>,
+            Box::new(Ripper::default().fit(&table, 2)),
+            Box::new(NaiveBayes::default().fit(&table, 2)),
+        ] {
+            for row in table.rows() {
+                let (attrs, _) = NominalTable::split_row(row, 2);
+                assert_eq!(model.predict(&attrs), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic((table, class_col) in table_strategy()) {
+        let a = Ripper::default().fit(&table, class_col);
+        let b = Ripper::default().fit(&table, class_col);
+        assert_eq!(a.rules(), b.rules());
+    }
+}

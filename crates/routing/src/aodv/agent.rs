@@ -1,0 +1,903 @@
+//! The AODV protocol agent.
+
+use super::constants::*;
+use super::table::{RouteTable, UpdateOutcome};
+use super::AodvHeader;
+use manet_sim::{
+    Agent, AppData, Ctx, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
+    TracePacketKind, TxDest,
+};
+use std::collections::HashMap;
+
+const TOKEN_SWEEP: u64 = 1;
+const TOKEN_HELLO: u64 = 2;
+const TOKEN_RREQ_BASE: u64 = 0x1_0000;
+
+#[derive(Debug)]
+struct Buffered {
+    dst: NodeId,
+    size: u32,
+    data: Option<AppData>,
+    enqueued: SimTime,
+}
+
+#[derive(Debug)]
+struct Discovery {
+    attempts: u32,
+}
+
+/// Ad hoc On-demand Distance Vector agent: one instance per node.
+///
+/// See the [module docs](super) for protocol behaviour.
+#[derive(Debug)]
+pub struct AodvAgent {
+    table: RouteTable,
+    my_seq: u32,
+    next_rreq_id: u32,
+    seen_rreq: HashMap<(NodeId, u32), SimTime>,
+    buffer: Vec<Buffered>,
+    discoveries: HashMap<NodeId, Discovery>,
+    neighbors: HashMap<NodeId, SimTime>,
+}
+
+impl Default for AodvAgent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AodvAgent {
+    /// Creates a fresh agent with an empty routing table.
+    pub fn new() -> AodvAgent {
+        AodvAgent {
+            table: RouteTable::new(SimTime::from_secs(ROUTE_TTL)),
+            my_seq: 0,
+            next_rreq_id: 0,
+            seen_rreq: HashMap::new(),
+            buffer: Vec::new(),
+            discoveries: HashMap::new(),
+            neighbors: HashMap::new(),
+        }
+    }
+
+    /// Read access to the routing table (diagnostics and tests).
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// Number of packets waiting for a route.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Offers a route to the table, tracing route additions. `own_discovery`
+    /// distinguishes routes we actively searched for (Added) from routes
+    /// learned while relaying other nodes' control traffic (Noticed).
+    fn learn_route(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        dest: NodeId,
+        next_hop: NodeId,
+        hops: u8,
+        seq: u32,
+        own_discovery: bool,
+    ) -> UpdateOutcome {
+        if dest == ctx.node() {
+            return UpdateOutcome::Ignored;
+        }
+        let outcome = self.table.offer(ctx.now(), dest, next_hop, hops, seq);
+        match outcome {
+            UpdateOutcome::Installed | UpdateOutcome::Improved => {
+                let kind = if own_discovery {
+                    RouteEventKind::Added
+                } else {
+                    RouteEventKind::Noticed
+                };
+                ctx.trace_route(kind, Some(hops));
+            }
+            UpdateOutcome::Refreshed | UpdateOutcome::Ignored => {}
+        }
+        outcome
+    }
+
+    fn start_discovery(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dest: NodeId) {
+        if self.discoveries.contains_key(&dest) {
+            return;
+        }
+        self.discoveries.insert(dest, Discovery { attempts: 1 });
+        self.broadcast_rreq(ctx, dest);
+        ctx.schedule(
+            SimTime::from_secs(RREQ_BACKOFF),
+            TimerToken(TOKEN_RREQ_BASE + dest.0 as u64),
+        );
+    }
+
+    fn broadcast_rreq(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dest: NodeId) {
+        let me = ctx.node();
+        self.my_seq += 1;
+        let id = self.next_rreq_id;
+        self.next_rreq_id += 1;
+        self.seen_rreq.insert((me, id), ctx.now());
+        let dest_seq = self.table.any_entry(dest).map(|e| e.seq);
+        ctx.trace_packet(TracePacketKind::Rreq, Direction::Sent);
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            src: me,
+            link_src: me,
+            dst: dest,
+            ttl: Packet::<AodvHeader>::DEFAULT_TTL,
+            size: RREQ_SIZE,
+            header: AodvHeader::Rreq {
+                origin: me,
+                origin_seq: self.my_seq,
+                dest,
+                dest_seq,
+                id,
+                hops: 0,
+            },
+            app: None,
+        };
+        ctx.transmit(pkt, TxDest::Broadcast);
+    }
+
+    /// Sends data if a valid route exists. Returns `false` otherwise.
+    fn try_send_data(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        dst: NodeId,
+        size: u32,
+        data: Option<AppData>,
+        count_found: bool,
+    ) -> bool {
+        let now = ctx.now();
+        let Some(entry) = self.table.route(now, dst).copied() else {
+            return false;
+        };
+        self.table.refresh(now, dst);
+        if count_found {
+            ctx.trace_route(RouteEventKind::Found, Some(entry.hops));
+        }
+        ctx.trace_packet(TracePacketKind::Data, Direction::Sent);
+        let me = ctx.node();
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            src: me,
+            link_src: me,
+            dst,
+            ttl: Packet::<AodvHeader>::DEFAULT_TTL,
+            size,
+            header: AodvHeader::Data,
+            app: data,
+        };
+        ctx.transmit(pkt, TxDest::Unicast(entry.next_hop));
+        true
+    }
+
+    fn flush_buffer_for(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dst: NodeId) {
+        let mut ready = Vec::new();
+        let mut i = 0;
+        while i < self.buffer.len() {
+            if self.buffer[i].dst == dst {
+                ready.push(self.buffer.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for b in ready {
+            if !self.try_send_data(ctx, b.dst, b.size, b.data, false) {
+                ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+            }
+        }
+    }
+
+    fn broadcast_rerr(&mut self, ctx: &mut Ctx<'_, AodvHeader>, unreachable: Vec<(NodeId, u32)>) {
+        if unreachable.is_empty() {
+            return;
+        }
+        let me = ctx.node();
+        ctx.trace_packet(TracePacketKind::Rerr, Direction::Sent);
+        let size = RERR_BASE_SIZE + RERR_ENTRY_SIZE * unreachable.len() as u32;
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            src: me,
+            link_src: me,
+            dst: me, // broadcast; dst unused
+            ttl: 1,
+            size,
+            header: AodvHeader::Rerr { unreachable },
+            app: None,
+        };
+        ctx.transmit(pkt, TxDest::Broadcast);
+    }
+
+    #[allow(clippy::too_many_arguments)] // the destructured RREQ header fields
+    fn handle_rreq(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        pkt: &Packet<AodvHeader>,
+        origin: NodeId,
+        origin_seq: u32,
+        dest: NodeId,
+        dest_seq: Option<u32>,
+        id: u32,
+        hops: u8,
+    ) {
+        let me = ctx.node();
+        ctx.trace_packet(TracePacketKind::Rreq, Direction::Received);
+        if origin == me {
+            return; // our own flood echoed back
+        }
+        // Install/refresh the reverse route to the origin.
+        self.learn_route(ctx, origin, pkt.link_src, hops + 1, origin_seq, false);
+        if self.seen_rreq.contains_key(&(origin, id)) {
+            return;
+        }
+        self.seen_rreq.insert((origin, id), ctx.now());
+
+        if dest == me {
+            // We are the destination: answer with our own, incremented
+            // sequence number. (RFC 3561 would have us adopt the REQUEST's
+            // dest_seq if larger; the ns-2 implementation the paper used
+            // does not, which is precisely why its max-sequence-number
+            // black hole is "never automatically rectified" — we match the
+            // paper's system here.)
+            self.my_seq = self.my_seq.saturating_add(1);
+            let _ = dest_seq;
+            self.send_rrep(ctx, origin, me, self.my_seq, 0, pkt.link_src);
+            return;
+        }
+        // Intermediate reply if we hold a fresh-enough valid route — but
+        // never one whose next hop is the node the REQUEST just came from
+        // (that is the reverse route itself and useless to the origin).
+        if let Some(entry) = self.table.route(ctx.now(), dest) {
+            if entry.next_hop != pkt.link_src && dest_seq.is_none_or(|ds| entry.seq >= ds) {
+                let (seq, hops_to_dest) = (entry.seq, entry.hops);
+                self.send_rrep(ctx, origin, dest, seq, hops_to_dest, pkt.link_src);
+                return;
+            }
+        }
+        // Keep flooding.
+        if pkt.ttl == 0 {
+            ctx.trace_packet(TracePacketKind::Rreq, Direction::Dropped);
+            return;
+        }
+        ctx.trace_packet(TracePacketKind::Rreq, Direction::Forwarded);
+        let fwd = Packet {
+            id: ctx.fresh_packet_id(),
+            src: origin,
+            link_src: me,
+            dst: dest,
+            ttl: pkt.ttl - 1,
+            size: RREQ_SIZE,
+            header: AodvHeader::Rreq {
+                origin,
+                origin_seq,
+                dest,
+                dest_seq,
+                id,
+                hops: hops + 1,
+            },
+            app: None,
+        };
+        ctx.transmit(fwd, TxDest::Broadcast);
+    }
+
+    fn send_rrep(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        origin: NodeId,
+        dest: NodeId,
+        dest_seq: u32,
+        hops: u8,
+        reverse_hop: NodeId,
+    ) {
+        let me = ctx.node();
+        ctx.trace_packet(TracePacketKind::Rrep, Direction::Sent);
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            src: me,
+            link_src: me,
+            dst: origin,
+            ttl: Packet::<AodvHeader>::DEFAULT_TTL,
+            size: RREP_SIZE,
+            header: AodvHeader::Rrep {
+                dest,
+                dest_seq,
+                hops,
+                origin,
+            },
+            app: None,
+        };
+        ctx.transmit(pkt, TxDest::Unicast(reverse_hop));
+    }
+
+    fn handle_rrep(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        pkt: &Packet<AodvHeader>,
+        dest: NodeId,
+        dest_seq: u32,
+        hops: u8,
+        origin: NodeId,
+    ) {
+        let me = ctx.node();
+        ctx.trace_packet(TracePacketKind::Rrep, Direction::Received);
+        let own = origin == me;
+        // Install the forward route to the destination.
+        self.learn_route(ctx, dest, pkt.link_src, hops + 1, dest_seq, own);
+        if own {
+            self.discoveries.remove(&dest);
+            self.flush_buffer_for(ctx, dest);
+            return;
+        }
+        // Relay toward the origin along the reverse route.
+        let Some(entry) = self.table.route(ctx.now(), origin).copied() else {
+            ctx.trace_packet(TracePacketKind::Rrep, Direction::Dropped);
+            return;
+        };
+        if pkt.ttl == 0 {
+            ctx.trace_packet(TracePacketKind::Rrep, Direction::Dropped);
+            return;
+        }
+        ctx.trace_packet(TracePacketKind::Rrep, Direction::Forwarded);
+        let fwd = Packet {
+            id: ctx.fresh_packet_id(),
+            src: pkt.src,
+            link_src: me,
+            dst: origin,
+            ttl: pkt.ttl - 1,
+            size: RREP_SIZE,
+            header: AodvHeader::Rrep {
+                dest,
+                dest_seq,
+                hops: hops + 1,
+                origin,
+            },
+            app: None,
+        };
+        ctx.transmit(fwd, TxDest::Unicast(entry.next_hop));
+    }
+
+    fn handle_rerr(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        pkt: &Packet<AodvHeader>,
+        unreachable: &[(NodeId, u32)],
+    ) {
+        ctx.trace_packet(TracePacketKind::Rerr, Direction::Received);
+        // Invalidate every route whose next hop is the RERR sender and whose
+        // destination is listed; cascade our own RERR for those we dropped.
+        let mut cascaded = Vec::new();
+        for &(dest, seq) in unreachable {
+            if let Some(e) = self.table.route(ctx.now(), dest) {
+                if e.next_hop == pkt.link_src && seq >= e.seq
+                    && self.table.invalidate(dest).is_some() {
+                        ctx.trace_route(RouteEventKind::Removed, None);
+                        cascaded.push((dest, seq.saturating_add(1)));
+                    }
+            }
+        }
+        if !cascaded.is_empty() {
+            ctx.trace_packet(TracePacketKind::Rerr, Direction::Forwarded);
+            let me = ctx.node();
+            let size = RERR_BASE_SIZE + RERR_ENTRY_SIZE * cascaded.len() as u32;
+            let fwd = Packet {
+                id: ctx.fresh_packet_id(),
+                src: me,
+                link_src: me,
+                dst: me,
+                ttl: 1,
+                size,
+                header: AodvHeader::Rerr {
+                    unreachable: cascaded,
+                },
+                app: None,
+            };
+            ctx.transmit(fwd, TxDest::Broadcast);
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_, AodvHeader>, pkt: Packet<AodvHeader>) {
+        let me = ctx.node();
+        if pkt.dst == me {
+            ctx.trace_packet(TracePacketKind::Data, Direction::Received);
+            if let Some(data) = pkt.app {
+                ctx.deliver_app(data, pkt.size, pkt.src);
+            }
+            return;
+        }
+        let now = ctx.now();
+        match self.table.route(now, pkt.dst).copied() {
+            Some(entry) if pkt.ttl > 0 => {
+                self.table.refresh(now, pkt.dst);
+                self.table.refresh(now, pkt.src);
+                ctx.trace_packet(TracePacketKind::DataTransit, Direction::Forwarded);
+                let fwd = Packet {
+                    id: pkt.id,
+                    src: pkt.src,
+                    link_src: me,
+                    dst: pkt.dst,
+                    ttl: pkt.ttl - 1,
+                    size: pkt.size,
+                    header: AodvHeader::Data,
+                    app: pkt.app,
+                };
+                ctx.transmit(fwd, TxDest::Unicast(entry.next_hop));
+            }
+            _ => {
+                // No route (or TTL exhausted): drop and report.
+                ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+                let seq = self
+                    .table
+                    .any_entry(pkt.dst)
+                    .map_or(0, |e| e.seq.saturating_add(1));
+                self.broadcast_rerr(ctx, vec![(pkt.dst, seq)]);
+            }
+        }
+    }
+
+    fn handle_link_break(&mut self, ctx: &mut Ctx<'_, AodvHeader>, neighbor: NodeId) {
+        self.neighbors.remove(&neighbor);
+        let broken = self.table.invalidate_via(neighbor);
+        for _ in &broken {
+            ctx.trace_route(RouteEventKind::Removed, None);
+        }
+        self.broadcast_rerr(ctx, broken);
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_, AodvHeader>) {
+        let now = ctx.now();
+        // Neighbour liveness.
+        let timeout = SimTime::from_secs(NEIGHBOR_TIMEOUT);
+        let mut dead: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) >= timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        // HashMap iteration order is instance-random; sort so link-break
+        // processing (and thus shared radio randomness) is deterministic.
+        dead.sort_unstable();
+        for n in dead {
+            self.handle_link_break(ctx, n);
+        }
+        // Route expiry.
+        let expired = self.table.expire(now);
+        for _ in 0..expired {
+            ctx.trace_route(RouteEventKind::Removed, None);
+        }
+        // Buffer expiry.
+        let ttl = SimTime::from_secs(BUFFER_TTL);
+        let mut dropped = 0usize;
+        self.buffer.retain(|b| {
+            let dead = now.saturating_sub(b.enqueued) >= ttl;
+            if dead {
+                dropped += 1;
+            }
+            !dead
+        });
+        for _ in 0..dropped {
+            ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+        }
+        let seen_ttl = SimTime::from_secs(SEEN_TTL);
+        self.seen_rreq
+            .retain(|_, &mut t| now.saturating_sub(t) < seen_ttl);
+        ctx.schedule(SimTime::from_secs(SWEEP_INTERVAL), TimerToken(TOKEN_SWEEP));
+    }
+
+    fn beacon(&mut self, ctx: &mut Ctx<'_, AodvHeader>) {
+        let me = ctx.node();
+        ctx.trace_packet(TracePacketKind::Hello, Direction::Sent);
+        let pkt = Packet {
+            id: ctx.fresh_packet_id(),
+            src: me,
+            link_src: me,
+            dst: me, // broadcast; dst unused
+            ttl: 1,
+            size: HELLO_SIZE,
+            header: AodvHeader::Hello { seq: self.my_seq },
+            app: None,
+        };
+        ctx.transmit(pkt, TxDest::Broadcast);
+        ctx.schedule(SimTime::from_secs(HELLO_INTERVAL), TimerToken(TOKEN_HELLO));
+    }
+
+    fn rreq_retry(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dest: NodeId) {
+        if self.table.route(ctx.now(), dest).is_some() {
+            self.discoveries.remove(&dest);
+            self.flush_buffer_for(ctx, dest);
+            return;
+        }
+        let has_waiting = self.buffer.iter().any(|b| b.dst == dest);
+        let Some(d) = self.discoveries.get_mut(&dest) else {
+            return;
+        };
+        if !has_waiting || d.attempts >= RREQ_MAX_ATTEMPTS {
+            self.discoveries.remove(&dest);
+            let mut dropped = 0usize;
+            self.buffer.retain(|b| {
+                let dead = b.dst == dest;
+                if dead {
+                    dropped += 1;
+                }
+                !dead
+            });
+            for _ in 0..dropped {
+                ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+            }
+            return;
+        }
+        d.attempts += 1;
+        let backoff = RREQ_BACKOFF * f64::from(1u32 << d.attempts.min(6));
+        self.broadcast_rreq(ctx, dest);
+        ctx.schedule(
+            SimTime::from_secs(backoff),
+            TimerToken(TOKEN_RREQ_BASE + dest.0 as u64),
+        );
+    }
+}
+
+impl Agent for AodvAgent {
+    type Header = AodvHeader;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, AodvHeader>) {
+        ctx.schedule(SimTime::from_secs(SWEEP_INTERVAL), TimerToken(TOKEN_SWEEP));
+        // Desynchronise beacons across nodes.
+        use rand::Rng;
+        let phase = ctx.rng().gen_range(0.0..HELLO_INTERVAL);
+        ctx.schedule(SimTime::from_secs(phase), TimerToken(TOKEN_HELLO));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, AodvHeader>, pkt: Packet<AodvHeader>) {
+        // Any frame from a neighbour proves the link is alive.
+        self.neighbors.insert(pkt.link_src, ctx.now());
+        match pkt.header.clone() {
+            AodvHeader::Rreq {
+                origin,
+                origin_seq,
+                dest,
+                dest_seq,
+                id,
+                hops,
+            } => self.handle_rreq(ctx, &pkt, origin, origin_seq, dest, dest_seq, id, hops),
+            AodvHeader::Rrep {
+                dest,
+                dest_seq,
+                hops,
+                origin,
+            } => self.handle_rrep(ctx, &pkt, dest, dest_seq, hops, origin),
+            AodvHeader::Rerr { unreachable } => self.handle_rerr(ctx, &pkt, &unreachable),
+            AodvHeader::Hello { seq } => {
+                ctx.trace_packet(TracePacketKind::Hello, Direction::Received);
+                // A hello installs/refreshes a 1-hop route to the neighbour.
+                self.learn_route(ctx, pkt.link_src, pkt.link_src, 1, seq, false);
+            }
+            AodvHeader::Data => self.handle_data(ctx, pkt),
+        }
+    }
+
+    fn on_tx_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, AodvHeader>,
+        pkt: Packet<AodvHeader>,
+        next_hop: NodeId,
+    ) {
+        self.handle_link_break(ctx, next_hop);
+        if let AodvHeader::Data = pkt.header {
+            // Attempt repair: buffer the packet and re-discover the route.
+            ctx.trace_route(RouteEventKind::Repaired, None);
+            if self.buffer.len() < BUFFER_CAP {
+                self.buffer.push(Buffered {
+                    dst: pkt.dst,
+                    size: pkt.size,
+                    data: pkt.app,
+                    enqueued: ctx.now(),
+                });
+                self.start_discovery(ctx, pkt.dst);
+            } else {
+                ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AodvHeader>, token: TimerToken) {
+        match token.0 {
+            TOKEN_SWEEP => self.sweep(ctx),
+            TOKEN_HELLO => self.beacon(ctx),
+            t if t >= TOKEN_RREQ_BASE => {
+                let dest = NodeId((t - TOKEN_RREQ_BASE) as u16);
+                self.rreq_retry(ctx, dest);
+            }
+            _ => {}
+        }
+    }
+
+    fn send_data(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dst: NodeId, size: u32, data: AppData) {
+        if dst == ctx.node() {
+            ctx.trace_packet(TracePacketKind::Data, Direction::Sent);
+            ctx.trace_packet(TracePacketKind::Data, Direction::Received);
+            let me = ctx.node();
+            ctx.deliver_app(data, size, me);
+            return;
+        }
+        if self.try_send_data(ctx, dst, size, Some(data), true) {
+            return;
+        }
+        if self.buffer.len() < BUFFER_CAP {
+            self.buffer.push(Buffered {
+                dst,
+                size,
+                data: Some(data),
+                enqueued: ctx.now(),
+            });
+        } else {
+            ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
+        }
+        self.start_discovery(ctx, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{AgentHarness, AppKind, FlowId, PacketId};
+
+    fn app_data() -> AppData {
+        AppData {
+            flow: FlowId(1),
+            seq: 0,
+            kind: AppKind::Cbr,
+        }
+    }
+
+    fn pkt(header: AodvHeader, src: u16, link_src: u16, dst: u16) -> Packet<AodvHeader> {
+        Packet {
+            id: PacketId(777),
+            src: NodeId(src),
+            link_src: NodeId(link_src),
+            dst: NodeId(dst),
+            ttl: 16,
+            size: 64,
+            header,
+            app: None,
+        }
+    }
+
+    #[test]
+    fn send_without_route_floods_rreq() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(0));
+        let mut ctx = h.ctx();
+        agent.send_data(&mut ctx, NodeId(5), 512, app_data());
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].0.header, AodvHeader::Rreq { .. }));
+        assert_eq!(out[0].1, TxDest::Broadcast);
+        assert_eq!(agent.buffered(), 1);
+    }
+
+    #[test]
+    fn destination_replies_to_rreq() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(5));
+        let mut ctx = h.ctx();
+        let rreq = pkt(
+            AodvHeader::Rreq {
+                origin: NodeId(0),
+                origin_seq: 3,
+                dest: NodeId(5),
+                dest_seq: None,
+                id: 1,
+                hops: 1,
+            },
+            0,
+            2, // relayed by node 2
+            5,
+        );
+        agent.on_packet(&mut ctx, rreq);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1);
+        match &out[0].0.header {
+            AodvHeader::Rrep { dest, origin, hops, .. } => {
+                assert_eq!(*dest, NodeId(5));
+                assert_eq!(*origin, NodeId(0));
+                assert_eq!(*hops, 0);
+            }
+            h => panic!("expected RREP, got {h:?}"),
+        }
+        assert_eq!(out[0].1, TxDest::Unicast(NodeId(2)));
+        drop(ctx);
+        // Reverse route to the origin installed via the relay.
+        let e = agent.table().route(SimTime::ZERO, NodeId(0)).unwrap();
+        assert_eq!(e.next_hop, NodeId(2));
+        assert_eq!(e.hops, 2);
+    }
+
+    #[test]
+    fn intermediate_rebroadcasts_rreq_once() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(2));
+        let rreq = || {
+            pkt(
+                AodvHeader::Rreq {
+                    origin: NodeId(0),
+                    origin_seq: 3,
+                    dest: NodeId(5),
+                    dest_seq: None,
+                    id: 1,
+                    hops: 0,
+                },
+                0,
+                0,
+                5,
+            )
+        };
+        let mut ctx = h.ctx();
+        agent.on_packet(&mut ctx, rreq());
+        assert_eq!(ctx.staged_out().len(), 1);
+        drop(ctx);
+        let mut ctx = h.ctx();
+        agent.on_packet(&mut ctx, rreq());
+        assert!(ctx.staged_out().is_empty(), "duplicate flood suppressed");
+    }
+
+    #[test]
+    fn origin_installs_route_and_flushes() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(0));
+        let mut ctx = h.ctx();
+        agent.send_data(&mut ctx, NodeId(5), 512, app_data());
+        drop(ctx);
+        let mut ctx = h.ctx();
+        let rrep = pkt(
+            AodvHeader::Rrep {
+                dest: NodeId(5),
+                dest_seq: 7,
+                hops: 1,
+                origin: NodeId(0),
+            },
+            5,
+            2,
+            0,
+        );
+        agent.on_packet(&mut ctx, rrep);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1, "buffered data flushes via new route");
+        assert!(matches!(out[0].0.header, AodvHeader::Data));
+        assert_eq!(out[0].1, TxDest::Unicast(NodeId(2)));
+        drop(ctx);
+        assert_eq!(agent.buffered(), 0);
+        assert_eq!(h.trace().count_routes(RouteEventKind::Added), 1);
+    }
+
+    #[test]
+    fn relay_forwards_data_via_table() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(2));
+        let mut ctx = h.ctx();
+        agent.table.offer(ctx.now(), NodeId(5), NodeId(4), 1, 3);
+        let data = Packet {
+            app: Some(app_data()),
+            ..pkt(AodvHeader::Data, 0, 0, 5)
+        };
+        agent.on_packet(&mut ctx, data);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, TxDest::Unicast(NodeId(4)));
+        drop(ctx);
+        assert_eq!(
+            h.trace().count_packets(TracePacketKind::DataTransit, Direction::Forwarded),
+            1
+        );
+    }
+
+    #[test]
+    fn routeless_relay_drops_and_sends_rerr() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(2));
+        let mut ctx = h.ctx();
+        let data = Packet {
+            app: Some(app_data()),
+            ..pkt(AodvHeader::Data, 0, 0, 5)
+        };
+        agent.on_packet(&mut ctx, data);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0].0.header, AodvHeader::Rerr { .. }));
+        drop(ctx);
+        assert_eq!(
+            h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+            1
+        );
+        assert_eq!(h.trace().count_packets(TracePacketKind::Rerr, Direction::Sent), 1);
+    }
+
+    #[test]
+    fn rerr_cascades_to_dependent_routes() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(1));
+        let mut ctx = h.ctx();
+        agent.table.offer(ctx.now(), NodeId(5), NodeId(2), 2, 3);
+        let rerr = pkt(
+            AodvHeader::Rerr {
+                unreachable: vec![(NodeId(5), 4)],
+            },
+            2,
+            2,
+            1,
+        );
+        agent.on_packet(&mut ctx, rerr);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1, "must cascade its own RERR");
+        drop(ctx);
+        assert!(agent.table().route(SimTime::ZERO, NodeId(5)).is_none());
+        assert_eq!(h.trace().count_routes(RouteEventKind::Removed), 1);
+    }
+
+    #[test]
+    fn hello_installs_neighbor_route() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(1));
+        let mut ctx = h.ctx();
+        agent.on_packet(&mut ctx, pkt(AodvHeader::Hello { seq: 9 }, 3, 3, 1));
+        drop(ctx);
+        let e = agent.table().route(SimTime::ZERO, NodeId(3)).unwrap();
+        assert_eq!(e.next_hop, NodeId(3));
+        assert_eq!(e.hops, 1);
+        assert_eq!(h.trace().count_packets(TracePacketKind::Hello, Direction::Received), 1);
+    }
+
+    #[test]
+    fn tx_failure_invalidates_and_repairs() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(0));
+        let mut ctx = h.ctx();
+        agent.table.offer(ctx.now(), NodeId(5), NodeId(2), 2, 3);
+        agent.table.offer(ctx.now(), NodeId(6), NodeId(2), 3, 1);
+        let data = Packet {
+            app: Some(app_data()),
+            ..pkt(AodvHeader::Data, 0, 0, 5)
+        };
+        agent.on_tx_failed(&mut ctx, data, NodeId(2));
+        let out = ctx.staged_out();
+        // RERR (both routes via 2 died) + fresh RREQ for the repair.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0].0.header, AodvHeader::Rerr { unreachable } if unreachable.len() == 2));
+        assert!(matches!(out[1].0.header, AodvHeader::Rreq { .. }));
+        drop(ctx);
+        assert_eq!(h.trace().count_routes(RouteEventKind::Repaired), 1);
+        assert_eq!(h.trace().count_routes(RouteEventKind::Removed), 2);
+        assert_eq!(agent.buffered(), 1);
+    }
+
+    #[test]
+    fn intermediate_with_fresh_route_replies() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(2));
+        let mut ctx = h.ctx();
+        agent.table.offer(ctx.now(), NodeId(5), NodeId(4), 1, 10);
+        let rreq = pkt(
+            AodvHeader::Rreq {
+                origin: NodeId(0),
+                origin_seq: 1,
+                dest: NodeId(5),
+                dest_seq: Some(8),
+                id: 1,
+                hops: 0,
+            },
+            0,
+            0,
+            5,
+        );
+        agent.on_packet(&mut ctx, rreq);
+        let out = ctx.staged_out();
+        assert_eq!(out.len(), 1);
+        match &out[0].0.header {
+            AodvHeader::Rrep { dest_seq, hops, .. } => {
+                assert_eq!(*dest_seq, 10);
+                assert_eq!(*hops, 1);
+            }
+            h => panic!("expected intermediate RREP, got {h:?}"),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end integration: both protocols must deliver CBR traffic across
+//! multiple hops in a mobile network.
+
+use manet_routing::{aodv::AodvAgent, dsr::DsrAgent};
+use manet_sim::{Direction, NodeId, SimConfig, Simulator, TracePacketKind};
+use manet_traffic::{ConnectionPattern, Transport};
+
+fn scenario(seed: u64, secs: f64) -> SimConfig {
+    SimConfig::builder()
+        .nodes(50)
+        .field(1000.0, 1000.0)
+        .duration_secs(secs)
+        .seed(seed)
+        .build()
+}
+
+fn delivery_ratio(sent: usize, recv: usize) -> f64 {
+    if sent == 0 {
+        return 0.0;
+    }
+    recv as f64 / sent as f64
+}
+
+fn totals<A: manet_sim::Agent>(sim: &Simulator<A>, n: u16) -> (usize, usize, usize) {
+    let mut sent = 0;
+    let mut recv = 0;
+    let mut fwd = 0;
+    for i in 0..n {
+        let t = sim.trace(NodeId(i));
+        sent += t.count_packets(TracePacketKind::Data, Direction::Sent);
+        recv += t.count_packets(TracePacketKind::Data, Direction::Received);
+        fwd += t.count_packets(TracePacketKind::DataTransit, Direction::Forwarded);
+    }
+    (sent, recv, fwd)
+}
+
+#[test]
+fn dsr_delivers_cbr_traffic() {
+    let cfg = scenario(42, 300.0);
+    let mut sim = Simulator::new(cfg, |_| DsrAgent::new());
+    let pat = ConnectionPattern::random(50, 20, Transport::Cbr, sim.config().duration, 42);
+    pat.install(&mut sim);
+    sim.run();
+    let (sent, recv, fwd) = totals(&sim, 50);
+    let ratio = delivery_ratio(sent, recv);
+    assert!(sent > 500, "sources should emit steadily, sent={sent}");
+    assert!(
+        ratio > 0.5,
+        "DSR should deliver most packets: {recv}/{sent} = {ratio:.2} (fwd={fwd})"
+    );
+    assert!(fwd > 0, "multi-hop forwarding must occur");
+}
+
+#[test]
+fn aodv_delivers_cbr_traffic() {
+    let cfg = scenario(43, 300.0);
+    let mut sim = Simulator::new(cfg, |_| AodvAgent::new());
+    let pat = ConnectionPattern::random(50, 20, Transport::Cbr, sim.config().duration, 43);
+    pat.install(&mut sim);
+    sim.run();
+    let (sent, recv, fwd) = totals(&sim, 50);
+    let ratio = delivery_ratio(sent, recv);
+    assert!(sent > 500, "sources should emit steadily, sent={sent}");
+    assert!(
+        ratio > 0.5,
+        "AODV should deliver most packets: {recv}/{sent} = {ratio:.2} (fwd={fwd})"
+    );
+    assert!(fwd > 0, "multi-hop forwarding must occur");
+}
+
+#[test]
+fn aodv_delivers_tcp_traffic() {
+    let cfg = scenario(44, 300.0);
+    let mut sim = Simulator::new(cfg, |_| AodvAgent::new());
+    let pat = ConnectionPattern::random(50, 10, Transport::Tcp, sim.config().duration, 44);
+    pat.install(&mut sim);
+    sim.run();
+    let (sent, recv, _) = totals(&sim, 50);
+    assert!(sent > 200, "TCP should make progress, sent={sent}");
+    assert!(recv > 100, "TCP data must arrive, recv={recv}");
+}

@@ -1,0 +1,260 @@
+//! Edge-case behaviour of the routing protocols that the main integration
+//! tests do not cover.
+
+use manet_routing::aodv::AodvAgent;
+use manet_routing::dsr::{constants as dsr_constants, DsrAgent};
+use manet_routing::{AodvHeader, DsrHeader};
+use manet_sim::{
+    Agent, AgentHarness, AppData, AppKind, Direction, FlowId, NodeId, Packet, PacketId, SimTime,
+    TimerToken, TracePacketKind, TxDest,
+};
+
+fn app_data() -> AppData {
+    AppData {
+        flow: FlowId(1),
+        seq: 0,
+        kind: AppKind::Cbr,
+    }
+}
+
+#[test]
+fn dsr_buffer_capacity_is_enforced() {
+    let mut agent = DsrAgent::new();
+    let mut h = AgentHarness::new(NodeId(0));
+    let mut ctx = h.ctx();
+    for _ in 0..(dsr_constants::BUFFER_CAP + 10) {
+        agent.send_data(&mut ctx, NodeId(5), 512, app_data());
+    }
+    drop(ctx);
+    assert_eq!(agent.buffered(), dsr_constants::BUFFER_CAP);
+    // Overflow beyond capacity is recorded as router drops.
+    assert_eq!(
+        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        10
+    );
+}
+
+#[test]
+fn dsr_loopback_delivery() {
+    let mut agent = DsrAgent::new();
+    let mut h = AgentHarness::new(NodeId(4));
+    let mut ctx = h.ctx();
+    agent.send_data(&mut ctx, NodeId(4), 256, app_data());
+    assert_eq!(ctx.staged_deliveries().len(), 1, "self-addressed data loops back");
+    assert!(ctx.staged_out().is_empty(), "nothing hits the radio");
+}
+
+#[test]
+fn dsr_data_with_wrong_relay_is_ignored() {
+    let mut agent = DsrAgent::new();
+    let mut h = AgentHarness::new(NodeId(9)); // not on the route
+    let mut ctx = h.ctx();
+    let pkt = Packet {
+        id: PacketId(1),
+        src: NodeId(0),
+        link_src: NodeId(0),
+        dst: NodeId(5),
+        ttl: 16,
+        size: 512,
+        header: DsrHeader::Data {
+            route: vec![NodeId(0), NodeId(2), NodeId(5)],
+            hop: 0,
+            salvaged: false,
+        },
+        app: Some(app_data()),
+    };
+    agent.on_packet(&mut ctx, pkt);
+    assert!(ctx.staged_out().is_empty());
+    assert!(ctx.staged_deliveries().is_empty());
+}
+
+#[test]
+fn dsr_ttl_zero_data_is_dropped_at_relay() {
+    let mut agent = DsrAgent::new();
+    let mut h = AgentHarness::new(NodeId(2));
+    let mut ctx = h.ctx();
+    let pkt = Packet {
+        id: PacketId(1),
+        src: NodeId(0),
+        link_src: NodeId(0),
+        dst: NodeId(5),
+        ttl: 0,
+        size: 512,
+        header: DsrHeader::Data {
+            route: vec![NodeId(0), NodeId(2), NodeId(3), NodeId(5)],
+            hop: 0,
+            salvaged: false,
+        },
+        app: Some(app_data()),
+    };
+    agent.on_packet(&mut ctx, pkt);
+    assert!(ctx.staged_out().is_empty());
+    drop(ctx);
+    assert_eq!(
+        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        1
+    );
+}
+
+#[test]
+fn dsr_salvaged_packet_is_not_salvaged_twice() {
+    let mut agent = DsrAgent::new();
+    let mut h = AgentHarness::new(NodeId(2));
+    let mut ctx = h.ctx();
+    // Cache holds an alternative, but the packet was already salvaged once.
+    let pkt = Packet {
+        id: PacketId(1),
+        src: NodeId(0),
+        link_src: NodeId(0),
+        dst: NodeId(5),
+        ttl: 16,
+        size: 512,
+        header: DsrHeader::Data {
+            route: vec![NodeId(2), NodeId(3), NodeId(5)],
+            hop: 0,
+            salvaged: true,
+        },
+        app: Some(app_data()),
+    };
+    agent.on_tx_failed(&mut ctx, pkt, NodeId(3));
+    drop(ctx);
+    assert_eq!(
+        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        1,
+        "second failure terminates the packet"
+    );
+}
+
+#[test]
+fn aodv_hello_beacon_rearms_itself() {
+    let mut agent = AodvAgent::new();
+    let mut h = AgentHarness::new(NodeId(1));
+    let mut ctx = h.ctx();
+    agent.start(&mut ctx);
+    // Find the hello timer among the armed timers and fire it.
+    let timers: Vec<TimerToken> = ctx.staged_timers().iter().map(|&(_, t)| t).collect();
+    drop(ctx);
+    let mut beaconed = false;
+    for token in timers {
+        let mut ctx = h.ctx();
+        agent.on_timer(&mut ctx, token);
+        let sent_hello = ctx
+            .staged_out()
+            .iter()
+            .any(|(p, d)| matches!(p.header, AodvHeader::Hello { .. }) && *d == TxDest::Broadcast);
+        if sent_hello {
+            assert!(
+                !ctx.staged_timers().is_empty(),
+                "hello timer must re-arm itself"
+            );
+            beaconed = true;
+        }
+    }
+    assert!(beaconed, "start() must arm a hello beacon");
+}
+
+#[test]
+fn aodv_ttl_zero_rreq_is_not_rebroadcast() {
+    let mut agent = AodvAgent::new();
+    let mut h = AgentHarness::new(NodeId(2));
+    let mut ctx = h.ctx();
+    let rreq = Packet {
+        id: PacketId(1),
+        src: NodeId(0),
+        link_src: NodeId(0),
+        dst: NodeId(5),
+        ttl: 0,
+        size: 48,
+        header: AodvHeader::Rreq {
+            origin: NodeId(0),
+            origin_seq: 1,
+            dest: NodeId(5),
+            dest_seq: None,
+            id: 1,
+            hops: 0,
+        },
+        app: None,
+    };
+    agent.on_packet(&mut ctx, rreq);
+    assert!(ctx.staged_out().is_empty(), "ttl-exhausted flood stops here");
+    drop(ctx);
+    assert_eq!(
+        h.trace().count_packets(TracePacketKind::Rreq, Direction::Dropped),
+        1
+    );
+}
+
+#[test]
+fn aodv_own_flood_echo_is_ignored() {
+    let mut agent = AodvAgent::new();
+    let mut h = AgentHarness::new(NodeId(0));
+    let mut ctx = h.ctx();
+    agent.send_data(&mut ctx, NodeId(5), 512, app_data());
+    drop(ctx);
+    let mut ctx = h.ctx();
+    // Our own RREQ relayed back by a neighbour.
+    let echo = Packet {
+        id: PacketId(99),
+        src: NodeId(0),
+        link_src: NodeId(2),
+        dst: NodeId(5),
+        ttl: 15,
+        size: 48,
+        header: AodvHeader::Rreq {
+            origin: NodeId(0),
+            origin_seq: 1,
+            dest: NodeId(5),
+            dest_seq: None,
+            id: 0,
+            hops: 1,
+        },
+        app: None,
+    };
+    agent.on_packet(&mut ctx, echo);
+    assert!(ctx.staged_out().is_empty(), "own echo ignored");
+}
+
+#[test]
+fn aodv_rrep_without_reverse_route_is_dropped() {
+    let mut agent = AodvAgent::new();
+    let mut h = AgentHarness::new(NodeId(2));
+    let mut ctx = h.ctx();
+    let rrep = Packet {
+        id: PacketId(1),
+        src: NodeId(5),
+        link_src: NodeId(4),
+        dst: NodeId(0),
+        ttl: 16,
+        size: 44,
+        header: AodvHeader::Rrep {
+            dest: NodeId(5),
+            dest_seq: 3,
+            hops: 1,
+            origin: NodeId(0),
+        },
+        app: None,
+    };
+    agent.on_packet(&mut ctx, rrep);
+    let forwarded = ctx
+        .staged_out()
+        .iter()
+        .any(|(p, _)| matches!(p.header, AodvHeader::Rrep { .. }));
+    assert!(!forwarded, "no reverse route: cannot relay the reply");
+    drop(ctx);
+    assert_eq!(
+        h.trace().count_packets(TracePacketKind::Rrep, Direction::Dropped),
+        1
+    );
+    // But the forward route was still learned from the reply.
+    assert!(agent.table().route(SimTime::ZERO, NodeId(5)).is_some());
+}
+
+#[test]
+fn aodv_loopback_delivery() {
+    let mut agent = AodvAgent::new();
+    let mut h = AgentHarness::new(NodeId(4));
+    let mut ctx = h.ctx();
+    agent.send_data(&mut ctx, NodeId(4), 256, app_data());
+    assert_eq!(ctx.staged_deliveries().len(), 1);
+    assert!(ctx.staged_out().is_empty());
+}

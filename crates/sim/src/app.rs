@@ -1,0 +1,123 @@
+//! Application endpoints (traffic sources and sinks).
+//!
+//! An [`App`] is one endpoint of a flow, pinned to a node. Apps never touch
+//! packets directly: they ask the node's routing agent to deliver
+//! application data ([`AppCtx::send_data`]) and are called back when data
+//! addressed to their flow arrives at their node. Concrete generators (CBR,
+//! the simplified TCP) live in the `manet-traffic` crate.
+
+use crate::packet::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifies an end-to-end traffic flow (connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// What an application payload is, at the transport level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// A constant-bit-rate UDP datagram (no feedback).
+    Cbr,
+    /// A TCP data segment (elicits an ACK).
+    TcpData,
+    /// A TCP acknowledgement.
+    TcpAck,
+}
+
+/// Application payload descriptor carried inside data packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppData {
+    /// Flow the payload belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow (TCP: highest cumulative ACK for
+    /// [`AppKind::TcpAck`] payloads).
+    pub seq: u32,
+    /// Transport semantics of the payload.
+    pub kind: AppKind,
+}
+
+/// Buffered context handed to application callbacks.
+///
+/// Actions are collected and applied by the simulator after the callback
+/// returns; they all take effect at the current virtual time.
+#[derive(Debug)]
+pub struct AppCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The app's own RNG stream.
+    pub rng: &'a mut SimRng,
+    pub(crate) sends: Vec<(NodeId, u32, AppData)>,
+    pub(crate) ticks: Vec<(SimTime, u32)>,
+}
+
+impl<'a> AppCtx<'a> {
+    /// Creates a standalone context (used by the simulator, and by tests
+    /// that exercise an [`App`] without a full simulation).
+    pub fn new(now: SimTime, rng: &'a mut SimRng) -> AppCtx<'a> {
+        AppCtx {
+            now,
+            rng,
+            sends: Vec::new(),
+            ticks: Vec::new(),
+        }
+    }
+
+    /// Asks the local routing agent to send `size` bytes of application
+    /// data to `dst`.
+    pub fn send_data(&mut self, dst: NodeId, size: u32, data: AppData) {
+        self.sends.push((dst, size, data));
+    }
+
+    /// Schedules a future [`App::on_tick`] callback after `delay`, carrying
+    /// an app-defined `tag`.
+    pub fn schedule_tick(&mut self, delay: SimTime, tag: u32) {
+        self.ticks.push((self.now + delay, tag));
+    }
+}
+
+/// One endpoint of a traffic flow.
+///
+/// Implementations must be deterministic given their RNG stream.
+pub trait App {
+    /// The node this endpoint runs on.
+    fn node(&self) -> NodeId;
+
+    /// The flow this endpoint belongs to. Data arriving at
+    /// [`App::node`] with this flow id is delivered to this endpoint.
+    fn flow(&self) -> FlowId;
+
+    /// Called once at simulation start.
+    fn start(&mut self, ctx: &mut AppCtx<'_>);
+
+    /// Called when a tick scheduled via [`AppCtx::schedule_tick`] fires.
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>, tag: u32);
+
+    /// Called when application data for this endpoint's flow arrives at
+    /// this endpoint's node.
+    fn on_receive(&mut self, ctx: &mut AppCtx<'_>, data: AppData, size: u32, from: NodeId);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_stream;
+
+    #[test]
+    fn ctx_buffers_actions() {
+        let mut rng = derive_stream(0, 0);
+        let mut ctx = AppCtx::new(SimTime::from_secs(1.0), &mut rng);
+        ctx.send_data(
+            NodeId(3),
+            512,
+            AppData {
+                flow: FlowId(1),
+                seq: 0,
+                kind: AppKind::Cbr,
+            },
+        );
+        ctx.schedule_tick(SimTime::from_secs(4.0), 7);
+        assert_eq!(ctx.sends.len(), 1);
+        assert_eq!(ctx.ticks, vec![(SimTime::from_secs(5.0), 7)]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Packets and node identities.
+
+use std::fmt;
+
+/// Identifies a node in the simulated network (a dense index, `0..n_nodes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the node id as a usable array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Globally unique packet identifier, assigned at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// Transmission destination for an outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxDest {
+    /// Link-layer broadcast: delivered to every node in radio range.
+    Broadcast,
+    /// Link-layer unicast to a specific next hop. Nodes in range other than
+    /// the target may still overhear the frame promiscuously.
+    Unicast(NodeId),
+}
+
+/// A simulated packet, generic over the routing protocol's header type `H`.
+///
+/// `src`/`dst` are *end-to-end* addresses; the link-layer next hop is chosen
+/// at transmission time via [`TxDest`]. Application payloads (if any) ride in
+/// [`Packet::app`].
+#[derive(Debug, Clone)]
+pub struct Packet<H> {
+    /// Unique id (also used by duplicate-suppression tables).
+    pub id: PacketId,
+    /// End-to-end originator.
+    pub src: NodeId,
+    /// End-to-end destination.
+    pub dst: NodeId,
+    /// Link-layer transmitter of the most recent hop (the MAC source
+    /// address). Maintained by the simulator on every transmission;
+    /// receivers use it to learn who relayed the frame to them (e.g. AODV
+    /// reverse-path setup). Equals `src` until the first hop.
+    pub link_src: NodeId,
+    /// Remaining hop budget; decremented by forwarders, dropped at zero.
+    pub ttl: u8,
+    /// Total size in bytes (headers + payload); drives transmit latency.
+    pub size: u32,
+    /// Protocol-specific routing header.
+    pub header: H,
+    /// Application payload descriptor, for data packets.
+    pub app: Option<crate::app::AppData>,
+}
+
+impl<H> Packet<H> {
+    /// Default hop budget for freshly created packets.
+    pub const DEFAULT_TTL: u8 = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn tx_dest_equality() {
+        assert_eq!(TxDest::Unicast(NodeId(1)), TxDest::Unicast(NodeId(1)));
+        assert_ne!(TxDest::Broadcast, TxDest::Unicast(NodeId(0)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Radio propagation and the simplified MAC.
+//!
+//! The model is deliberately simple but captures the behaviours the
+//! detection features are sensitive to:
+//!
+//! * **disc propagation** — a frame reaches exactly the nodes within
+//!   `range` metres of the transmitter at transmission time;
+//! * **transmit latency** — `size·8 / bandwidth` plus a uniform MAC
+//!   queueing/backoff jitter;
+//! * **contention loss** — each reception is independently lost with
+//!   probability `base_loss` plus a term that grows with the number of
+//!   recent transmissions inside the interference range of the receiver, so
+//!   flooding attacks (update storms) degrade delivery just as real CSMA
+//!   contention would;
+//! * **link-failure detection** — a unicast frame whose target is out of
+//!   range is reported back to the sender (modelling 802.11's missing
+//!   link-layer ACK after retries), which is what triggers DSR route
+//!   maintenance and AODV RERRs. Random in-range losses are *not* reported:
+//!   real MACs usually recover those via retransmission, so `base_loss`
+//!   should be read as the residual loss after MAC retries.
+
+use crate::config::SimConfig;
+use crate::mobility::Point;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Outcome of attempting one frame reception at a specific receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reception {
+    /// The frame arrives intact.
+    Ok,
+    /// The frame is lost (collision/noise).
+    Lost,
+}
+
+/// Sliding-window record of recent transmissions for contention estimation.
+#[derive(Debug)]
+pub struct RadioModel {
+    range: f64,
+    interference_range: f64,
+    bandwidth_bps: f64,
+    base_loss: f64,
+    mac_jitter: f64,
+    contention_window: SimTime,
+    /// Recent transmissions: (time, position of transmitter).
+    recent: VecDeque<(SimTime, Point)>,
+    rng: SimRng,
+}
+
+impl RadioModel {
+    /// Additional loss probability contributed by each concurrent
+    /// transmission in the contention window within interference range of
+    /// the receiver. CSMA mostly *defers* rather than collides, so this is
+    /// deliberately small; bursts (flood storms) still degrade delivery.
+    pub const LOSS_PER_CONTENDER: f64 = 0.002;
+
+    /// Creates a radio model from a scenario configuration and a dedicated
+    /// RNG stream.
+    pub fn new(cfg: &SimConfig, rng: SimRng) -> RadioModel {
+        RadioModel {
+            range: cfg.range,
+            interference_range: cfg.interference_range,
+            bandwidth_bps: cfg.bandwidth_bps,
+            base_loss: cfg.base_loss,
+            mac_jitter: cfg.mac_jitter,
+            contention_window: SimTime::from_secs(0.01),
+            recent: VecDeque::new(),
+            rng,
+        }
+    }
+
+    /// The radio transmission range in metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Whether a receiver at `rx` can hear a transmitter at `tx`.
+    pub fn in_range(&self, tx: Point, rx: Point) -> bool {
+        tx.distance(rx) <= self.range
+    }
+
+    /// Registers a transmission (for contention accounting) and returns its
+    /// airtime + jitter latency.
+    pub fn begin_transmission(&mut self, now: SimTime, tx_pos: Point, size_bytes: u32) -> SimTime {
+        self.prune(now);
+        self.recent.push_back((now, tx_pos));
+        let airtime = size_bytes as f64 * 8.0 / self.bandwidth_bps;
+        let jitter = self.rng.gen_range(0.0..=self.mac_jitter);
+        SimTime::from_secs(airtime + jitter)
+    }
+
+    /// Draws the reception outcome for a receiver at `rx_pos`.
+    ///
+    /// Loss probability is `base_loss + k·per_tx` where `k` counts other
+    /// transmissions in the contention window within interference range of
+    /// the receiver, capped at 0.95 so the channel never becomes an oubliette.
+    pub fn receive(&mut self, now: SimTime, rx_pos: Point) -> Reception {
+        self.prune(now);
+        let contenders = self
+            .recent
+            .iter()
+            .filter(|(_, p)| p.distance(rx_pos) <= self.interference_range)
+            .count()
+            .saturating_sub(1); // the frame's own transmission doesn't contend with itself
+        let p_loss = (self.base_loss + Self::LOSS_PER_CONTENDER * contenders as f64).min(0.95);
+        if self.rng.gen_bool(p_loss) {
+            Reception::Lost
+        } else {
+            Reception::Ok
+        }
+    }
+
+    /// Current number of transmissions in the contention window (for tests
+    /// and diagnostics).
+    pub fn contention_level(&self) -> usize {
+        self.recent.len()
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let horizon = now.saturating_sub(self.contention_window);
+        while let Some(&(t, _)) = self.recent.front() {
+            if t < horizon {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_stream;
+
+    fn model(base_loss: f64) -> RadioModel {
+        let cfg = SimConfig {
+            base_loss,
+            ..SimConfig::default()
+        };
+        RadioModel::new(&cfg, derive_stream(1, 1))
+    }
+
+    #[test]
+    fn range_check() {
+        let m = model(0.0);
+        assert!(m.in_range(Point::new(0.0, 0.0), Point::new(250.0, 0.0)));
+        assert!(!m.in_range(Point::new(0.0, 0.0), Point::new(250.1, 0.0)));
+    }
+
+    #[test]
+    fn zero_loss_always_receives() {
+        let mut m = model(0.0);
+        let p = Point::new(0.0, 0.0);
+        for i in 0..100 {
+            let t = SimTime::from_secs(i as f64);
+            m.begin_transmission(t, p, 64);
+            assert_eq!(m.receive(t, p), Reception::Ok);
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let mut m = model(0.0);
+        let t = SimTime::ZERO;
+        let small = m.begin_transmission(t, Point::default(), 64);
+        let large = m.begin_transmission(t, Point::default(), 6400);
+        // Airtime dominates jitter for the large frame: 6400B at 2Mbps = 25.6ms.
+        assert!(large > small);
+        assert!(large.as_secs() >= 6400.0 * 8.0 / 2_000_000.0);
+    }
+
+    #[test]
+    fn contention_raises_loss() {
+        let mut m = model(0.0);
+        let p = Point::new(0.0, 0.0);
+        let t = SimTime::from_secs(100.0);
+        // Many simultaneous transmissions nearby raise loss substantially.
+        for _ in 0..300 {
+            m.begin_transmission(t, p, 64);
+        }
+        let mut lost = 0;
+        for _ in 0..1000 {
+            if m.receive(t, p) == Reception::Lost {
+                lost += 1;
+            }
+        }
+        assert!(lost > 300, "expected heavy loss under contention, got {lost}/1000");
+    }
+
+    #[test]
+    fn contention_window_prunes() {
+        let mut m = model(0.0);
+        let p = Point::default();
+        m.begin_transmission(SimTime::from_secs(1.0), p, 64);
+        assert_eq!(m.contention_level(), 1);
+        m.begin_transmission(SimTime::from_secs(10.0), p, 64);
+        assert_eq!(m.contention_level(), 1, "old transmission should be pruned");
+    }
+}

@@ -1,0 +1,626 @@
+//! The simulation kernel: owns nodes, apps, radio and the event queue, and
+//! drives everything chronologically.
+
+use crate::agent::{Agent, Ctx, TimerToken};
+use crate::app::{App, AppCtx, AppData, FlowId};
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::mobility::{Point, RandomWaypoint};
+use crate::packet::{NodeId, Packet, TxDest};
+use crate::radio::{RadioModel, Reception};
+use crate::rng::{SimRng, StreamLabel};
+use crate::time::SimTime;
+use crate::trace::NodeTrace;
+use std::collections::HashMap;
+
+/// Per-node state owned by the simulator.
+struct NodeCell<A> {
+    agent: A,
+    mobility: RandomWaypoint,
+    trace: NodeTrace,
+    rng: SimRng,
+}
+
+struct AppCell {
+    app: Box<dyn App>,
+    rng: SimRng,
+}
+
+/// Work items processed synchronously at the current instant; all callback
+/// fan-out (agent → app → agent …) goes through this list to keep borrows
+/// simple and ordering deterministic.
+enum Pending<H> {
+    AgentStart(NodeId),
+    AgentPacket(NodeId, Packet<H>),
+    AgentPromiscuous(NodeId, Packet<H>),
+    AgentTimer(NodeId, TimerToken),
+    AgentTxFailed(NodeId, Packet<H>, NodeId),
+    AgentSend {
+        node: NodeId,
+        dst: NodeId,
+        size: u32,
+        data: AppData,
+    },
+    AppStart(usize),
+    AppTick(usize, u32),
+    AppReceive {
+        app: usize,
+        data: AppData,
+        size: u32,
+        from: NodeId,
+    },
+}
+
+/// The discrete-event simulator, generic over the routing protocol agent.
+///
+/// Construct with a per-node agent factory, optionally register
+/// application endpoints with [`Simulator::add_app`], then [`Simulator::run`].
+/// Audit traces are available per node afterwards via [`Simulator::trace`].
+pub struct Simulator<A: Agent> {
+    cfg: SimConfig,
+    now: SimTime,
+    queue: EventQueue<A::Header>,
+    nodes: Vec<NodeCell<A>>,
+    apps: Vec<AppCell>,
+    flow_endpoints: HashMap<(FlowId, NodeId), usize>,
+    radio: RadioModel,
+    packet_counter: u64,
+    started: bool,
+    delivered_frames: u64,
+    lost_frames: u64,
+}
+
+impl<A: Agent> Simulator<A> {
+    /// Creates a simulator with one agent per node, produced by `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+    pub fn new(cfg: SimConfig, mut factory: impl FnMut(NodeId) -> A) -> Simulator<A> {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let nodes = (0..cfg.n_nodes)
+            .map(|i| NodeCell {
+                agent: factory(NodeId(i)),
+                mobility: RandomWaypoint::new(
+                    cfg.width,
+                    cfg.height,
+                    cfg.max_speed,
+                    cfg.pause,
+                    StreamLabel::Mobility(i).stream(cfg.seed),
+                ),
+                trace: NodeTrace::new(),
+                rng: StreamLabel::Agent(i).stream(cfg.seed),
+            })
+            .collect();
+        let radio = RadioModel::new(&cfg, StreamLabel::Radio.stream(cfg.seed));
+        Simulator {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            apps: Vec::new(),
+            flow_endpoints: HashMap::new(),
+            radio,
+            packet_counter: 0,
+            started: false,
+            delivered_frames: 0,
+            lost_frames: 0,
+        }
+    }
+
+    /// Registers an application endpoint. Data arriving at the app's node
+    /// for the app's flow is delivered to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app's node is out of range, if an endpoint for the
+    /// same `(flow, node)` pair is already registered, or if called after
+    /// the simulation has started.
+    pub fn add_app(&mut self, app: Box<dyn App>) {
+        assert!(!self.started, "apps must be registered before run()");
+        let node = app.node();
+        let flow = app.flow();
+        assert!(
+            node.index() < self.nodes.len(),
+            "app node {node} out of range"
+        );
+        let idx = self.apps.len();
+        let prev = self.flow_endpoints.insert((flow, node), idx);
+        assert!(
+            prev.is_none(),
+            "duplicate app endpoint for flow {flow:?} at {node}"
+        );
+        let rng = StreamLabel::App(idx as u32).stream(self.cfg.seed);
+        self.apps.push(AppCell { app, rng });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The audit trace of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn trace(&self, node: NodeId) -> &NodeTrace {
+        &self.nodes[node.index()].trace
+    }
+
+    /// Consumes the simulator and returns all node traces.
+    pub fn into_traces(self) -> Vec<NodeTrace> {
+        self.nodes.into_iter().map(|c| c.trace).collect()
+    }
+
+    /// Position of `node` at the current time.
+    pub fn position(&mut self, node: NodeId) -> Point {
+        let now = self.now;
+        let cell = &mut self.nodes[node.index()];
+        cell.mobility.advance_to(now);
+        cell.mobility.position(now)
+    }
+
+    /// Counters of frames delivered / lost at the radio (diagnostics).
+    pub fn frame_stats(&self) -> (u64, u64) {
+        (self.delivered_frames, self.lost_frames)
+    }
+
+    /// Runs the simulation until the configured duration has elapsed.
+    pub fn run(&mut self) {
+        let end = self.cfg.duration;
+        self.run_until(end);
+    }
+
+    /// Runs the simulation until virtual time `end` (inclusive of events at
+    /// `end`). May be called repeatedly with increasing times.
+    pub fn run_until(&mut self, end: SimTime) {
+        if !self.started {
+            self.started = true;
+            let mut pending: Vec<Pending<A::Header>> = Vec::new();
+            for i in 0..self.nodes.len() {
+                pending.push(Pending::AgentStart(NodeId(i as u16)));
+            }
+            for i in 0..self.apps.len() {
+                pending.push(Pending::AppStart(i));
+            }
+            self.drain(pending);
+            self.queue
+                .push(self.cfg.mobility_sample_interval, EventKind::MobilitySample);
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.t;
+            let first = match ev.kind {
+                EventKind::Deliver {
+                    to,
+                    pkt,
+                    promiscuous,
+                } => {
+                    if promiscuous {
+                        Pending::AgentPromiscuous(to, pkt)
+                    } else {
+                        Pending::AgentPacket(to, pkt)
+                    }
+                }
+                EventKind::TxFailed { node, pkt, next_hop } => {
+                    Pending::AgentTxFailed(node, pkt, next_hop)
+                }
+                EventKind::Timer { node, token } => Pending::AgentTimer(node, token),
+                EventKind::AppTick { app, tag } => Pending::AppTick(app, tag),
+                EventKind::MobilitySample => {
+                    self.sample_mobility();
+                    let next = self.now + self.cfg.mobility_sample_interval;
+                    if next <= self.cfg.duration {
+                        self.queue.push(next, EventKind::MobilitySample);
+                    }
+                    continue;
+                }
+            };
+            self.drain(vec![first]);
+        }
+        if self.now < end {
+            self.now = end;
+        }
+    }
+
+    fn sample_mobility(&mut self) {
+        let now = self.now;
+        for cell in &mut self.nodes {
+            cell.mobility.advance_to(now);
+            let v = cell.mobility.velocity(now);
+            cell.trace.mobility_sample(now, v);
+        }
+    }
+
+    /// Processes a worklist of same-instant callbacks to fixpoint.
+    fn drain(&mut self, mut pending: Vec<Pending<A::Header>>) {
+        // FIFO processing for deterministic, comprehensible ordering.
+        let mut i = 0;
+        while i < pending.len() {
+            let item = std::mem::replace(&mut pending[i], Pending::AppStart(usize::MAX));
+            i += 1;
+            match item {
+                Pending::AgentStart(node) => {
+                    self.with_agent(node, &mut pending, |agent, ctx| agent.start(ctx));
+                }
+                Pending::AgentPacket(node, pkt) => {
+                    self.with_agent(node, &mut pending, |agent, ctx| agent.on_packet(ctx, pkt));
+                }
+                Pending::AgentPromiscuous(node, pkt) => {
+                    self.with_agent(node, &mut pending, |agent, ctx| {
+                        agent.on_promiscuous(ctx, &pkt)
+                    });
+                }
+                Pending::AgentTimer(node, token) => {
+                    self.with_agent(node, &mut pending, |agent, ctx| agent.on_timer(ctx, token));
+                }
+                Pending::AgentTxFailed(node, pkt, nh) => {
+                    self.with_agent(node, &mut pending, |agent, ctx| {
+                        agent.on_tx_failed(ctx, pkt, nh)
+                    });
+                }
+                Pending::AgentSend {
+                    node,
+                    dst,
+                    size,
+                    data,
+                } => {
+                    self.with_agent(node, &mut pending, |agent, ctx| {
+                        agent.send_data(ctx, dst, size, data)
+                    });
+                }
+                Pending::AppStart(idx) => {
+                    if idx == usize::MAX {
+                        continue; // placeholder from mem::replace
+                    }
+                    self.with_app(idx, &mut pending, |app, ctx| app.start(ctx));
+                }
+                Pending::AppTick(idx, tag) => {
+                    self.with_app(idx, &mut pending, |app, ctx| app.on_tick(ctx, tag));
+                }
+                Pending::AppReceive {
+                    app,
+                    data,
+                    size,
+                    from,
+                } => {
+                    self.with_app(app, &mut pending, |a, ctx| {
+                        a.on_receive(ctx, data, size, from)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs one agent callback and applies its staged actions.
+    fn with_agent(
+        &mut self,
+        node: NodeId,
+        pending: &mut Vec<Pending<A::Header>>,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Header>),
+    ) {
+        let now = self.now;
+        let cell = &mut self.nodes[node.index()];
+        cell.mobility.advance_to(now);
+        let pos = cell.mobility.position(now);
+        let mut ctx = Ctx::new(
+            now,
+            node,
+            pos,
+            &mut cell.trace,
+            &mut cell.rng,
+            &mut self.packet_counter,
+        );
+        f(&mut cell.agent, &mut ctx);
+        let Ctx {
+            out,
+            timers,
+            deliveries,
+            ..
+        } = ctx;
+        for (fire_at, token) in timers {
+            self.queue.push(fire_at, EventKind::Timer { node, token });
+        }
+        for (data, size, from) in deliveries {
+            if let Some(&app) = self.flow_endpoints.get(&(data.flow, node)) {
+                pending.push(Pending::AppReceive {
+                    app,
+                    data,
+                    size,
+                    from,
+                });
+            }
+        }
+        for (pkt, dest) in out {
+            self.transmit(node, pos, pkt, dest);
+        }
+    }
+
+    /// Runs one app callback and applies its staged actions.
+    fn with_app(
+        &mut self,
+        idx: usize,
+        pending: &mut Vec<Pending<A::Header>>,
+        f: impl FnOnce(&mut dyn App, &mut AppCtx<'_>),
+    ) {
+        let now = self.now;
+        let cell = &mut self.apps[idx];
+        let node = cell.app.node();
+        let mut ctx = AppCtx::new(now, &mut cell.rng);
+        f(cell.app.as_mut(), &mut ctx);
+        let AppCtx { sends, ticks, .. } = ctx;
+        for (fire_at, tag) in ticks {
+            self.queue.push(fire_at, EventKind::AppTick { app: idx, tag });
+        }
+        for (dst, size, data) in sends {
+            pending.push(Pending::AgentSend {
+                node,
+                dst,
+                size,
+                data,
+            });
+        }
+    }
+
+    /// Propagates one frame: decides receivers and losses now, schedules
+    /// deliveries after the transmit latency.
+    fn transmit(&mut self, sender: NodeId, tx_pos: Point, mut pkt: Packet<A::Header>, dest: TxDest) {
+        let now = self.now;
+        pkt.link_src = sender;
+        let latency = self.radio.begin_transmission(now, tx_pos, pkt.size);
+        let arrive = now + latency;
+        // Collect in-range receivers (positions at transmit time).
+        let mut in_range: Vec<NodeId> = Vec::new();
+        for i in 0..self.nodes.len() {
+            let nid = NodeId(i as u16);
+            if nid == sender {
+                continue;
+            }
+            let cell = &mut self.nodes[i];
+            cell.mobility.advance_to(now);
+            let p = cell.mobility.position(now);
+            if self.radio.in_range(tx_pos, p) {
+                in_range.push(nid);
+            }
+        }
+        match dest {
+            TxDest::Broadcast => {
+                for nid in in_range {
+                    let rx_pos = self.nodes[nid.index()].mobility.position(now);
+                    match self.radio.receive(now, rx_pos) {
+                        Reception::Ok => {
+                            self.delivered_frames += 1;
+                            self.queue.push(
+                                arrive,
+                                EventKind::Deliver {
+                                    to: nid,
+                                    pkt: pkt.clone(),
+                                    promiscuous: false,
+                                },
+                            );
+                        }
+                        Reception::Lost => self.lost_frames += 1,
+                    }
+                }
+            }
+            TxDest::Unicast(next_hop) => {
+                if in_range.contains(&next_hop) {
+                    // Promiscuous overhears first (they don't depend on the
+                    // addressed outcome).
+                    if self.cfg.promiscuous {
+                        for &nid in in_range.iter().filter(|&&n| n != next_hop) {
+                            let rx_pos = self.nodes[nid.index()].mobility.position(now);
+                            if self.radio.receive(now, rx_pos) == Reception::Ok {
+                                self.queue.push(
+                                    arrive,
+                                    EventKind::Deliver {
+                                        to: nid,
+                                        pkt: pkt.clone(),
+                                        promiscuous: true,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let rx_pos = self.nodes[next_hop.index()].mobility.position(now);
+                    match self.radio.receive(now, rx_pos) {
+                        Reception::Ok => {
+                            self.delivered_frames += 1;
+                            self.queue.push(
+                                arrive,
+                                EventKind::Deliver {
+                                    to: next_hop,
+                                    pkt,
+                                    promiscuous: false,
+                                },
+                            );
+                        }
+                        Reception::Lost => self.lost_frames += 1,
+                    }
+                } else {
+                    // Out of range: the MAC exhausts retries (~30 ms) and
+                    // reports a link failure to the sender.
+                    self.lost_frames += 1;
+                    let report = arrive + SimTime::from_secs(0.03);
+                    self.queue.push(
+                        report,
+                        EventKind::TxFailed {
+                            node: sender,
+                            pkt,
+                            next_hop,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<A: Agent> std::fmt::Debug for Simulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("apps", &self.apps.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::FloodAgent;
+    use crate::app::AppKind;
+    use crate::trace::{Direction, TracePacketKind};
+
+    /// A one-shot CBR-ish source used to test kernel plumbing.
+    struct OneShot {
+        node: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        fired: bool,
+    }
+
+    impl App for OneShot {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn flow(&self) -> FlowId {
+            self.flow
+        }
+        fn start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.schedule_tick(SimTime::from_secs(1.0), 0);
+        }
+        fn on_tick(&mut self, ctx: &mut AppCtx<'_>, _tag: u32) {
+            if !self.fired {
+                self.fired = true;
+                ctx.send_data(
+                    self.dst,
+                    256,
+                    AppData {
+                        flow: self.flow,
+                        seq: 0,
+                        kind: AppKind::Cbr,
+                    },
+                );
+            }
+        }
+        fn on_receive(&mut self, _ctx: &mut AppCtx<'_>, _d: AppData, _s: u32, _f: NodeId) {}
+    }
+
+    fn dense_config() -> SimConfig {
+        // Small field so every node hears every other node.
+        SimConfig::builder()
+            .nodes(8)
+            .field(100.0, 100.0)
+            .range(250.0)
+            .duration_secs(20.0)
+            .base_loss(0.0)
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn flood_delivers_end_to_end() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.add_app(Box::new(OneShot {
+            node: NodeId(0),
+            dst: NodeId(5),
+            flow: FlowId(1),
+            fired: false,
+        }));
+        sim.run();
+        assert_eq!(
+            sim.trace(NodeId(0)).count_packets(TracePacketKind::Data, Direction::Sent),
+            1
+        );
+        assert_eq!(
+            sim.trace(NodeId(5))
+                .count_packets(TracePacketKind::Data, Direction::Received),
+            1,
+            "destination should have received the flooded packet"
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::builder()
+                .nodes(8)
+                .field(100.0, 100.0)
+                .duration_secs(20.0)
+                .seed(seed)
+                .build();
+            let mut sim = Simulator::new(cfg, |_| FloodAgent::new());
+            sim.add_app(Box::new(OneShot {
+                node: NodeId(0),
+                dst: NodeId(5),
+                flow: FlowId(1),
+                fired: false,
+            }));
+            sim.run();
+            sim.frame_stats()
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn mobility_samples_every_interval() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.run();
+        let samples = &sim.trace(NodeId(0)).mobility;
+        // 20 s / 5 s interval -> samples at 5, 10, 15, 20.
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].t.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn clock_reaches_duration_even_when_idle() {
+        let cfg = SimConfig::builder()
+            .nodes(2)
+            .duration_secs(42.0)
+            .seed(1)
+            .build();
+        let mut sim = Simulator::new(cfg, |_| FloodAgent::new());
+        sim.run();
+        assert_eq!(sim.now().as_secs(), 42.0);
+    }
+
+    #[test]
+    fn run_until_is_incremental() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.run_until(SimTime::from_secs(10.0));
+        let mid = sim.trace(NodeId(0)).mobility.len();
+        sim.run_until(SimTime::from_secs(20.0));
+        let end = sim.trace(NodeId(0)).mobility.len();
+        assert!(end > mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate app endpoint")]
+    fn duplicate_endpoints_rejected() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        let mk = || {
+            Box::new(OneShot {
+                node: NodeId(0),
+                dst: NodeId(5),
+                flow: FlowId(1),
+                fired: false,
+            })
+        };
+        sim.add_app(mk());
+        sim.add_app(mk());
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulation time.
+//!
+//! Time is represented as a whole number of microseconds so that event
+//! ordering is total and exactly reproducible across platforms (floating
+//! point timestamps would make heap ordering depend on rounding).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in microseconds since simulation start.
+///
+/// `SimTime` is a cheap `Copy` newtype; construct it from seconds with
+/// [`SimTime::from_secs`] and read it back with [`SimTime::as_secs`].
+///
+/// ```
+/// use manet_sim::SimTime;
+/// let t = SimTime::from_secs(2.5) + SimTime::from_secs(0.5);
+/// assert_eq!(t.as_secs(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation origin, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a (non-negative, finite) number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN or infinite.
+    pub fn from_secs(secs: f64) -> SimTime {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// Creates a time from a whole number of microseconds.
+    pub const fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros)
+    }
+
+    /// Returns the time as seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`SimTime::saturating_sub`] when underflow is possible.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_seconds() {
+        let t = SimTime::from_secs(123.456789);
+        assert!((t.as_secs() - 123.456789).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(1.000001);
+        assert!(a < b);
+        assert_eq!(a, SimTime::from_micros(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(2.0);
+        let b = SimTime::from_secs(0.5);
+        assert_eq!((a + b).as_secs(), 2.5);
+        assert_eq!((a - b).as_secs(), 1.5);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_seconds() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+    }
+}

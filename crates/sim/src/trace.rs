@@ -1,0 +1,223 @@
+//! Per-node audit traces.
+//!
+//! The paper's detector consumes *local* audit data only: every node records
+//! its own packet activity (by packet type and flow direction, Table 5) and
+//! its own route-fabric events (Table 4). The simulator mirrors this: each
+//! node owns a [`NodeTrace`] that agents append to through their context,
+//! and the feature-extraction crate post-processes these traces into
+//! 5-second feature snapshots — exactly like the ns-2 trace-log pipeline the
+//! authors used.
+
+use crate::time::SimTime;
+
+/// Packet-type taxonomy used in traces, matching the paper's Table 5.
+///
+/// Encapsulated data packets in transit are logged as [`TracePacketKind::DataTransit`]:
+/// the paper notes that "all activities (including forwarding and dropping)
+/// during the transmission process only involve *route* packets", so transit
+/// events contribute to the *route (all)* aggregate, while end-to-end
+/// send/receive events are logged as [`TracePacketKind::Data`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TracePacketKind {
+    /// Application data observed at its source (sent) or destination
+    /// (received).
+    Data,
+    /// Encapsulated application data observed at an intermediate router.
+    DataTransit,
+    /// ROUTE REQUEST control messages.
+    Rreq,
+    /// ROUTE REPLY control messages.
+    Rrep,
+    /// ROUTE ERROR control messages.
+    Rerr,
+    /// HELLO beacons (AODV).
+    Hello,
+}
+
+impl TracePacketKind {
+    /// All trace kinds, in a stable order.
+    pub const ALL: [TracePacketKind; 6] = [
+        TracePacketKind::Data,
+        TracePacketKind::DataTransit,
+        TracePacketKind::Rreq,
+        TracePacketKind::Rrep,
+        TracePacketKind::Rerr,
+        TracePacketKind::Hello,
+    ];
+
+    /// Whether this kind counts toward the paper's "route (all)" aggregate.
+    pub fn is_route(self) -> bool {
+        !matches!(self, TracePacketKind::Data)
+    }
+}
+
+/// Flow direction of a packet observation (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Observed at the packet's destination.
+    Received,
+    /// Observed at the packet's source.
+    Sent,
+    /// Observed at an intermediate router relaying the packet.
+    Forwarded,
+    /// Observed at a router that had to discard the packet (e.g. no route).
+    Dropped,
+}
+
+impl Direction {
+    /// All directions, in a stable order.
+    pub const ALL: [Direction; 4] = [
+        Direction::Received,
+        Direction::Sent,
+        Direction::Forwarded,
+        Direction::Dropped,
+    ];
+}
+
+/// One packet observation in a node's audit log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketEvent {
+    /// When the observation was made.
+    pub t: SimTime,
+    /// What kind of packet was observed.
+    pub kind: TracePacketKind,
+    /// How the packet related to this node.
+    pub dir: Direction,
+}
+
+/// Route-fabric event categories, matching the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RouteEventKind {
+    /// A route newly added by route discovery.
+    Added,
+    /// A stale or broken route removed.
+    Removed,
+    /// A route found in cache (no re-discovery needed).
+    Found,
+    /// A route noticed in cache, eavesdropped from somewhere else.
+    Noticed,
+    /// A broken route currently under repair.
+    Repaired,
+}
+
+impl RouteEventKind {
+    /// All route event kinds, in a stable order.
+    pub const ALL: [RouteEventKind; 5] = [
+        RouteEventKind::Added,
+        RouteEventKind::Removed,
+        RouteEventKind::Found,
+        RouteEventKind::Noticed,
+        RouteEventKind::Repaired,
+    ];
+}
+
+/// One route-fabric observation in a node's audit log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteEvent {
+    /// When the event happened.
+    pub t: SimTime,
+    /// What happened.
+    pub kind: RouteEventKind,
+    /// Route length in hops, where meaningful (route additions carry it so
+    /// the *average route length* feature can be computed).
+    pub route_len: Option<u8>,
+}
+
+/// One mobility sample (for the *absolute velocity* feature).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilitySample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Absolute speed in m/s.
+    pub velocity: f64,
+}
+
+/// The complete audit trail of one node over a simulation run.
+///
+/// Events are appended in non-decreasing time order by construction (the
+/// simulator processes events chronologically).
+#[derive(Debug, Default, Clone)]
+pub struct NodeTrace {
+    /// Packet observations.
+    pub packet_events: Vec<PacketEvent>,
+    /// Route-fabric observations.
+    pub route_events: Vec<RouteEvent>,
+    /// Periodic mobility samples.
+    pub mobility: Vec<MobilitySample>,
+}
+
+impl NodeTrace {
+    /// Creates an empty trace.
+    pub fn new() -> NodeTrace {
+        NodeTrace::default()
+    }
+
+    /// Records a packet observation.
+    pub fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction) {
+        debug_assert!(
+            self.packet_events.last().is_none_or(|e| e.t <= t),
+            "trace must be appended in time order"
+        );
+        self.packet_events.push(PacketEvent { t, kind, dir });
+    }
+
+    /// Records a route-fabric observation.
+    pub fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>) {
+        self.route_events.push(RouteEvent { t, kind, route_len });
+    }
+
+    /// Records a mobility sample.
+    pub fn mobility_sample(&mut self, t: SimTime, velocity: f64) {
+        self.mobility.push(MobilitySample { t, velocity });
+    }
+
+    /// Number of packet observations matching a kind and direction.
+    pub fn count_packets(&self, kind: TracePacketKind, dir: Direction) -> usize {
+        self.packet_events
+            .iter()
+            .filter(|e| e.kind == kind && e.dir == dir)
+            .count()
+    }
+
+    /// Number of route observations of a given kind.
+    pub fn count_routes(&self, kind: RouteEventKind) -> usize {
+        self.route_events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_filtered_events() {
+        let mut tr = NodeTrace::new();
+        tr.packet(SimTime::from_secs(1.0), TracePacketKind::Data, Direction::Sent);
+        tr.packet(SimTime::from_secs(2.0), TracePacketKind::Data, Direction::Sent);
+        tr.packet(SimTime::from_secs(2.0), TracePacketKind::Rreq, Direction::Forwarded);
+        tr.route(SimTime::from_secs(2.5), RouteEventKind::Added, Some(3));
+        assert_eq!(tr.count_packets(TracePacketKind::Data, Direction::Sent), 2);
+        assert_eq!(tr.count_packets(TracePacketKind::Rreq, Direction::Forwarded), 1);
+        assert_eq!(tr.count_packets(TracePacketKind::Rreq, Direction::Sent), 0);
+        assert_eq!(tr.count_routes(RouteEventKind::Added), 1);
+        assert_eq!(tr.count_routes(RouteEventKind::Removed), 0);
+    }
+
+    #[test]
+    fn data_is_not_a_route_kind() {
+        assert!(!TracePacketKind::Data.is_route());
+        for k in TracePacketKind::ALL {
+            if k != TracePacketKind::Data {
+                assert!(k.is_route(), "{k:?} should aggregate into route(all)");
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_sizes_match_paper() {
+        // 6 packet types × 4 directions − 2 excluded = 22 combos; Table 5.
+        assert_eq!(TracePacketKind::ALL.len(), 6);
+        assert_eq!(Direction::ALL.len(), 4);
+        assert_eq!(RouteEventKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the simulator substrate.
+
+use manet_sim::mobility::RandomWaypoint;
+use manet_sim::rng::derive_stream;
+use manet_sim::{SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simtime_roundtrip(secs in 0.0f64..1e6) {
+        let t = SimTime::from_secs(secs);
+        assert!((t.as_secs() - secs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn simtime_add_is_monotone(a in 0.0f64..1e5, b in 0.0f64..1e5) {
+        let ta = SimTime::from_secs(a);
+        let tb = SimTime::from_secs(b);
+        assert!(ta + tb >= ta);
+        assert!(ta + tb >= tb);
+        assert_eq!((ta + tb).saturating_sub(tb), ta);
+    }
+
+    #[test]
+    fn waypoint_positions_always_in_field(
+        seed in 0u64..1000,
+        width in 100.0f64..2000.0,
+        height in 100.0f64..2000.0,
+        speed in 0.5f64..40.0,
+        queries in proptest::collection::vec(0.0f64..5000.0, 1..30),
+    ) {
+        let mut m = RandomWaypoint::new(
+            width, height, speed,
+            SimTime::from_secs(10.0),
+            derive_stream(seed, 0),
+        );
+        let mut sorted = queries;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for t in sorted {
+            let t = SimTime::from_secs(t);
+            m.advance_to(t);
+            let p = m.position(t);
+            assert!((0.0..=width).contains(&p.x));
+            assert!((0.0..=height).contains(&p.y));
+            let v = m.velocity(t);
+            assert!((0.0..=speed + 1e-9).contains(&v));
+        }
+    }
+}

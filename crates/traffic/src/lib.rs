@@ -1,0 +1,22 @@
+//! # manet-traffic
+//!
+//! Traffic generators for [`manet_sim`]: the two transport workloads the
+//! paper evaluates.
+//!
+//! * [`CbrSource`] — UDP constant-bit-rate flows (open loop, no feedback);
+//! * [`TcpSource`]/[`TcpSink`] — a simplified TCP with cumulative ACKs,
+//!   AIMD congestion control and timeout retransmission (closed loop: the
+//!   send rate reacts to loss, which is what distinguishes the TCP and UDP
+//!   scenarios in the paper's figures).
+//!
+//! [`ConnectionPattern`] generates the random connection workload of §4.1
+//! (up to 100 connections, rate 0.25 packets/s) and installs the endpoint
+//! apps into a simulator.
+
+pub mod cbr;
+pub mod pattern;
+pub mod tcp;
+
+pub use cbr::CbrSource;
+pub use pattern::{ConnectionPattern, Transport};
+pub use tcp::{TcpSink, TcpSource};

@@ -1,0 +1,161 @@
+//! Random connection workloads (the §4.1 scenario generator).
+
+use crate::cbr::CbrSource;
+use crate::tcp::{TcpSink, TcpSource};
+use manet_sim::rng::derive_stream;
+use manet_sim::{Agent, FlowId, NodeId, SimTime, Simulator};
+use rand::Rng;
+
+/// The transport protocol a connection pattern uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// UDP constant-bit-rate flows.
+    Cbr,
+    /// Simplified TCP transfers.
+    Tcp,
+}
+
+/// A randomly generated set of end-to-end connections, mirroring the
+/// paper's workload: up to `max_connections` (100 in the paper) flows with
+/// rate 0.25 packets/s between uniformly chosen distinct node pairs.
+#[derive(Debug, Clone)]
+pub struct ConnectionPattern {
+    /// Transport used by every connection.
+    pub transport: Transport,
+    /// Generated `(source, destination)` pairs.
+    pub connections: Vec<(NodeId, NodeId)>,
+    /// Per-flow packet rate (packets/second).
+    pub rate_pps: f64,
+    /// Data packet (or TCP segment) size in bytes.
+    pub packet_size: u32,
+    /// When flows start.
+    pub start: SimTime,
+    /// When flows stop.
+    pub stop: SimTime,
+}
+
+impl ConnectionPattern {
+    /// Generates a random pattern over `n_nodes` nodes.
+    ///
+    /// Connections are sampled without replacement from distinct ordered
+    /// pairs; `seed` makes the pattern reproducible. Flow start times are
+    /// staggered across the first 30 s by the apps' own random phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes < 2` or `max_connections == 0`.
+    pub fn random(
+        n_nodes: u16,
+        max_connections: usize,
+        transport: Transport,
+        duration: SimTime,
+        seed: u64,
+    ) -> ConnectionPattern {
+        assert!(n_nodes >= 2, "need at least two nodes for traffic");
+        assert!(max_connections > 0, "need at least one connection");
+        let mut rng = derive_stream(seed, 0x7AFF1C);
+        let mut connections = Vec::with_capacity(max_connections);
+        let mut tries = 0;
+        while connections.len() < max_connections && tries < max_connections * 20 {
+            tries += 1;
+            let a = NodeId(rng.gen_range(0..n_nodes));
+            let b = NodeId(rng.gen_range(0..n_nodes));
+            if a != b && !connections.contains(&(a, b)) {
+                connections.push((a, b));
+            }
+        }
+        ConnectionPattern {
+            transport,
+            connections,
+            rate_pps: 0.25,
+            packet_size: 512,
+            start: SimTime::ZERO,
+            stop: duration,
+        }
+    }
+
+    /// Installs one app (or app pair, for TCP) per connection into `sim`.
+    ///
+    /// Flow ids are assigned sequentially from 0.
+    pub fn install<A: Agent>(&self, sim: &mut Simulator<A>) {
+        for (i, &(src, dst)) in self.connections.iter().enumerate() {
+            let flow = FlowId(i as u32);
+            match self.transport {
+                Transport::Cbr => {
+                    sim.add_app(Box::new(CbrSource::new(
+                        src,
+                        dst,
+                        flow,
+                        self.packet_size,
+                        self.rate_pps,
+                        self.start,
+                        self.stop,
+                    )));
+                }
+                Transport::Tcp => {
+                    sim.add_app(Box::new(TcpSource::new(
+                        src,
+                        dst,
+                        flow,
+                        self.packet_size,
+                        Some(self.rate_pps),
+                        self.start,
+                        self.stop,
+                    )));
+                    sim.add_app(Box::new(TcpSink::new(dst, src, flow)));
+                }
+            }
+        }
+    }
+
+    /// Number of generated connections.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Whether the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_connections() {
+        let p = ConnectionPattern::random(50, 100, Transport::Cbr, SimTime::from_secs(100.0), 1);
+        assert_eq!(p.len(), 100);
+        assert!(p.connections.iter().all(|(a, b)| a != b));
+        // No duplicate ordered pairs.
+        let mut pairs = p.connections.clone();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 100);
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = ConnectionPattern::random(20, 30, Transport::Tcp, SimTime::from_secs(10.0), 7);
+        let b = ConnectionPattern::random(20, 30, Transport::Tcp, SimTime::from_secs(10.0), 7);
+        assert_eq!(a.connections, b.connections);
+        let c = ConnectionPattern::random(20, 30, Transport::Tcp, SimTime::from_secs(10.0), 8);
+        assert_ne!(a.connections, c.connections);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let p = ConnectionPattern::random(50, 10, Transport::Cbr, SimTime::from_secs(100.0), 1);
+        assert_eq!(p.rate_pps, 0.25);
+        assert_eq!(p.packet_size, 512);
+    }
+
+    #[test]
+    fn small_networks_saturate_gracefully() {
+        // Only 2 ordered pairs exist between 2 nodes.
+        let p = ConnectionPattern::random(2, 100, Transport::Cbr, SimTime::from_secs(10.0), 1);
+        assert!(p.len() <= 2);
+        assert!(!p.is_empty());
+    }
+}

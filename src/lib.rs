@@ -1,0 +1,40 @@
+//! # manet-cfa
+//!
+//! A complete reproduction of *"Cross-Feature Analysis for Detecting
+//! Ad-Hoc Routing Anomalies"* (Huang, Fan, Lee, Yu; ICDCS 2003) in Rust:
+//! a packet-level MANET simulator with DSR and AODV, the paper's attack
+//! scripts, its 140-feature extraction pipeline, three inductive learners
+//! (C4.5, RIPPER, naive Bayes), and the cross-feature anomaly detector.
+//!
+//! This crate re-exports the workspace and adds the experiment glue: a
+//! [`scenario`] builder that turns a scenario description into labelled
+//! feature tables, and a [`pipeline`] that trains a detector on normal
+//! traces and evaluates it on attack traces.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use manet_cfa::scenario::{Scenario, Protocol, Transport, Attack};
+//! use manet_cfa::pipeline::{Pipeline, ClassifierKind};
+//! use manet_cfa::core::ScoreMethod;
+//!
+//! // Train on a normal trace, test against a black-hole trace.
+//! let base = Scenario::paper_default(Protocol::Aodv, Transport::Cbr)
+//!     .with_duration(2_000.0);
+//! let normal = base.clone().with_seed(1);
+//! let attacked = base.with_seed(2).with_attack(Attack::blackhole_at(&[500.0, 1000.0, 1500.0]));
+//! let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
+//! let outcome = pipeline.run(&normal, &[normal.clone().with_seed(3)], &[attacked]);
+//! println!("AUC = {:.3}", outcome.auc);
+//! ```
+
+pub mod pipeline;
+pub mod scenario;
+
+pub use cfa_core as core;
+pub use cfa_ml as ml;
+pub use manet_attacks as attacks;
+pub use manet_features as features;
+pub use manet_routing as routing;
+pub use manet_sim as sim;
+pub use manet_traffic as traffic;

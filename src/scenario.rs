@@ -1,0 +1,526 @@
+//! Scenario construction: from a declarative description to a simulated,
+//! labelled feature table.
+//!
+//! Defaults reproduce §4.1 of the paper: 1000 m × 1000 m random waypoint
+//! (pause 10 s, max speed 20 m/s), up to 100 connections at rate 0.25,
+//! 10 000 s runs with snapshots every 5 s, and intrusions inserted on an
+//! on–off schedule starting at 2500 s / 5000 s.
+
+use manet_attacks::{
+    AodvBlackhole, DropPolicy, DsrBlackhole, PacketDropper, Schedule, UpdateStorm,
+};
+use manet_features::{FeatureExtractor, FeatureMatrix};
+use manet_routing::{aodv::AodvAgent, dsr::DsrAgent, AodvHeader, DsrHeader};
+use manet_sim::{Agent, NodeId, SimConfig, SimTime, Simulator};
+use manet_traffic::ConnectionPattern;
+
+/// Routing protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Dynamic Source Routing.
+    Dsr,
+    /// Ad hoc On-demand Distance Vector.
+    Aodv,
+}
+
+impl Protocol {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Dsr => "DSR",
+            Protocol::Aodv => "AODV",
+        }
+    }
+}
+
+/// Transport protocol of the traffic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// UDP constant bit rate.
+    Cbr,
+    /// Simplified TCP.
+    Tcp,
+}
+
+impl Transport {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Cbr => "UDP",
+            Transport::Tcp => "TCP",
+        }
+    }
+
+    fn to_traffic(self) -> manet_traffic::Transport {
+        match self {
+            Transport::Cbr => manet_traffic::Transport::Cbr,
+            Transport::Tcp => manet_traffic::Transport::Tcp,
+        }
+    }
+}
+
+/// What a compromised node does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackKind {
+    /// Bogus shortest-route advertisements + traffic absorption.
+    Blackhole,
+    /// Transit-data dropping with the given policy.
+    Dropping(DropPolicy),
+    /// Meaningless route-discovery flooding.
+    UpdateStorm,
+}
+
+/// One attack instance: what, when, and which node is compromised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attack {
+    /// Behaviour of the compromised node.
+    pub kind: AttackKind,
+    /// When the behaviour is active.
+    pub schedule: Schedule,
+    /// The compromised node.
+    pub attacker: NodeId,
+}
+
+impl Attack {
+    /// Default compromised node used by the helper constructors.
+    pub const DEFAULT_ATTACKER: NodeId = NodeId(7);
+    /// Default intrusion-session length, as in the Figure 5 scenarios.
+    pub const SESSION_SECS: f64 = 100.0;
+
+    /// A black hole active in 100 s sessions beginning at each of `starts`.
+    pub fn blackhole_at(starts: &[f64]) -> Attack {
+        Attack {
+            kind: AttackKind::Blackhole,
+            schedule: sessions_of(starts, Self::SESSION_SECS),
+            attacker: Self::DEFAULT_ATTACKER,
+        }
+    }
+
+    /// Selective dropping of `dest`'s packets in 100 s sessions at `starts`
+    /// (Table 6: parameters are duration and destination).
+    pub fn dropping_at(starts: &[f64], dest: NodeId) -> Attack {
+        Attack {
+            kind: AttackKind::Dropping(DropPolicy::Selective { dests: vec![dest] }),
+            schedule: sessions_of(starts, Self::SESSION_SECS),
+            attacker: Self::DEFAULT_ATTACKER,
+        }
+    }
+
+    /// An update storm in 100 s sessions at `starts`.
+    pub fn storm_at(starts: &[f64]) -> Attack {
+        Attack {
+            kind: AttackKind::UpdateStorm,
+            schedule: sessions_of(starts, Self::SESSION_SECS),
+            attacker: Self::DEFAULT_ATTACKER,
+        }
+    }
+
+    /// Runs this attack from a different compromised node.
+    pub fn from_node(mut self, attacker: NodeId) -> Attack {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Runs this attack on a custom schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Attack {
+        self.schedule = schedule;
+        self
+    }
+}
+
+/// Builds an explicit-session schedule of `len`-second sessions.
+fn sessions_of(starts: &[f64], len: f64) -> Schedule {
+    Schedule::sessions(
+        starts
+            .iter()
+            .map(|&s| (SimTime::from_secs(s), SimTime::from_secs(s + len))),
+    )
+}
+
+/// How ground-truth labels treat the aftermath of attack sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelPolicy {
+    /// Only snapshots overlapping an active session are anomalous.
+    SessionsOnly,
+    /// Every snapshot from the first session onward is anomalous. This is
+    /// the labelling the paper's evaluation implies: it observes that the
+    /// network "may not recover from the implemented intrusions very well"
+    /// and that there is "no way to figure out exactly when the intrusion
+    /// actions have ended and the observed anomalies are just the lasting
+    /// damages" — post-attack windows remain genuinely damaged.
+    PersistentFromFirstAttack,
+}
+
+/// A full scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Routing protocol.
+    pub protocol: Protocol,
+    /// Transport workload.
+    pub transport: Transport,
+    /// Number of nodes.
+    pub n_nodes: u16,
+    /// Maximum number of connections (the paper uses 100).
+    pub max_connections: usize,
+    /// Run length in seconds (the paper uses 10 000).
+    pub duration_secs: f64,
+    /// Master seed for mobility, radio and protocol randomness; every
+    /// derived stream is deterministic in it.
+    pub seed: u64,
+    /// Seed for the random connection pattern. Kept *separate* from
+    /// `seed` so that traces with different mobility share the same
+    /// traffic workload, as the paper's fixed connection files do.
+    pub traffic_seed: u64,
+    /// The node whose audit trace is analysed (the paper collects results
+    /// "on one node only").
+    pub monitored: NodeId,
+    /// Attacks present in the trace (empty = normal trace).
+    pub attacks: Vec<Attack>,
+    /// How ground truth treats post-session lasting damage.
+    pub label_policy: LabelPolicy,
+}
+
+/// The output of running a scenario: features + ground truth for the
+/// monitored node.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Continuous 140-feature matrix, one row per 5 s snapshot.
+    pub matrix: FeatureMatrix,
+    /// Ground truth per row: was any attack active during the snapshot's
+    /// base window?
+    pub labels: Vec<bool>,
+    /// The scenario that produced this bundle.
+    pub scenario: Scenario,
+}
+
+impl Scenario {
+    /// The paper's experimental setup (§4.1) for a protocol/transport
+    /// pair, with no attacks.
+    pub fn paper_default(protocol: Protocol, transport: Transport) -> Scenario {
+        Scenario {
+            protocol,
+            transport,
+            n_nodes: 50,
+            max_connections: 100,
+            duration_secs: 10_000.0,
+            seed: 1,
+            traffic_seed: 0x7AFF,
+            monitored: NodeId(0),
+            attacks: Vec::new(),
+            label_policy: LabelPolicy::PersistentFromFirstAttack,
+        }
+    }
+
+    /// The paper's mixed-intrusion trace: a black hole starting at 2500 s
+    /// and selective dropping starting at 5000 s (both on–off with 100 s
+    /// sessions, run by different compromised nodes).
+    pub fn with_paper_mixed_attacks(mut self) -> Scenario {
+        let on_off = |start: f64| {
+            Schedule::on_off(
+                SimTime::from_secs(start),
+                SimTime::from_secs(Attack::SESSION_SECS),
+            )
+        };
+        self.attacks = vec![
+            Attack {
+                kind: AttackKind::Blackhole,
+                schedule: on_off(2500.0),
+                attacker: NodeId(7),
+            },
+            Attack {
+                kind: AttackKind::Dropping(DropPolicy::Selective {
+                    dests: vec![NodeId(3)],
+                }),
+                schedule: on_off(5000.0),
+                attacker: NodeId(11),
+            },
+        ];
+        self
+    }
+
+    /// Replaces the mobility/protocol seed (traffic pattern unchanged).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the traffic-pattern seed.
+    pub fn with_traffic_seed(mut self, seed: u64) -> Scenario {
+        self.traffic_seed = seed;
+        self
+    }
+
+    /// Replaces the run duration (seconds).
+    pub fn with_duration(mut self, secs: f64) -> Scenario {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Replaces the node count.
+    pub fn with_nodes(mut self, n: u16) -> Scenario {
+        self.n_nodes = n;
+        self
+    }
+
+    /// Replaces the connection cap.
+    pub fn with_connections(mut self, n: usize) -> Scenario {
+        self.max_connections = n;
+        self
+    }
+
+    /// Adds one attack.
+    pub fn with_attack(mut self, attack: Attack) -> Scenario {
+        self.attacks.push(attack);
+        self
+    }
+
+    /// Replaces the monitored node.
+    pub fn with_monitored(mut self, node: NodeId) -> Scenario {
+        self.monitored = node;
+        self
+    }
+
+    /// Replaces the ground-truth label policy.
+    pub fn with_label_policy(mut self, policy: LabelPolicy) -> Scenario {
+        self.label_policy = policy;
+        self
+    }
+
+    /// Earliest instant any attack can be active, if attacks exist.
+    pub fn first_attack_start(&self) -> Option<f64> {
+        self.attacks
+            .iter()
+            .filter_map(|a| match &a.schedule {
+                Schedule::Always => Some(0.0),
+                Schedule::OnOff { start, .. } => Some(start.as_secs()),
+                Schedule::Sessions(v) => v
+                    .iter()
+                    .map(|(b, _)| b.as_secs())
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite")),
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Whether the scenario contains any attack.
+    pub fn is_attacked(&self) -> bool {
+        !self.attacks.is_empty()
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig::builder()
+            .nodes(self.n_nodes)
+            .duration_secs(self.duration_secs)
+            .seed(self.seed)
+            .build()
+    }
+
+    fn attack_for(&self, node: NodeId) -> Option<&Attack> {
+        self.attacks.iter().find(|a| a.attacker == node)
+    }
+
+    /// Runs the simulation and extracts the monitored node's labelled
+    /// feature matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitored node is an attacker (a subverted node's own
+    /// audit log is meaningless), if two attacks share an attacker, or if
+    /// scenario parameters are invalid.
+    pub fn run(&self) -> TraceBundle {
+        let monitored = self.monitored;
+        self.run_nodes(&[monitored]).pop().expect("one bundle")
+    }
+
+    /// Runs the simulation once and extracts labelled feature matrices for
+    /// several vantage nodes. One node's 10 000 s trace covers only the
+    /// roles that node happened to play; training on several honest nodes
+    /// of the same run covers the full variety of normal behaviour.
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::run`], for any of the requested nodes.
+    pub fn run_nodes(&self, nodes: &[NodeId]) -> Vec<TraceBundle> {
+        assert!(!nodes.is_empty(), "need at least one vantage node");
+        for &n in nodes {
+            assert!(
+                self.attack_for(n).is_none(),
+                "cannot monitor a compromised node"
+            );
+            assert!(n.index() < self.n_nodes as usize, "vantage node out of range");
+        }
+        {
+            let mut attackers: Vec<NodeId> = self.attacks.iter().map(|a| a.attacker).collect();
+            attackers.sort();
+            let before = attackers.len();
+            attackers.dedup();
+            assert_eq!(before, attackers.len(), "one attack per compromised node");
+        }
+        let traces = match self.protocol {
+            Protocol::Dsr => self.run_dsr(),
+            Protocol::Aodv => self.run_aodv(),
+        };
+        let extractor = FeatureExtractor::new();
+        let window = SimTime::from_secs(5.0);
+        let first_start = self.first_attack_start();
+        nodes
+            .iter()
+            .map(|&node| {
+                let matrix =
+                    extractor.extract(&traces[node.index()], SimTime::from_secs(self.duration_secs));
+                let labels = matrix
+                    .times
+                    .iter()
+                    .map(|&t| match (self.label_policy, first_start) {
+                        (LabelPolicy::PersistentFromFirstAttack, Some(start)) => t > start,
+                        _ => {
+                            let lo = SimTime::from_secs((t - 5.0).max(0.0));
+                            self.attacks.iter().any(|a| a.schedule.overlaps(lo, window))
+                        }
+                    })
+                    .collect();
+                let mut scenario = self.clone();
+                scenario.monitored = node;
+                TraceBundle {
+                    matrix,
+                    labels,
+                    scenario,
+                }
+            })
+            .collect()
+    }
+
+    fn run_dsr(&self) -> Vec<manet_sim::NodeTrace> {
+        let n = self.n_nodes;
+        let mut sim: Simulator<Box<dyn Agent<Header = DsrHeader>>> =
+            Simulator::new(self.sim_config(), |id| -> Box<dyn Agent<Header = DsrHeader>> {
+                match self.attack_for(id) {
+                None => Box::new(DsrAgent::new()),
+                Some(a) => match &a.kind {
+                    AttackKind::Blackhole => {
+                        Box::new(DsrBlackhole::new(DsrAgent::new(), a.schedule.clone(), n))
+                    }
+                    AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
+                        DsrAgent::new(),
+                        policy.clone(),
+                        a.schedule.clone(),
+                    )),
+                    AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
+                        DsrAgent::new(),
+                        a.schedule.clone(),
+                        n,
+                    )),
+                },
+            }});
+        self.install_traffic(&mut sim);
+        sim.run();
+        sim.into_traces()
+    }
+
+    fn run_aodv(&self) -> Vec<manet_sim::NodeTrace> {
+        let n = self.n_nodes;
+        let mut sim: Simulator<Box<dyn Agent<Header = AodvHeader>>> =
+            Simulator::new(self.sim_config(), |id| -> Box<dyn Agent<Header = AodvHeader>> {
+                match self.attack_for(id) {
+                None => Box::new(AodvAgent::new()),
+                Some(a) => match &a.kind {
+                    AttackKind::Blackhole => {
+                        Box::new(AodvBlackhole::new(AodvAgent::new(), a.schedule.clone(), n))
+                    }
+                    AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
+                        AodvAgent::new(),
+                        policy.clone(),
+                        a.schedule.clone(),
+                    )),
+                    AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
+                        AodvAgent::new(),
+                        a.schedule.clone(),
+                        n,
+                    )),
+                },
+            }});
+        self.install_traffic(&mut sim);
+        sim.run();
+        sim.into_traces()
+    }
+
+    fn install_traffic<A: Agent>(&self, sim: &mut Simulator<A>) {
+        let pattern = ConnectionPattern::random(
+            self.n_nodes,
+            self.max_connections,
+            self.transport.to_traffic(),
+            SimTime::from_secs(self.duration_secs),
+            self.traffic_seed,
+        );
+        pattern.install(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(protocol: Protocol) -> Scenario {
+        Scenario::paper_default(protocol, Transport::Cbr)
+            .with_nodes(20)
+            .with_connections(10)
+            .with_duration(150.0)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn normal_trace_has_no_positive_labels() {
+        let b = tiny(Protocol::Aodv).run();
+        assert_eq!(b.matrix.n_rows(), 30);
+        assert!(b.labels.iter().all(|&l| !l));
+        assert_eq!(b.matrix.n_cols(), 140);
+    }
+
+    #[test]
+    fn attack_windows_are_labelled() {
+        let b = tiny(Protocol::Aodv)
+            .with_attack(Attack::blackhole_at(&[50.0]))
+            .run();
+        // Sessions cover [50, 150): snapshots 55..150 are anomalous.
+        let positive: Vec<f64> = b
+            .matrix
+            .times
+            .iter()
+            .zip(&b.labels)
+            .filter(|&(_, &l)| l)
+            .map(|(&t, _)| t)
+            .collect();
+        assert!(!positive.is_empty());
+        assert!(positive.iter().all(|&t| t >= 55.0 - 1e-9));
+        assert!(b.labels.iter().take(9).all(|&l| !l), "pre-attack is normal");
+    }
+
+    #[test]
+    fn dsr_scenarios_run_too() {
+        let b = tiny(Protocol::Dsr).run();
+        assert_eq!(b.matrix.n_rows(), 30);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_bundles() {
+        let a = tiny(Protocol::Aodv).run();
+        let b = tiny(Protocol::Aodv).run();
+        assert_eq!(a.matrix.rows, b.matrix.rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot monitor a compromised node")]
+    fn monitored_attacker_rejected() {
+        let _ = tiny(Protocol::Aodv)
+            .with_attack(Attack::blackhole_at(&[50.0]).from_node(NodeId(0)))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "one attack per compromised node")]
+    fn duplicate_attackers_rejected() {
+        let _ = tiny(Protocol::Aodv)
+            .with_attack(Attack::blackhole_at(&[50.0]))
+            .with_attack(Attack::storm_at(&[80.0]))
+            .run();
+    }
+}

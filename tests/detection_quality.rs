@@ -1,0 +1,94 @@
+//! Full-loop detection-quality test at a meaningful (if reduced) scale.
+//!
+//! Skipped in debug builds — a 3 × 3000 s simulation plus 140 sub-model
+//! training is only practical with optimizations on. Run via
+//! `cargo test --release --test detection_quality`.
+
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
+
+fn skip_in_debug() -> bool {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping detection-quality test in debug build (needs --release)");
+        true
+    } else {
+        false
+    }
+}
+
+#[test]
+fn cross_feature_analysis_detects_blackhole_on_aodv() {
+    if skip_in_debug() {
+        return;
+    }
+    let base = Scenario::paper_default(Protocol::Aodv, Transport::Cbr)
+        .with_connections(40)
+        .with_duration(3_000.0);
+    let train_nodes = Pipeline::default_train_nodes(50);
+    let mut train = base.clone().with_seed(1).run_nodes(&train_nodes);
+    train.extend(base.clone().with_seed(2).run_nodes(&train_nodes));
+    let normal = base.clone().with_seed(3).run();
+    let attacked = base
+        .clone()
+        .with_seed(4)
+        .with_attack(Attack::blackhole_at(&[1_000.0, 2_000.0]))
+        .run();
+
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability);
+    let outcome = pipeline.evaluate(&train, &[normal, attacked]);
+
+    // Random guessing on this mixture sits at AUC ≈ positives/total − 0.5.
+    let frac_pos = outcome.events.iter().filter(|e| e.is_anomaly).count() as f64
+        / outcome.events.len() as f64;
+    let random = frac_pos - 0.5;
+    assert!(
+        outcome.auc > random + 0.15,
+        "detector must clearly beat random: AUC {:+.3} vs random {:+.3}",
+        outcome.auc,
+        random
+    );
+    let best = outcome.optimal.expect("curve non-empty");
+    assert!(
+        best.recall >= 0.5 && best.precision >= 0.5,
+        "optimal point too weak: recall {:.2} precision {:.2}",
+        best.recall,
+        best.precision
+    );
+}
+
+#[test]
+fn attack_windows_score_lower_than_normal_windows() {
+    if skip_in_debug() {
+        return;
+    }
+    let base = Scenario::paper_default(Protocol::Aodv, Transport::Cbr)
+        .with_connections(40)
+        .with_duration(3_000.0);
+    let train_nodes = Pipeline::default_train_nodes(50);
+    let train = base.clone().with_seed(11).run_nodes(&train_nodes);
+    let attacked = base
+        .clone()
+        .with_seed(12)
+        .with_attack(Attack::blackhole_at(&[1_500.0]))
+        .run();
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability);
+    let outcome = pipeline.evaluate(&train, &[attacked]);
+    let trace = &outcome.traces[0];
+    let mean = |pred: &dyn Fn(bool) -> bool| {
+        let v: Vec<f64> = trace
+            .series
+            .iter()
+            .zip(&trace.labels)
+            .filter(|&(_, &l)| pred(l))
+            .map(|(&(_, s), _)| s)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let normal_mean = mean(&|l| !l);
+    let attack_mean = mean(&|l| l);
+    assert!(
+        attack_mean < normal_mean,
+        "attack-era windows must score lower: attack {attack_mean:.3} vs normal {normal_mean:.3}"
+    );
+}

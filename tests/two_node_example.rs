@@ -1,0 +1,53 @@
+//! Integration test: the paper's §3 illustrative example through the
+//! public API — Tables 1, 2 and 3 must reproduce exactly.
+
+use manet_cfa::core::example2node::{SubModel, TwoNodeExample, ALL_EVENTS, NORMAL_EVENTS};
+use manet_cfa::core::ScoreMethod;
+
+#[test]
+fn table1_has_four_normal_events() {
+    assert_eq!(NORMAL_EVENTS.len(), 4);
+    assert_eq!(ALL_EVENTS.len(), 8);
+    for e in NORMAL_EVENTS {
+        assert!(TwoNodeExample::is_normal(&e));
+    }
+}
+
+#[test]
+fn table2_submodel_probabilities() {
+    // Spot-check the three probability-0.5 rules called out in the text.
+    let reachable = SubModel::build(0);
+    let rule = reachable.rules.iter().find(|r| r.inputs == [false, false]).unwrap();
+    assert!(rule.predicted);
+    assert_eq!(rule.probability, 0.5);
+    let cached = SubModel::build(2);
+    let rule = cached.rules.iter().find(|r| r.inputs == [false, false]).unwrap();
+    assert!(rule.predicted);
+    assert_eq!(rule.probability, 0.5);
+    let delivered = SubModel::build(1);
+    assert!(delivered.rules.iter().all(|r| r.probability == 1.0));
+}
+
+#[test]
+fn paper_worked_example_scores() {
+    // {True, False, False}: match count 1, average probability 0.83.
+    let ex = TwoNodeExample::new();
+    let event = [true, false, false];
+    assert_eq!(ex.score(&event, ScoreMethod::MatchCount), 1.0);
+    assert!((ex.score(&event, ScoreMethod::AvgProbability) - 5.0 / 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn algorithm3_dominates_algorithm2_here() {
+    // Counted over all 8 events at threshold 0.5: Alg. 3 perfect, Alg. 2
+    // one false alarm — the paper's headline for the example.
+    let ex = TwoNodeExample::new();
+    let errors = |method: ScoreMethod| {
+        ALL_EVENTS
+            .iter()
+            .filter(|e| (ex.score(e, method) >= 0.5) != TwoNodeExample::is_normal(e))
+            .count()
+    };
+    assert_eq!(errors(ScoreMethod::AvgProbability), 0);
+    assert_eq!(errors(ScoreMethod::MatchCount), 1);
+}
