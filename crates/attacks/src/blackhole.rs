@@ -258,7 +258,10 @@ mod tests {
         let mut ctx = h.ctx();
         atk.on_timer(&mut ctx, ADVERT_TOKEN);
         let out = ctx.staged_out();
-        assert!(out.len() >= VICTIMS_PER_BURST as usize - 1, "burst expected");
+        assert!(
+            out.len() >= VICTIMS_PER_BURST as usize - 1,
+            "burst expected"
+        );
         for (pkt, dest) in out {
             assert_eq!(*dest, TxDest::Broadcast);
             match &pkt.header {

@@ -35,7 +35,10 @@ impl Schedule {
     ///
     /// Panics if `duration` is zero.
     pub fn on_off(start: SimTime, duration: SimTime) -> Schedule {
-        assert!(duration > SimTime::ZERO, "session duration must be positive");
+        assert!(
+            duration > SimTime::ZERO,
+            "session duration must be positive"
+        );
         Schedule::OnOff {
             start,
             duration,
@@ -97,9 +100,7 @@ impl Schedule {
                 let rel = t.as_micros().saturating_sub(start.as_micros()) % period;
                 // Active if the window covers the start of a session or
                 // begins inside one.
-                rel < duration.as_micros()
-                    || (period - rel) < window.as_micros()
-                    || t < *start
+                rel < duration.as_micros() || (period - rel) < window.as_micros() || t < *start
             }
             Schedule::Sessions(v) => {
                 let end = t + window;
@@ -132,7 +133,10 @@ mod tests {
         assert!(sched.is_active(s(2599.9)));
         assert!(!sched.is_active(s(2600.0)));
         assert!(!sched.is_active(s(2699.9)));
-        assert!(sched.is_active(s(2700.0)), "second session starts after the gap");
+        assert!(
+            sched.is_active(s(2700.0)),
+            "second session starts after the gap"
+        );
     }
 
     #[test]
@@ -148,7 +152,10 @@ mod tests {
     fn overlap_catches_window_straddling_session_start() {
         let sched = Schedule::sessions([(s(100.0), s(200.0))]);
         assert!(!sched.overlaps(s(90.0), s(5.0)));
-        assert!(sched.overlaps(s(97.0), s(5.0)), "window [97,102) touches the session");
+        assert!(
+            sched.overlaps(s(97.0), s(5.0)),
+            "window [97,102) touches the session"
+        );
         assert!(sched.overlaps(s(195.0), s(5.0)));
         assert!(!sched.overlaps(s(200.0), s(5.0)));
     }
@@ -159,7 +166,10 @@ mod tests {
         for i in 0..400 {
             let t = s(900.0 + i as f64);
             if sched.is_active(t) {
-                assert!(sched.overlaps(t, s(5.0)), "active instant must overlap at {t}");
+                assert!(
+                    sched.overlaps(t, s(5.0)),
+                    "active instant must overlap at {t}"
+                );
             }
         }
     }

@@ -221,8 +221,16 @@ mod tests {
         let b = AodvHeader::bogus_rreq(NodeId(1), NodeId(2), 101);
         match (a, b) {
             (
-                AodvHeader::Rreq { id: ia, origin_seq: sa, .. },
-                AodvHeader::Rreq { id: ib, origin_seq: sb, .. },
+                AodvHeader::Rreq {
+                    id: ia,
+                    origin_seq: sa,
+                    ..
+                },
+                AodvHeader::Rreq {
+                    id: ib,
+                    origin_seq: sb,
+                    ..
+                },
             ) => {
                 assert!(ib > ia);
                 assert!(sb > sa);

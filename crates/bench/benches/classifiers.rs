@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks: classifier training and prediction on
 //! realistic (140-column, 5-bucket) synthetic tables.
 
-use cfa_ml::{C45, Classifier, Learner, NaiveBayes, NominalTable, Ripper};
+use cfa_ml::{Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 

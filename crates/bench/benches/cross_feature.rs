@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks: cross-feature ensemble training
-//! (Algorithm 1) and per-event scoring (Algorithms 2 and 3) at the
-//! paper's 140-feature width.
+//! (Algorithm 1), per-event scoring (Algorithms 2 and 3) and batch scoring
+//! at the paper's 140-feature width, serially and with the parallel
+//! execution engine.
 
-use cfa_core::{CrossFeatureModel, ScoreMethod};
+use cfa_core::{CrossFeatureModel, Parallelism, ScoreMethod};
 use cfa_ml::{NaiveBayes, NominalTable};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
@@ -14,7 +15,13 @@ fn paper_width_table(rows: usize, seed: u64) -> NominalTable {
         .map(|_| {
             let base: u8 = rng.gen_range(0..5);
             (0..cols)
-                .map(|_| if rng.gen_bool(0.5) { base } else { rng.gen_range(0..5) })
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        base
+                    } else {
+                        rng.gen_range(0..5)
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -30,11 +37,18 @@ fn bench_cross_feature(c: &mut Criterion) {
     let mut group = c.benchmark_group("cross_feature");
     group.sample_size(10);
     let table = paper_width_table(1000, 3);
-    group.bench_function("train_140_submodels_nb_1000rows", |b| {
-        b.iter(|| CrossFeatureModel::train(&NaiveBayes::default(), &table))
+    group.bench_function("train_140_submodels_nb_1000rows_serial", |b| {
+        b.iter(|| {
+            CrossFeatureModel::train_with(&NaiveBayes::default(), &table, Parallelism::serial())
+        })
+    });
+    group.bench_function("train_140_submodels_nb_1000rows_auto", |b| {
+        b.iter(|| {
+            CrossFeatureModel::train_with(&NaiveBayes::default(), &table, Parallelism::auto())
+        })
     });
     let model = CrossFeatureModel::train(&NaiveBayes::default(), &table);
-    let row = table.rows()[0].clone();
+    let row = table.row_vec(0);
     group.bench_function("score_match_count", |b| {
         b.iter(|| model.score(&row, ScoreMethod::MatchCount))
     });
@@ -44,5 +58,29 @@ fn bench_cross_feature(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cross_feature);
+/// Batch scoring of 10 000 events against all 140 sub-models — the
+/// detection-time workload of a deployed monitor, serial vs. all cores.
+fn bench_batch_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_scoring");
+    group.sample_size(10);
+    let table = paper_width_table(1000, 3);
+    let model = CrossFeatureModel::train(&NaiveBayes::default(), &table);
+    let events = paper_width_table(10_000, 7);
+    for (name, par) in [
+        ("10k_events_match_count_serial", Parallelism::serial()),
+        ("10k_events_match_count_auto", Parallelism::auto()),
+        ("10k_events_avg_probability_serial", Parallelism::serial()),
+        ("10k_events_avg_probability_auto", Parallelism::auto()),
+    ] {
+        let method = if name.contains("match_count") {
+            ScoreMethod::MatchCount
+        } else {
+            ScoreMethod::AvgProbability
+        };
+        group.bench_function(name, |b| b.iter(|| model.scores_with(&events, method, par)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_feature, bench_batch_scoring);
 criterion_main!(benches);

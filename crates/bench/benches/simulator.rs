@@ -42,7 +42,11 @@ fn bench_feature_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("feature_extraction");
     group.sample_size(10);
     // One 1000 s trace, extracted repeatedly.
-    let cfg = SimConfig::builder().nodes(50).duration_secs(1000.0).seed(2).build();
+    let cfg = SimConfig::builder()
+        .nodes(50)
+        .duration_secs(1000.0)
+        .seed(2)
+        .build();
     let pattern = ConnectionPattern::random(50, 20, Transport::Cbr, SimTime::from_secs(1000.0), 2);
     let mut sim = Simulator::new(cfg, |_| AodvAgent::new());
     pattern.install(&mut sim);

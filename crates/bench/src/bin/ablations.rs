@@ -10,21 +10,30 @@
 
 use cfa_bench::experiments::{summarize_outcome, ScenarioSet};
 use manet_cfa::core::eval::{auc_above_diagonal, recall_precision_curve};
-use manet_cfa::core::{CrossFeatureModel, ScoreMethod, ScoredEvent};
+use manet_cfa::core::{CrossFeatureModel, Parallelism, ScoreMethod, ScoredEvent};
 use manet_cfa::features::EqualFrequencyDiscretizer;
 use manet_cfa::pipeline::{ClassifierKind, DynLearner, Pipeline};
 use manet_cfa::scenario::{Protocol, Transport};
 
 fn main() {
-    println!("Ablations on AODV/UDP ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Ablations on AODV/UDP ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     let set = ScenarioSet::build(Protocol::Aodv, Transport::Cbr);
 
     println!("1. Combining rule: match count vs average probability");
     for kind in ClassifierKind::ALL {
         for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
             let outcome = set.evaluate(&Pipeline::new(kind, method));
-            println!("  {}", summarize_outcome(&format!("{} {:?}", kind.name(), method), &outcome));
+            println!(
+                "  {}",
+                summarize_outcome(&format!("{} {:?}", kind.name(), method), &outcome)
+            );
         }
     }
 
@@ -33,7 +42,10 @@ fn main() {
         let p = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
             .with_buckets(buckets);
         let outcome = set.evaluate(&p);
-        println!("  {}", summarize_outcome(&format!("buckets = {buckets}"), &outcome));
+        println!(
+            "  {}",
+            summarize_outcome(&format!("buckets = {buckets}"), &outcome)
+        );
     }
 
     println!("\n3. Number of sub-models (paper future work: fewer models)");
@@ -59,7 +71,10 @@ fn main() {
         let p = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
             .with_smoothing(k);
         let outcome = set.evaluate(&p);
-        println!("  {}", summarize_outcome(&format!("smoothing = {k}"), &outcome));
+        println!(
+            "  {}",
+            summarize_outcome(&format!("smoothing = {k}"), &outcome)
+        );
     }
 }
 
@@ -77,15 +92,27 @@ fn ablate_informed_reduction(set: &ScenarioSet) {
     let model = CrossFeatureModel::train(&DynLearner(pipeline.classifier), &table);
     let stats = submodel_predictability(&model, &table);
     let degenerate = stats.iter().filter(|s| s.is_degenerate()).count();
-    println!("  {} of {} sub-models are degenerate (constant features)", degenerate, stats.len());
+    println!(
+        "  {} of {} sub-models are degenerate (constant features)",
+        degenerate,
+        stats.len()
+    );
     for k in [70usize, 35, 15, 5] {
         let subset = select_informative(&stats, k);
         let mut events = Vec::new();
         for bundle in set.test_bundles() {
             let t = disc.transform(&bundle.matrix).expect("schema");
-            for (row, &label) in t.rows().iter().zip(&bundle.labels) {
-                let score = model.score_subset(row, ScoreMethod::AvgProbability, Some(&subset));
-                events.push(ScoredEvent { score, is_anomaly: label });
+            let scores = model.scores_subset_with(
+                &t,
+                ScoreMethod::AvgProbability,
+                &subset,
+                Parallelism::from_env(),
+            );
+            for (score, &label) in scores.into_iter().zip(&bundle.labels) {
+                events.push(ScoredEvent {
+                    score,
+                    is_anomaly: label,
+                });
             }
         }
         let curve = recall_precision_curve(&events);
@@ -118,9 +145,17 @@ fn ablate_submodels(set: &ScenarioSet) {
         let mut events = Vec::new();
         for bundle in set.test_bundles() {
             let t = disc.transform(&bundle.matrix).expect("schema");
-            for (row, &label) in t.rows().iter().zip(&bundle.labels) {
-                let score = model.score_subset(row, ScoreMethod::AvgProbability, Some(&indices));
-                events.push(ScoredEvent { score, is_anomaly: label });
+            let scores = model.scores_subset_with(
+                &t,
+                ScoreMethod::AvgProbability,
+                &indices,
+                Parallelism::from_env(),
+            );
+            for (score, &label) in scores.into_iter().zip(&bundle.labels) {
+                events.push(ScoredEvent {
+                    score,
+                    is_anomaly: label,
+                });
             }
         }
         let curve = recall_precision_curve(&events);

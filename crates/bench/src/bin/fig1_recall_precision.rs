@@ -1,23 +1,62 @@
 //! Regenerates Figure 1: recall–precision curves using average
 //! probability, for C4.5 / RIPPER / NBC over the four scenario
 //! combinations — plus the §4.2 optimal-point comparison.
+//!
+//! The 3-classifier × 4-scenario grid is embarrassingly parallel once the
+//! simulations are cached, so the twelve evaluations fan out across the
+//! thread budget (`CFA_THREADS`, default all cores). Output order and
+//! numbers are identical for every thread count.
 
 use cfa_bench::experiments::{summarize_outcome, ScenarioSet};
 use cfa_bench::{paper_combos, write_series_csv};
-use manet_cfa::core::ScoreMethod;
-use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::core::parallel::map_chunks;
+use manet_cfa::core::{Parallelism, ScoreMethod};
+use manet_cfa::pipeline::{ClassifierKind, Outcome, Pipeline};
 
 fn main() {
-    println!("Figure 1: recall–precision, average probability ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 1: recall–precision, average probability ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
+    // Simulations are cached on disk, so the sets are built serially;
+    // the twelve train+score cells then fan out.
+    let sets: Vec<ScenarioSet> = paper_combos()
+        .into_iter()
+        .map(|(protocol, transport)| ScenarioSet::build(protocol, transport))
+        .collect();
+    let kinds = ClassifierKind::ALL;
+    let grid = sets.len() * kinds.len();
+    let par = Parallelism::from_env();
+    // Each cell gets one thread; the ensemble inside stays serial so the
+    // machine is not oversubscribed.
+    let cell_par = if par.n_threads() >= grid {
+        par
+    } else {
+        Parallelism::serial()
+    };
+    let outcomes: Vec<Outcome> = map_chunks(par, grid, |range| {
+        range
+            .map(|i| {
+                let set = &sets[i / kinds.len()];
+                let pipeline = Pipeline::new(kinds[i % kinds.len()], ScoreMethod::AvgProbability)
+                    .with_parallelism(cell_par);
+                set.evaluate(&pipeline)
+            })
+            .collect()
+    });
     let mut optimal_points = Vec::new();
-    for (protocol, transport) in paper_combos() {
-        let set = ScenarioSet::build(protocol, transport);
+    for (si, set) in sets.iter().enumerate() {
         println!("--- scenario {} ---", set.label());
-        for kind in ClassifierKind::ALL {
-            let pipeline = Pipeline::new(kind, ScoreMethod::AvgProbability);
-            let outcome = set.evaluate(&pipeline);
-            println!("{}", summarize_outcome(&format!("{} {}", set.label(), kind.name()), &outcome));
+        for (ki, kind) in kinds.into_iter().enumerate() {
+            let outcome = &outcomes[si * kinds.len() + ki];
+            println!(
+                "{}",
+                summarize_outcome(&format!("{} {}", set.label(), kind.name()), outcome)
+            );
             let series: Vec<(f64, f64)> = outcome
                 .curve
                 .iter()
@@ -26,8 +65,8 @@ fn main() {
             write_series_csv(
                 &format!(
                     "fig1_{}_{}_{}.csv",
-                    protocol.name(),
-                    transport.name(),
+                    set.protocol.name(),
+                    set.transport.name(),
                     kind.name().replace('.', "")
                 ),
                 "recall,precision",
@@ -42,7 +81,10 @@ fn main() {
     println!("§4.2 claim check (C4.5 optimal points; paper: AODV better than DSR):");
     for (label, pt) in optimal_points {
         if let Some(p) = pt {
-            println!("  {label:10} optimal = ({:.2}, {:.2})", p.recall, p.precision);
+            println!(
+                "  {label:10} optimal = ({:.2}, {:.2})",
+                p.recall, p.precision
+            );
         }
     }
 }

@@ -7,8 +7,14 @@ use manet_cfa::core::ScoreMethod;
 use manet_cfa::pipeline::{ClassifierKind, Pipeline};
 
 fn main() {
-    println!("Figure 2: RIPPER — average match count vs average probability ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 2: RIPPER — average match count vs average probability ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     for (protocol, transport) in paper_combos() {
         let set = ScenarioSet::build(protocol, transport);
         println!("--- scenario {} ---", set.label());
@@ -19,7 +25,10 @@ fn main() {
         ] {
             let pipeline = Pipeline::new(ClassifierKind::Ripper, method);
             let outcome = set.evaluate(&pipeline);
-            println!("{}", summarize_outcome(&format!("{} {tag}", set.label()), &outcome));
+            println!(
+                "{}",
+                summarize_outcome(&format!("{} {tag}", set.label()), &outcome)
+            );
             let series: Vec<(f64, f64)> = outcome
                 .curve
                 .iter()

@@ -7,8 +7,14 @@ use manet_cfa::core::ScoreMethod;
 use manet_cfa::pipeline::{ClassifierKind, Pipeline};
 
 fn main() {
-    println!("Figure 3: average probability over time (C4.5) ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 3: average probability over time (C4.5) ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     let (bh, dropping) = cfa_bench::mixed_attack_starts();
     for (protocol, transport) in paper_combos() {
         let set = ScenarioSet::build(protocol, transport);
@@ -16,25 +22,38 @@ fn main() {
         let outcome = set.evaluate(&pipeline);
         let normal = outcome.normal_series(FIG_BUCKET_SECS);
         let abnormal = outcome.abnormal_series(FIG_BUCKET_SECS);
-        println!("--- scenario {} (attacks at {bh:.0}s and {dropping:.0}s) ---", set.label());
+        println!(
+            "--- scenario {} (attacks at {bh:.0}s and {dropping:.0}s) ---",
+            set.label()
+        );
         let mean = |s: &[(f64, f64)], lo: f64, hi: f64| {
-            let v: Vec<f64> = s.iter().filter(|&&(t, _)| t >= lo && t < hi).map(|&(_, y)| y).collect();
+            let v: Vec<f64> = s
+                .iter()
+                .filter(|&&(t, _)| t >= lo && t < hi)
+                .map(|&(_, y)| y)
+                .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
         println!(
             "  normal trace  : pre-attack mean {:.3}, post-attack mean {:.3}",
-            mean(&normal, 0.0, bh), mean(&normal, bh, f64::MAX)
+            mean(&normal, 0.0, bh),
+            mean(&normal, bh, f64::MAX)
         );
         println!(
             "  abnormal trace: pre-attack mean {:.3}, post-attack mean {:.3}",
-            mean(&abnormal, 0.0, bh), mean(&abnormal, bh, f64::MAX)
+            mean(&abnormal, 0.0, bh),
+            mean(&abnormal, bh, f64::MAX)
         );
         write_series_csv(
             &format!("fig3_{}_{}_normal.csv", protocol.name(), transport.name()),
-            "time_s,avg_probability", &normal);
+            "time_s,avg_probability",
+            &normal,
+        );
         write_series_csv(
             &format!("fig3_{}_{}_abnormal.csv", protocol.name(), transport.name()),
-            "time_s,avg_probability", &abnormal);
+            "time_s,avg_probability",
+            &abnormal,
+        );
         println!();
     }
     println!("Expected shape: identical curves before the first intrusion; flat normal");

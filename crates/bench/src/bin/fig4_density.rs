@@ -10,8 +10,14 @@ use manet_cfa::pipeline::{ClassifierKind, Pipeline};
 const BINS: usize = 25;
 
 fn main() {
-    println!("Figure 4: score density distributions (C4.5) ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 4: score density distributions (C4.5) ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     for (protocol, transport) in paper_combos() {
         let set = ScenarioSet::build(protocol, transport);
         let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
@@ -25,8 +31,7 @@ fn main() {
         // training-derived threshold and the empirical optimum.
         let empirical = outcome.optimal.map_or(outcome.threshold, |p| p.threshold);
         let below = |scores: &[f64], theta: f64| {
-            scores.iter().filter(|&&s| s < theta).count() as f64
-                / scores.len().max(1) as f64
+            scores.iter().filter(|&&s| s < theta).count() as f64 / scores.len().max(1) as f64
         };
         println!(
             "--- scenario {} (training threshold {:.3}, empirical optimum {:.3}) ---",
@@ -41,10 +46,14 @@ fn main() {
         );
         write_series_csv(
             &format!("fig4_{}_{}_normal.csv", protocol.name(), transport.name()),
-            "score,density", &normal);
+            "score,density",
+            &normal,
+        );
         write_series_csv(
             &format!("fig4_{}_{}_abnormal.csv", protocol.name(), transport.name()),
-            "score,density", &abnormal);
+            "score,density",
+            &abnormal,
+        );
         println!();
     }
     println!("Expected shape: distinct normal/abnormal masses; DSR shows more abnormal");

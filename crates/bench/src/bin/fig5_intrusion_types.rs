@@ -3,29 +3,47 @@
 //! AODV/UDP with C4.5.
 
 use cfa_bench::cache::cached_bundle;
-use cfa_bench::experiments::{blackhole_only_scenario, dropping_only_scenario, ScenarioSet, FIG_BUCKET_SECS};
+use cfa_bench::experiments::{
+    blackhole_only_scenario, dropping_only_scenario, ScenarioSet, FIG_BUCKET_SECS,
+};
 use cfa_bench::write_series_csv;
 use manet_cfa::core::ScoreMethod;
 use manet_cfa::pipeline::{ClassifierKind, Pipeline};
 use manet_cfa::scenario::{Protocol, Transport};
 
 fn main() {
-    println!("Figure 5: per-intrusion-type time series, AODV/UDP/C4.5 ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 5: per-intrusion-type time series, AODV/UDP/C4.5 ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     let starts = cfa_bench::fig5_session_starts();
     println!("three 100 s intrusion sessions at {starts:?}\n");
     let set = ScenarioSet::build(Protocol::Aodv, Transport::Cbr);
     let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
     for (name, scenario) in [
-        ("blackhole", blackhole_only_scenario(Protocol::Aodv, Transport::Cbr, 21)),
-        ("dropping", dropping_only_scenario(Protocol::Aodv, Transport::Cbr, 22)),
+        (
+            "blackhole",
+            blackhole_only_scenario(Protocol::Aodv, Transport::Cbr, 21),
+        ),
+        (
+            "dropping",
+            dropping_only_scenario(Protocol::Aodv, Transport::Cbr, 22),
+        ),
     ] {
         let bundle = cached_bundle(&scenario);
         let outcome = set.evaluate_against(&pipeline, &[bundle]);
         let normal = outcome.normal_series(FIG_BUCKET_SECS);
         let abnormal = outcome.abnormal_series(FIG_BUCKET_SECS);
         let mean = |s: &[(f64, f64)], lo: f64, hi: f64| {
-            let v: Vec<f64> = s.iter().filter(|&&(t, _)| t >= lo && t < hi).map(|&(_, y)| y).collect();
+            let v: Vec<f64> = s
+                .iter()
+                .filter(|&&(t, _)| t >= lo && t < hi)
+                .map(|&(_, y)| y)
+                .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
         println!("--- {name} only ---");
@@ -35,9 +53,20 @@ fn main() {
             mean(&abnormal, starts[0], f64::MAX),
             mean(&normal, starts[0], f64::MAX),
         );
-        println!("  threshold {:.3}; AUC {:+.3}", outcome.threshold, outcome.auc);
-        write_series_csv(&format!("fig5_{name}_abnormal.csv"), "time_s,avg_probability", &abnormal);
-        write_series_csv(&format!("fig5_{name}_normal.csv"), "time_s,avg_probability", &normal);
+        println!(
+            "  threshold {:.3}; AUC {:+.3}",
+            outcome.threshold, outcome.auc
+        );
+        write_series_csv(
+            &format!("fig5_{name}_abnormal.csv"),
+            "time_s,avg_probability",
+            &abnormal,
+        );
+        write_series_csv(
+            &format!("fig5_{name}_normal.csv"),
+            "time_s,avg_probability",
+            &normal,
+        );
         println!();
     }
     println!("Expected shape: each intrusion type separable from normal; anomalies persist");

@@ -12,13 +12,25 @@ use manet_cfa::scenario::{Protocol, Transport};
 const BINS: usize = 25;
 
 fn main() {
-    println!("Figure 6: per-intrusion-type densities, AODV/UDP/C4.5 ({} mode)\n",
-        if cfa_bench::fast_mode() { "FAST" } else { "full" });
+    println!(
+        "Figure 6: per-intrusion-type densities, AODV/UDP/C4.5 ({} mode)\n",
+        if cfa_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
+    );
     let set = ScenarioSet::build(Protocol::Aodv, Transport::Cbr);
     let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
     for (name, scenario) in [
-        ("blackhole", blackhole_only_scenario(Protocol::Aodv, Transport::Cbr, 21)),
-        ("dropping", dropping_only_scenario(Protocol::Aodv, Transport::Cbr, 22)),
+        (
+            "blackhole",
+            blackhole_only_scenario(Protocol::Aodv, Transport::Cbr, 21),
+        ),
+        (
+            "dropping",
+            dropping_only_scenario(Protocol::Aodv, Transport::Cbr, 22),
+        ),
     ] {
         let bundle = cached_bundle(&scenario);
         let outcome = set.evaluate_against(&pipeline, &[bundle]);
@@ -30,18 +42,23 @@ fn main() {
         // training-derived threshold and the empirical optimum.
         let empirical = outcome.optimal.map_or(outcome.threshold, |p| p.threshold);
         let below = |scores: &[f64], theta: f64| {
-            scores.iter().filter(|&&s| s < theta).count() as f64
-                / scores.len().max(1) as f64
+            scores.iter().filter(|&&s| s < theta).count() as f64 / scores.len().max(1) as f64
         };
         println!(
             "--- {name} only (training threshold {:.3}, empirical optimum {:.3}) ---",
             outcome.threshold, empirical
         );
-        println!("  at empirical threshold: false alarms {:.1}%  missed anomalies {:.1}%",
+        println!(
+            "  at empirical threshold: false alarms {:.1}%  missed anomalies {:.1}%",
             100.0 * below(&outcome.normal_scores, empirical),
-            100.0 * (1.0 - below(&outcome.abnormal_scores, empirical)));
+            100.0 * (1.0 - below(&outcome.abnormal_scores, empirical))
+        );
         write_series_csv(&format!("fig6_{name}_normal.csv"), "score,density", &normal);
-        write_series_csv(&format!("fig6_{name}_abnormal.csv"), "score,density", &abnormal);
+        write_series_csv(
+            &format!("fig6_{name}_abnormal.csv"),
+            "score,density",
+            &abnormal,
+        );
         println!();
     }
     println!("Expected shape: normal and abnormal plots distinct for every intrusion");

@@ -7,16 +7,31 @@ fn main() {
     println!("{:-<72}", "");
     println!("{:24} | Notes", "Feature");
     println!("{:-<72}", "");
-    println!("{:24} | ignored in classification, only used for reference", "time");
+    println!(
+        "{:24} | ignored in classification, only used for reference",
+        "time"
+    );
     let notes = [
         ("absolute_velocity", "from mobility traces directly"),
         ("route_add_count", "routes newly added by route discovery"),
         ("route_removal_count", "stale routes being removed"),
-        ("route_find_count", "routes found in cache, no re-discovery needed"),
-        ("route_notice_count", "routes noticed to cache, eavesdropped elsewhere"),
+        (
+            "route_find_count",
+            "routes found in cache, no re-discovery needed",
+        ),
+        (
+            "route_notice_count",
+            "routes noticed to cache, eavesdropped elsewhere",
+        ),
         ("route_repair_count", "broken routes currently under repair"),
-        ("total_route_change", "route_add_count + route_removal_count"),
-        ("average_route_length", "mean hops of routes added in the window"),
+        (
+            "total_route_change",
+            "route_add_count + route_removal_count",
+        ),
+        (
+            "average_route_length",
+            "mean hops of routes added in the window",
+        ),
     ];
     for (name, note) in notes {
         println!("{name:24} | {note}");
@@ -25,5 +40,7 @@ fn main() {
     let spec = FeatureSpec::new();
     assert_eq!(&spec.names()[..8], &notes.map(|(n, _)| n.to_string()));
     println!("{:-<72}", "");
-    println!("8 features (plus `time`, excluded from classification) — matches the implementation.");
+    println!(
+        "8 features (plus `time`, excluded from classification) — matches the implementation."
+    );
 }

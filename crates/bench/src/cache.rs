@@ -49,12 +49,7 @@ fn serialize(bundle: &TraceBundle) -> String {
     );
     out.push('\n');
     for row in &m.rows {
-        out.push_str(
-            &row.iter()
-                .map(f64::to_string)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(f64::to_string).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out

@@ -89,7 +89,10 @@ pub fn blackhole_only_scenario(protocol: Protocol, transport: Transport, seed: u
 pub fn dropping_only_scenario(protocol: Protocol, transport: Transport, seed: u64) -> Scenario {
     crate::base_scenario(protocol, transport)
         .with_seed(seed)
-        .with_attack(Attack::dropping_at(&crate::fig5_session_starts(), NodeId(3)))
+        .with_attack(Attack::dropping_at(
+            &crate::fig5_session_starts(),
+            NodeId(3),
+        ))
 }
 
 /// Pretty-prints a recall–precision curve summary line.

@@ -1,6 +1,7 @@
 //! The end-to-end anomaly detector: ensemble + threshold.
 
 use crate::model::{CrossFeatureModel, ScoreMethod};
+use crate::parallel::Parallelism;
 use crate::threshold::select_threshold;
 use cfa_ml::{Classifier, Learner, NominalTable};
 
@@ -41,10 +42,37 @@ impl<M: Classifier> AnomalyDetector<M> {
         false_alarm_rate: f64,
     ) -> AnomalyDetector<M>
     where
-        L: Learner<Model = M>,
+        L: Learner<Model = M> + Sync,
     {
-        let model = CrossFeatureModel::train(learner, normal);
-        let scores = model.scores(normal, method);
+        Self::fit_with(
+            learner,
+            normal,
+            method,
+            false_alarm_rate,
+            Parallelism::default(),
+        )
+    }
+
+    /// [`AnomalyDetector::fit`] with an explicit thread budget for both
+    /// sub-model training and the normal-score pass that fixes the
+    /// threshold. The fitted detector is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table, fewer than two feature columns, or a
+    /// false-alarm rate outside `[0, 1)`.
+    pub fn fit_with<L>(
+        learner: &L,
+        normal: &NominalTable,
+        method: ScoreMethod,
+        false_alarm_rate: f64,
+        par: Parallelism,
+    ) -> AnomalyDetector<M>
+    where
+        L: Learner<Model = M> + Sync,
+    {
+        let model = CrossFeatureModel::train_with(learner, normal, par);
+        let scores = model.scores_with(normal, method, par);
         let threshold = select_threshold(&scores, false_alarm_rate);
         AnomalyDetector {
             model,
@@ -145,10 +173,9 @@ mod tests {
     fn training_false_alarm_rate_is_bounded() {
         let normal = correlated_normal();
         for fa in [0.0, 0.05, 0.2] {
-            let det =
-                AnomalyDetector::fit(&C45::default(), &normal, ScoreMethod::MatchCount, fa);
+            let det = AnomalyDetector::fit(&C45::default(), &normal, ScoreMethod::MatchCount, fa);
             let alarms = normal
-                .rows()
+                .to_rows()
                 .iter()
                 .filter(|r| det.classify(r) == Verdict::Anomaly)
                 .count();

@@ -98,14 +98,11 @@ pub fn auc_above_diagonal(curve: &[PrPoint]) -> f64 {
 ///
 /// Returns `None` for an empty curve.
 pub fn optimal_point(curve: &[PrPoint]) -> Option<PrPoint> {
-    curve
-        .iter()
-        .copied()
-        .min_by(|a, b| {
-            let da = (1.0 - a.recall).powi(2) + (1.0 - a.precision).powi(2);
-            let db = (1.0 - b.recall).powi(2) + (1.0 - b.precision).powi(2);
-            da.partial_cmp(&db).expect("comparable distances")
-        })
+    curve.iter().copied().min_by(|a, b| {
+        let da = (1.0 - a.recall).powi(2) + (1.0 - a.precision).powi(2);
+        let db = (1.0 - b.recall).powi(2) + (1.0 - b.precision).powi(2);
+        da.partial_cmp(&db).expect("comparable distances")
+    })
 }
 
 /// A normalised histogram ("density distribution") of scores over `[0, 1]`

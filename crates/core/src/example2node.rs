@@ -75,12 +75,7 @@ impl SubModel {
     pub fn build(labeled: usize) -> SubModel {
         assert!(labeled < 3, "feature index out of range");
         let others: Vec<usize> = (0..3).filter(|&i| i != labeled).collect();
-        let combos = [
-            [true, true],
-            [true, false],
-            [false, true],
-            [false, false],
-        ];
+        let combos = [[true, true], [true, false], [false, true], [false, false]];
         // First pass: combinations that appear in normal data.
         let mut rules: Vec<Option<SubModelRule>> = Vec::new();
         for inputs in combos {
@@ -114,11 +109,7 @@ impl SubModel {
         }
         // Second pass: unseen combinations take the majority label of the
         // defined rules, with probability 0.5 (ties go to `true`).
-        let trues = rules
-            .iter()
-            .flatten()
-            .filter(|r| r.predicted)
-            .count();
+        let trues = rules.iter().flatten().filter(|r| r.predicted).count();
         let falses = rules.iter().flatten().count() - trues;
         let majority = trues >= falses;
         let rules = rules
@@ -277,8 +268,14 @@ mod tests {
             assert_eq!(TwoNodeExample::is_normal(&event), normal, "{event:?}");
             let mc = ex.score(&event, ScoreMethod::MatchCount);
             let ap = ex.score(&event, ScoreMethod::AvgProbability);
-            assert!(approx(mc, match_count), "{event:?}: match count {mc} != {match_count}");
-            assert!(approx(ap, avg_prob), "{event:?}: avg prob {ap} != {avg_prob}");
+            assert!(
+                approx(mc, match_count),
+                "{event:?}: match count {mc} != {match_count}"
+            );
+            assert!(
+                approx(ap, avg_prob),
+                "{event:?}: avg prob {ap} != {avg_prob}"
+            );
         }
     }
 

@@ -1,5 +1,6 @@
 //! The cross-feature ensemble: Algorithms 1–3 of the paper.
 
+use crate::parallel::{map_chunks, Parallelism};
 use cfa_ml::{Classifier, Learner, NominalTable};
 
 /// How sub-model outputs are combined into an event score.
@@ -27,7 +28,9 @@ pub struct CrossFeatureModel<M> {
 }
 
 impl<M: Classifier> CrossFeatureModel<M> {
-    /// Algorithm 1: trains `L` sub-models, one per feature of `normal`.
+    /// Algorithm 1: trains `L` sub-models, one per feature of `normal`,
+    /// using the default thread budget ([`Parallelism::default`], one
+    /// thread per available core).
     ///
     /// # Panics
     ///
@@ -35,16 +38,36 @@ impl<M: Classifier> CrossFeatureModel<M> {
     /// feature there is nothing to cross-correlate).
     pub fn train<L>(learner: &L, normal: &NominalTable) -> CrossFeatureModel<M>
     where
-        L: Learner<Model = M>,
+        L: Learner<Model = M> + Sync,
+    {
+        Self::train_with(learner, normal, Parallelism::default())
+    }
+
+    /// Algorithm 1 with an explicit thread budget. The `L` sub-model fits
+    /// are independent, so they fan out across `par` threads; each fit is
+    /// deterministic, so the resulting ensemble is identical for every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no rows or fewer than two columns (with one
+    /// feature there is nothing to cross-correlate).
+    pub fn train_with<L>(
+        learner: &L,
+        normal: &NominalTable,
+        par: Parallelism,
+    ) -> CrossFeatureModel<M>
+    where
+        L: Learner<Model = M> + Sync,
     {
         assert!(normal.n_rows() > 0, "need normal training data");
         assert!(
             normal.n_cols() >= 2,
             "cross-feature analysis needs at least two features"
         );
-        let sub_models = (0..normal.n_cols())
-            .map(|i| learner.fit(normal, i))
-            .collect();
+        let sub_models = map_chunks(par, normal.n_cols(), |range| {
+            range.map(|i| learner.fit(normal, i)).collect()
+        });
         CrossFeatureModel {
             sub_models,
             n_features: normal.n_cols(),
@@ -93,47 +116,129 @@ impl<M: Classifier> CrossFeatureModel<M> {
     /// # Panics
     ///
     /// Panics on length mismatch, an empty subset, or out-of-range indices.
-    pub fn score_subset(
+    pub fn score_subset(&self, row: &[u8], method: ScoreMethod, subset: Option<&[usize]>) -> f64 {
+        assert_eq!(row.len(), self.n_features, "event width mismatch");
+        let mut scratch = Vec::new();
+        match subset {
+            Some(s) => {
+                assert!(!s.is_empty(), "sub-model subset must be non-empty");
+                self.score_indices(row, method, s, &mut scratch)
+            }
+            None => self.score_all(row, method, &mut scratch),
+        }
+    }
+
+    /// Scores `row` against every sub-model, reusing `scratch` for class
+    /// probabilities — the zero-alloc inner loop of the batch scorers.
+    fn score_all(&self, row: &[u8], method: ScoreMethod, scratch: &mut Vec<f64>) -> f64 {
+        let mut total = 0.0;
+        for (i, model) in self.sub_models.iter().enumerate() {
+            total += self.one_model_score(model, row, i, method, scratch);
+        }
+        total / self.n_features as f64
+    }
+
+    /// Scores `row` against the sub-models named by `indices`.
+    fn score_indices(
         &self,
         row: &[u8],
         method: ScoreMethod,
-        subset: Option<&[usize]>,
+        indices: &[usize],
+        scratch: &mut Vec<f64>,
     ) -> f64 {
-        assert_eq!(row.len(), self.n_features, "event width mismatch");
-        let indices: Vec<usize> = match subset {
-            Some(s) => {
-                assert!(!s.is_empty(), "sub-model subset must be non-empty");
-                s.to_vec()
-            }
-            None => (0..self.n_features).collect(),
-        };
         let mut total = 0.0;
-        for &i in &indices {
-            let model = &self.sub_models[i];
-            let (attrs, truth) = NominalTable::split_row(row, i);
-            total += match method {
-                ScoreMethod::MatchCount => f64::from(model.predict(&attrs) == truth),
-                ScoreMethod::AvgProbability => model.prob_of(&attrs, truth),
-            };
+        for &i in indices {
+            total += self.one_model_score(&self.sub_models[i], row, i, method, scratch);
         }
         total / indices.len() as f64
     }
 
-    /// Scores every row of a table.
+    /// One sub-model's contribution: does its prediction of feature `i`
+    /// match the event (Algorithm 2), or how much probability does it give
+    /// the true value (Algorithm 3)? Skips the labelled column in place —
+    /// no row copy.
+    #[inline]
+    fn one_model_score(
+        &self,
+        model: &M,
+        row: &[u8],
+        i: usize,
+        method: ScoreMethod,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        let truth = row[i];
+        match method {
+            ScoreMethod::MatchCount => f64::from(model.predict_row(row, i, scratch) == truth),
+            ScoreMethod::AvgProbability => model.prob_of_row(row, i, truth, scratch),
+        }
+    }
+
+    /// Scores every row of a table with the default thread budget.
     pub fn scores(&self, table: &NominalTable, method: ScoreMethod) -> Vec<f64> {
-        table
-            .rows()
-            .iter()
-            .map(|r| self.score(r, method))
-            .collect()
+        self.scores_with(table, method, Parallelism::default())
+    }
+
+    /// Scores every row of a table, fanning the rows out across `par`
+    /// threads in contiguous chunks. Each row's score is a deterministic
+    /// function of the row alone, and chunk results are reassembled in row
+    /// order, so the output is bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's width differs from the ensemble's.
+    pub fn scores_with(
+        &self,
+        table: &NominalTable,
+        method: ScoreMethod,
+        par: Parallelism,
+    ) -> Vec<f64> {
+        assert_eq!(table.n_cols(), self.n_features, "event width mismatch");
+        map_chunks(par, table.n_rows(), |range| {
+            let mut row = Vec::with_capacity(self.n_features);
+            let mut scratch = Vec::new();
+            range
+                .map(|r| {
+                    table.copy_row_into(r, &mut row);
+                    self.score_all(&row, method, &mut scratch)
+                })
+                .collect()
+        })
+    }
+
+    /// Scores every row of a table against a sub-model subset, fanning the
+    /// rows out across `par` threads (see [`CrossFeatureModel::scores_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch, an empty subset, or out-of-range
+    /// indices.
+    pub fn scores_subset_with(
+        &self,
+        table: &NominalTable,
+        method: ScoreMethod,
+        subset: &[usize],
+        par: Parallelism,
+    ) -> Vec<f64> {
+        assert_eq!(table.n_cols(), self.n_features, "event width mismatch");
+        assert!(!subset.is_empty(), "sub-model subset must be non-empty");
+        map_chunks(par, table.n_rows(), |range| {
+            let mut row = Vec::with_capacity(self.n_features);
+            let mut scratch = Vec::new();
+            range
+                .map(|r| {
+                    table.copy_row_into(r, &mut row);
+                    self.score_indices(&row, method, subset, &mut scratch)
+                })
+                .collect()
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfa_ml::naive_bayes::NaiveBayes;
     use cfa_ml::c45::C45;
+    use cfa_ml::naive_bayes::NaiveBayes;
 
     /// Normal data where f0 == f1 and f2 is uniform noise.
     fn correlated_normal() -> NominalTable {
@@ -169,11 +274,42 @@ mod tests {
     fn scores_are_in_unit_interval() {
         let t = correlated_normal();
         let m = CrossFeatureModel::train(&NaiveBayes::default(), &t);
-        for row in t.rows() {
+        for row in t.to_rows() {
             for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
-                let s = m.score(row, method);
+                let s = m.score(&row, method);
                 assert!((0.0..=1.0).contains(&s), "score {s} out of range");
             }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_scores_or_models() {
+        let t = correlated_normal();
+        let serial =
+            CrossFeatureModel::train_with(&NaiveBayes::default(), &t, Parallelism::serial());
+        let threaded =
+            CrossFeatureModel::train_with(&NaiveBayes::default(), &t, Parallelism::threads(4));
+        for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+            let a = serial.scores_with(&t, method, Parallelism::serial());
+            let b = threaded.scores_with(&t, method, Parallelism::threads(4));
+            assert_eq!(a, b, "{method:?}: scores must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batch_subset_scores_match_single_event_scores() {
+        let t = correlated_normal();
+        let m = CrossFeatureModel::train(&C45::default(), &t);
+        let subset = [0, 2];
+        let batch = m.scores_subset_with(
+            &t,
+            ScoreMethod::AvgProbability,
+            &subset,
+            Parallelism::threads(3),
+        );
+        for (r, &s) in batch.iter().enumerate() {
+            let single = m.score_subset(&t.row_vec(r), ScoreMethod::AvgProbability, Some(&subset));
+            assert_eq!(s, single, "row {r}");
         }
     }
 

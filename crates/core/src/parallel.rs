@@ -1,0 +1,161 @@
+//! Ensemble execution model: how much of the machine the combiner uses.
+//!
+//! Cross-feature analysis is embarrassingly parallel along two axes — the
+//! `L` sub-models of Algorithm 1 are trained independently, and at
+//! detection time every event is scored independently. [`Parallelism`]
+//! captures the thread budget for both, and [`map_chunks`] is the one
+//! fan-out primitive the crate uses: it splits an index range into
+//! contiguous chunks, runs them on scoped threads (`std::thread::scope`,
+//! no external dependencies), and reassembles results **in input order**,
+//! so outputs are identical — bit for bit — for every thread count. With
+//! one thread no threads are spawned at all and the closure runs inline on
+//! the caller, which is exactly the pre-parallel code path.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Thread budget for ensemble training and batch scoring.
+///
+/// The default asks the OS for the number of available cores. Results do
+/// not depend on the choice: scoring and training are deterministic
+/// functions of their inputs and [`map_chunks`] preserves input order, so
+/// `Parallelism::serial()` and `Parallelism::threads(n)` produce
+/// bit-identical models and scores (this is asserted by the test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Exactly one thread: run everything inline on the caller.
+    pub fn serial() -> Parallelism {
+        Parallelism {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// One thread per available core (falls back to serial when the OS
+    /// cannot say).
+    pub fn auto() -> Parallelism {
+        Parallelism {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// An explicit thread count; `0` is treated as `1`.
+    pub fn threads(n: usize) -> Parallelism {
+        Parallelism {
+            threads: NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// Reads the `CFA_THREADS` environment variable (a positive integer);
+    /// unset, empty, or unparsable values fall back to [`Parallelism::auto`].
+    pub fn from_env() -> Parallelism {
+        match std::env::var("CFA_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Parallelism::threads(n),
+                _ => Parallelism::auto(),
+            },
+            Err(_) => Parallelism::auto(),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn n_threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::auto()
+    }
+}
+
+/// Runs `f` over `0..n` split into at most `par.n_threads()` contiguous
+/// chunks and concatenates the per-chunk outputs in input order.
+///
+/// `f` receives the index sub-range it owns and returns one output per
+/// index, in order. With one thread (or one chunk) `f` runs inline on the
+/// calling thread and no thread is spawned.
+pub fn map_chunks<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let n_threads = par.n_threads().min(n.max(1));
+    if n_threads <= 1 {
+        return f(0..n);
+    }
+    // Split 0..n into n_threads contiguous chunks differing in size by at
+    // most one, larger chunks first.
+    let base = n / n_threads;
+    let extra = n % n_threads;
+    let mut ranges = Vec::with_capacity(n_threads);
+    let mut start = 0;
+    for t in 0..n_threads {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        // Joining in spawn order keeps the concatenation deterministic.
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert_eq!(Parallelism::serial().n_threads(), 1);
+        assert_eq!(Parallelism::threads(0).n_threads(), 1);
+        assert_eq!(Parallelism::threads(7).n_threads(), 7);
+        assert!(Parallelism::auto().n_threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_preserves_order_for_any_thread_count() {
+        let square = |r: Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
+        let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                map_chunks(Parallelism::threads(threads), 23, square),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_and_tiny_inputs() {
+        let id = |r: Range<usize>| r.collect::<Vec<_>>();
+        assert!(map_chunks(Parallelism::threads(4), 0, id).is_empty());
+        assert_eq!(map_chunks(Parallelism::threads(4), 1, id), vec![0]);
+        assert_eq!(map_chunks(Parallelism::threads(4), 3, id), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunks_cover_the_range_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let visits = AtomicUsize::new(0);
+        let out = map_chunks(Parallelism::threads(5), 17, |r| {
+            visits.fetch_add(r.len(), Ordering::Relaxed);
+            r.collect::<Vec<_>>()
+        });
+        assert_eq!(out.len(), 17);
+        assert_eq!(visits.load(Ordering::Relaxed), 17);
+    }
+}

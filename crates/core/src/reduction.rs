@@ -18,6 +18,7 @@
 //! [`CrossFeatureModel::score_subset`](crate::CrossFeatureModel::score_subset).
 
 use crate::model::CrossFeatureModel;
+use crate::parallel::{map_chunks, Parallelism};
 use cfa_ml::{Classifier, NominalTable};
 
 /// Per-sub-model diagnostics on (held-out) normal data.
@@ -53,6 +54,22 @@ pub fn submodel_predictability<M: Classifier>(
     model: &CrossFeatureModel<M>,
     normal: &NominalTable,
 ) -> Vec<SubModelStats> {
+    submodel_predictability_with(model, normal, Parallelism::default())
+}
+
+/// [`submodel_predictability`] with an explicit thread budget; the
+/// per-feature evaluations are independent and fan out across `par`
+/// threads.
+///
+/// # Panics
+///
+/// Panics if the table's width differs from the model's feature count or
+/// the table is empty.
+pub fn submodel_predictability_with<M: Classifier>(
+    model: &CrossFeatureModel<M>,
+    normal: &NominalTable,
+    par: Parallelism,
+) -> Vec<SubModelStats> {
     assert_eq!(
         normal.n_cols(),
         model.n_features(),
@@ -60,28 +77,33 @@ pub fn submodel_predictability<M: Classifier>(
     );
     assert!(normal.n_rows() > 0, "need evaluation rows");
     let n = normal.n_rows() as f64;
-    (0..model.n_features())
-        .map(|i| {
-            let sub = &model.sub_models()[i];
-            let mut prob_sum = 0.0;
-            let mut matches = 0usize;
-            let mut seen = std::collections::BTreeSet::new();
-            for row in normal.rows() {
-                let (attrs, truth) = NominalTable::split_row(row, i);
-                prob_sum += sub.prob_of(&attrs, truth);
-                if sub.predict(&attrs) == truth {
-                    matches += 1;
+    map_chunks(par, model.n_features(), |features| {
+        let mut row = Vec::with_capacity(normal.n_cols());
+        let mut scratch = Vec::new();
+        features
+            .map(|i| {
+                let sub = &model.sub_models()[i];
+                let truths = normal.col(i);
+                let mut prob_sum = 0.0;
+                let mut matches = 0usize;
+                let mut seen = std::collections::BTreeSet::new();
+                for (r, &truth) in truths.iter().enumerate() {
+                    normal.copy_row_into(r, &mut row);
+                    prob_sum += sub.prob_of_row(&row, i, truth, &mut scratch);
+                    if sub.predict_row(&row, i, &mut scratch) == truth {
+                        matches += 1;
+                    }
+                    seen.insert(truth);
                 }
-                seen.insert(truth);
-            }
-            SubModelStats {
-                feature: i,
-                mean_true_prob: prob_sum / n,
-                match_rate: matches as f64 / n,
-                distinct_values: seen.len(),
-            }
-        })
-        .collect()
+                SubModelStats {
+                    feature: i,
+                    mean_true_prob: prob_sum / n,
+                    match_rate: matches as f64 / n,
+                    distinct_values: seen.len(),
+                }
+            })
+            .collect()
+    })
 }
 
 /// Selects up to `k` informative sub-model indices: non-degenerate
@@ -99,8 +121,7 @@ pub fn submodel_predictability<M: Classifier>(
 /// Panics if `k == 0`.
 pub fn select_informative(stats: &[SubModelStats], k: usize) -> Vec<usize> {
     assert!(k > 0, "need at least one sub-model");
-    let mut candidates: Vec<&SubModelStats> =
-        stats.iter().filter(|s| !s.is_degenerate()).collect();
+    let mut candidates: Vec<&SubModelStats> = stats.iter().filter(|s| !s.is_degenerate()).collect();
     candidates.sort_by(|a, b| {
         b.mean_true_prob
             .partial_cmp(&a.mean_true_prob)

@@ -45,7 +45,10 @@ mod tests {
         let scores = [0.4, 0.9, 0.7, 0.5, 1.0];
         let theta = select_threshold(&scores, 0.0);
         assert_eq!(theta, 0.4);
-        assert!(scores.iter().all(|&s| s >= theta), "no normal event flagged");
+        assert!(
+            scores.iter().all(|&s| s >= theta),
+            "no normal event flagged"
+        );
     }
 
     #[test]

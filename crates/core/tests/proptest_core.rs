@@ -9,10 +9,8 @@ use proptest::prelude::*;
 
 fn events_strategy() -> impl Strategy<Value = Vec<ScoredEvent>> {
     proptest::collection::vec(
-        (0.0f64..=1.0, proptest::bool::ANY).prop_map(|(score, is_anomaly)| ScoredEvent {
-            score,
-            is_anomaly,
-        }),
+        (0.0f64..=1.0, proptest::bool::ANY)
+            .prop_map(|(score, is_anomaly)| ScoredEvent { score, is_anomaly }),
         2..200,
     )
     .prop_filter("need at least one anomaly", |v| {

@@ -1,0 +1,244 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace must build on hosts with no reachable crates-io mirror, so
+//! this crate implements the slice of the `criterion` 0.5 API the bench
+//! targets use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `finish`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a straightforward wall-clock protocol: one calibration
+//! pass sizes the per-sample iteration count to roughly 100 ms, then
+//! `sample_size` samples are timed and the min / median / max per-iteration
+//! times are printed in criterion's familiar `time: [low mid high]` shape.
+//! There is no statistical regression analysis, HTML report, or baseline
+//! comparison — numbers go to stdout and nothing is persisted.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Ungrouped benchmark (`c.bench_function(...)`).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into_benchmark_id(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Two-part benchmark identifier (`BenchmarkId::new("c45", "2000x30")`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one iteration, doubling as warm-up.
+    let mut cal = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut cal);
+    let per_iter_ns = cal.elapsed.as_nanos().max(1);
+
+    // Aim for ~100 ms per sample so fast bodies get statistically useful
+    // iteration counts while slow bodies (whole simulations) run once.
+    const TARGET_SAMPLE_NS: u128 = 100_000_000;
+    let iters = ((TARGET_SAMPLE_NS / per_iter_ns).max(1)).min(u128::from(u64::MAX)) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let low = samples[0];
+    let mid = samples[samples.len() / 2];
+    let high = samples[samples.len() - 1];
+    println!(
+        "{id:<55} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(low),
+        fmt_ns(mid),
+        fmt_ns(high),
+        sample_size,
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target. Command-line
+/// arguments (cargo passes `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "bench body must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_both_parts() {
+        let id = BenchmarkId::new("c45", "2000x30");
+        assert_eq!(id.into_benchmark_id(), "c45/2000x30");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

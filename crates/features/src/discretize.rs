@@ -92,17 +92,16 @@ impl EqualFrequencyDiscretizer {
     /// Returns a [`DatasetError`] if the matrix's width disagrees with the
     /// fitted column count.
     pub fn transform(&self, matrix: &FeatureMatrix) -> Result<NominalTable, DatasetError> {
-        let rows: Vec<Vec<u8>> = matrix
-            .rows
-            .iter()
-            .map(|r| {
-                r.iter()
-                    .enumerate()
-                    .map(|(c, &v)| self.bucket(c, v))
-                    .collect()
-            })
-            .collect();
-        NominalTable::new(matrix.names.clone(), self.cards(), rows)
+        // Build the table column-major directly — it is the table's native
+        // layout, so no row-major transpose is ever materialised.
+        let cols: Vec<Vec<u8>> = if matrix.n_cols() == self.cuts.len() {
+            (0..self.cuts.len())
+                .map(|c| matrix.rows.iter().map(|r| self.bucket(c, r[c])).collect())
+                .collect()
+        } else {
+            Vec::new() // width mismatch: let from_columns report it
+        };
+        NominalTable::from_columns(matrix.names.clone(), self.cards(), cols)
     }
 }
 
@@ -130,8 +129,8 @@ mod tests {
         let d = EqualFrequencyDiscretizer::fit(&m, 5, None, 0);
         let t = d.transform(&m).unwrap();
         let mut counts = [0usize; 5];
-        for r in t.rows() {
-            counts[r[0] as usize] += 1;
+        for &v in t.col(0) {
+            counts[v as usize] += 1;
         }
         for &c in &counts {
             assert!((15..=25).contains(&c), "bucket sizes {counts:?}");
@@ -144,7 +143,7 @@ mod tests {
         let d = EqualFrequencyDiscretizer::fit(&m, 5, None, 0);
         assert_eq!(d.cards(), vec![1]);
         let t = d.transform(&m).unwrap();
-        assert!(t.rows().iter().all(|r| r[0] == 0));
+        assert!(t.col(0).iter().all(|&v| v == 0));
     }
 
     #[test]

@@ -187,7 +187,11 @@ impl FeatureExtractor {
             row.push(counts[kind_pos(RouteEventKind::Noticed)] as f64);
             row.push(counts[kind_pos(RouteEventKind::Repaired)] as f64);
             row.push(add + removal); // total route change
-            row.push(if len_n > 0 { len_sum / len_n as f64 } else { 0.0 });
+            row.push(if len_n > 0 {
+                len_sum / len_n as f64
+            } else {
+                0.0
+            });
             debug_assert_eq!(row.len(), N_TOPOLOGY_FEATURES);
 
             // --- Feature Set II ---
@@ -229,8 +233,16 @@ mod tests {
             );
         }
         // 2 RREQ forwards in the second window.
-        tr.packet(SimTime::from_secs(6.0), TracePacketKind::Rreq, Direction::Forwarded);
-        tr.packet(SimTime::from_secs(8.0), TracePacketKind::Rreq, Direction::Forwarded);
+        tr.packet(
+            SimTime::from_secs(6.0),
+            TracePacketKind::Rreq,
+            Direction::Forwarded,
+        );
+        tr.packet(
+            SimTime::from_secs(8.0),
+            TracePacketKind::Rreq,
+            Direction::Forwarded,
+        );
         // Route events.
         tr.route(SimTime::from_secs(2.0), RouteEventKind::Added, Some(3));
         tr.route(SimTime::from_secs(3.0), RouteEventKind::Removed, None);
@@ -240,7 +252,10 @@ mod tests {
     }
 
     fn col(m: &FeatureMatrix, name: &str) -> usize {
-        m.names.iter().position(|n| n == name).expect("feature exists")
+        m.names
+            .iter()
+            .position(|n| n == name)
+            .expect("feature exists")
     }
 
     #[test]
@@ -268,9 +283,21 @@ mod tests {
     #[test]
     fn route_all_includes_control_and_transit() {
         let mut tr = NodeTrace::new();
-        tr.packet(SimTime::from_secs(1.0), TracePacketKind::Rreq, Direction::Forwarded);
-        tr.packet(SimTime::from_secs(2.0), TracePacketKind::DataTransit, Direction::Forwarded);
-        tr.packet(SimTime::from_secs(3.0), TracePacketKind::Hello, Direction::Forwarded);
+        tr.packet(
+            SimTime::from_secs(1.0),
+            TracePacketKind::Rreq,
+            Direction::Forwarded,
+        );
+        tr.packet(
+            SimTime::from_secs(2.0),
+            TracePacketKind::DataTransit,
+            Direction::Forwarded,
+        );
+        tr.packet(
+            SimTime::from_secs(3.0),
+            TracePacketKind::Hello,
+            Direction::Forwarded,
+        );
         let m = FeatureExtractor::new().extract(&tr, SimTime::from_secs(5.0));
         let c = col(&m, "route_fwd_5s_count");
         assert_eq!(m.rows[0][c], 3.0);
@@ -303,7 +330,11 @@ mod tests {
     fn stddev_feature_flows_through() {
         let mut tr = NodeTrace::new();
         for t in [0.5, 1.5, 4.5] {
-            tr.packet(SimTime::from_secs(t), TracePacketKind::Data, Direction::Sent);
+            tr.packet(
+                SimTime::from_secs(t),
+                TracePacketKind::Data,
+                Direction::Sent,
+            );
         }
         let m = FeatureExtractor::new().extract(&tr, SimTime::from_secs(5.0));
         let c = col(&m, "data_sent_5s_ivstd");

@@ -72,8 +72,8 @@ proptest! {
         let cards = d.cards();
         prop_assert!(cards[0] <= buckets);
         let t = d.transform(&matrix).expect("schema");
-        for r in t.rows() {
-            prop_assert!((r[0] as usize) < cards[0]);
+        for &v in t.col(0) {
+            prop_assert!((v as usize) < cards[0]);
         }
         // Monotone: larger values never get smaller buckets.
         let mut pairs: Vec<(f64, u8)> = vals.iter().map(|&v| (v, d.bucket(0, v))).collect();

@@ -15,7 +15,7 @@
 //!   probabilities are never exactly 0 or 1 on tiny leaves).
 
 use crate::dataset::NominalTable;
-use crate::{Classifier, Learner};
+use crate::{attr_index, check_row_width, Classifier, Learner};
 
 /// Configuration for the C4.5 learner.
 #[derive(Debug, Clone)]
@@ -112,8 +112,7 @@ fn pessimistic_errors(errors: f64, n: f64, z: f64) -> f64 {
     }
     let f = errors / n;
     let z2 = z * z;
-    let bound = (f + z2 / (2.0 * n)
-        + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
+    let bound = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
         / (1.0 + z2 / n);
     bound * n
 }
@@ -145,7 +144,10 @@ fn z_for_confidence(cf: f64) -> f64 {
 }
 
 struct Builder<'a> {
-    rows: Vec<(Vec<u8>, u8)>,
+    /// Attribute columns (class column removed), borrowed from the table.
+    cols: Vec<&'a [u8]>,
+    /// Class column, borrowed from the table.
+    y: &'a [u8],
     attr_cards: Vec<usize>,
     n_classes: usize,
     cfg: &'a C45,
@@ -157,7 +159,7 @@ impl Builder<'_> {
     fn class_counts(&self, idx: &[usize]) -> Vec<u32> {
         let mut counts = vec![0u32; self.n_classes];
         for &i in idx {
-            counts[self.rows[i].1 as usize] += 1;
+            counts[self.y[i] as usize] += 1;
         }
         counts
     }
@@ -179,11 +181,12 @@ impl Builder<'_> {
             if card < 2 {
                 continue;
             }
+            let col = self.cols[a];
             let mut branch_counts = vec![vec![0u32; self.n_classes]; card];
             let mut branch_sizes = vec![0usize; card];
             for &i in idx {
-                let v = self.rows[i].0[a] as usize;
-                branch_counts[v][self.rows[i].1 as usize] += 1;
+                let v = col[i] as usize;
+                branch_counts[v][self.y[i] as usize] += 1;
                 branch_sizes[v] += 1;
             }
             let non_empty = branch_sizes.iter().filter(|&&s| s > 0).count();
@@ -230,9 +233,10 @@ impl Builder<'_> {
 
         // Partition and recurse.
         let card = self.attr_cards[attr];
+        let col = self.cols[attr];
         let mut parts: Vec<Vec<usize>> = vec![Vec::new(); card];
         for &i in idx {
-            parts[self.rows[i].0[attr] as usize].push(i);
+            parts[col[i] as usize].push(i);
         }
         let mut children = vec![usize::MAX; card];
         for (v, part) in parts.iter().enumerate() {
@@ -291,20 +295,22 @@ impl Learner for C45 {
             .filter(|&(i, _)| i != class_col)
             .map(|(_, &c)| c)
             .collect();
-        let rows: Vec<(Vec<u8>, u8)> = table
-            .rows()
-            .iter()
-            .map(|r| NominalTable::split_row(r, class_col))
+        // Borrow columns straight out of the columnar table: no row
+        // materialisation, the builder's counting loops scan contiguous
+        // slices.
+        let cols: Vec<&[u8]> = (0..attr_cards.len())
+            .map(|a| table.col(attr_index(a, class_col)))
             .collect();
         let mut b = Builder {
-            rows,
+            cols,
+            y: table.col(class_col),
             attr_cards: attr_cards.clone(),
             n_classes,
             cfg: self,
             nodes: Vec::new(),
             z: z_for_confidence(self.confidence),
         };
-        let all: Vec<usize> = (0..b.rows.len()).collect();
+        let all: Vec<usize> = (0..table.n_rows()).collect();
         let root = b.build(&all, 0);
         b.prune(root);
         C45Model {
@@ -321,12 +327,8 @@ impl Classifier for C45Model {
         self.n_classes
     }
 
-    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
-        assert_eq!(
-            x.len(),
-            self.attr_cards.len(),
-            "attribute vector length mismatch"
-        );
+    fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>) {
+        check_row_width(row.len(), class_col, self.attr_cards.len());
         let mut node = self.root;
         let counts = loop {
             match &self.nodes[node] {
@@ -337,7 +339,7 @@ impl Classifier for C45Model {
                     counts,
                 } => {
                     let card = self.attr_cards[*attr];
-                    let v = (x[*attr] as usize).min(card - 1);
+                    let v = (row[attr_index(*attr, class_col)] as usize).min(card - 1);
                     let child = children[v];
                     if child == usize::MAX {
                         break counts; // empty branch: use this node's counts
@@ -349,10 +351,8 @@ impl Classifier for C45Model {
         // Laplace-smoothed leaf frequencies (the paper's nᵢ/n rule).
         let n: u32 = counts.iter().sum();
         let k = self.n_classes as f64;
-        counts
-            .iter()
-            .map(|&c| (c as f64 + 1.0) / (n as f64 + k))
-            .collect()
+        out.clear();
+        out.extend(counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + k)));
     }
 }
 

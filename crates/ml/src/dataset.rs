@@ -1,4 +1,12 @@
-//! Nominal datasets.
+//! Nominal datasets, stored column-major.
+//!
+//! [`NominalTable`] keeps one contiguous `Vec<u8>` per column. The learners
+//! in this crate are counting machines — every training pass walks a few
+//! columns end to end — so the columnar layout turns their inner loops into
+//! linear scans over contiguous memory instead of strided hops across
+//! row `Vec`s. Row-shaped access is still available where it is needed
+//! (scoring events, tests) through [`NominalTable::copy_row_into`] and
+//! friends.
 
 use std::fmt;
 
@@ -16,6 +24,15 @@ pub enum DatasetError {
     RowLength {
         /// Index of the offending row.
         row: usize,
+        /// Its length.
+        len: usize,
+        /// The expected length.
+        expected: usize,
+    },
+    /// A column's length differs from the others (column-major input).
+    ColumnLength {
+        /// Index of the offending column.
+        col: usize,
         /// Its length.
         len: usize,
         /// The expected length.
@@ -48,6 +65,9 @@ impl fmt::Display for DatasetError {
             DatasetError::RowLength { row, len, expected } => {
                 write!(f, "row {row} has {len} values, expected {expected}")
             }
+            DatasetError::ColumnLength { col, len, expected } => {
+                write!(f, "column {col} has {len} values, expected {expected}")
+            }
             DatasetError::ValueOutOfRange {
                 row,
                 col,
@@ -67,7 +87,7 @@ impl fmt::Display for DatasetError {
 impl std::error::Error for DatasetError {}
 
 /// A dataset of discrete (nominal) attributes: named columns with finite
-/// value domains `0..card`, and rows of `u8` values.
+/// value domains `0..card`, stored as one contiguous `Vec<u8>` per column.
 ///
 /// This is the common currency between feature extraction, the learners in
 /// this crate and the cross-feature combiner.
@@ -75,11 +95,13 @@ impl std::error::Error for DatasetError {}
 pub struct NominalTable {
     names: Vec<String>,
     cards: Vec<usize>,
-    rows: Vec<Vec<u8>>,
+    n_rows: usize,
+    /// `cols[c][r]` is the value of column `c` in row `r`.
+    cols: Vec<Vec<u8>>,
 }
 
 impl NominalTable {
-    /// Builds a validated table.
+    /// Builds a validated table from row-major data.
     ///
     /// # Errors
     ///
@@ -101,6 +123,8 @@ impl NominalTable {
                 return Err(DatasetError::EmptyDomain { col });
             }
         }
+        let n_rows = rows.len();
+        let mut cols: Vec<Vec<u8>> = cards.iter().map(|_| Vec::with_capacity(n_rows)).collect();
         for (r, row) in rows.iter().enumerate() {
             if row.len() != names.len() {
                 return Err(DatasetError::RowLength {
@@ -118,9 +142,68 @@ impl NominalTable {
                         card,
                     });
                 }
+                cols[c].push(v);
             }
         }
-        Ok(NominalTable { names, cards, rows })
+        Ok(NominalTable {
+            names,
+            cards,
+            n_rows,
+            cols,
+        })
+    }
+
+    /// Builds a validated table directly from column-major data, avoiding
+    /// the row-major transpose entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] if shapes disagree, column lengths
+    /// differ, any value falls outside its column's domain, or a domain is
+    /// empty.
+    pub fn from_columns(
+        names: Vec<String>,
+        cards: Vec<usize>,
+        cols: Vec<Vec<u8>>,
+    ) -> Result<NominalTable, DatasetError> {
+        if names.len() != cards.len() || names.len() != cols.len() {
+            return Err(DatasetError::ShapeMismatch {
+                names: names.len(),
+                cards: cards.len(),
+            });
+        }
+        for (col, &card) in cards.iter().enumerate() {
+            if card == 0 {
+                return Err(DatasetError::EmptyDomain { col });
+            }
+        }
+        let n_rows = cols.first().map_or(0, Vec::len);
+        for (c, col) in cols.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(DatasetError::ColumnLength {
+                    col: c,
+                    len: col.len(),
+                    expected: n_rows,
+                });
+            }
+            let card = cards[c];
+            for (r, &v) in col.iter().enumerate() {
+                if v as usize >= card {
+                    return Err(DatasetError::ValueOutOfRange {
+                        row: r,
+                        col: c,
+                        value: v,
+                        card,
+                    });
+                }
+            }
+        }
+        Ok(NominalTable {
+            names,
+            cards,
+            n_rows,
+            cols,
+        })
     }
 
     /// Column names.
@@ -133,11 +216,6 @@ impl NominalTable {
         &self.cards
     }
 
-    /// The rows.
-    pub fn rows(&self) -> &[Vec<u8>] {
-        &self.rows
-    }
-
     /// Number of columns.
     pub fn n_cols(&self) -> usize {
         self.names.len()
@@ -145,37 +223,96 @@ impl NominalTable {
 
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
-    /// A single row's attribute vector with column `class_col` removed —
-    /// the shape learners' models expect at prediction time.
+    /// One column as a contiguous slice — the learners' training currency.
     ///
     /// # Panics
     ///
-    /// Panics if `row` or `class_col` is out of range.
-    pub fn attrs_without(&self, row: usize, class_col: usize) -> Vec<u8> {
-        let r = &self.rows[row];
-        assert!(class_col < r.len(), "class column out of range");
-        let mut v = Vec::with_capacity(r.len() - 1);
-        v.extend_from_slice(&r[..class_col]);
-        v.extend_from_slice(&r[class_col + 1..]);
-        v
+    /// Panics if `col` is out of range.
+    pub fn col(&self, col: usize) -> &[u8] {
+        &self.cols[col]
     }
 
-    /// Splits an arbitrary full-width row into `(attrs, class)` for a given
-    /// class column (helper mirroring [`NominalTable::attrs_without`] for
-    /// rows not stored in the table).
+    /// A single cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn value(&self, row: usize, col: usize) -> u8 {
+        assert!(row < self.n_rows, "row out of range");
+        self.cols[col][row]
+    }
+
+    /// Gathers row `row` into `buf` (cleared first), reusing its capacity.
+    /// The zero-alloc row view for batch scoring loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn copy_row_into(&self, row: usize, buf: &mut Vec<u8>) {
+        assert!(row < self.n_rows, "row out of range");
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[row]));
+    }
+
+    /// Row `row` as a freshly allocated `Vec` (tests, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_vec(&self, row: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.n_cols());
+        self.copy_row_into(row, &mut buf);
+        buf
+    }
+
+    /// Materialises the whole table row-major. Intended for tests and
+    /// interop; hot paths should iterate [`NominalTable::col`] or use
+    /// [`NominalTable::copy_row_into`].
+    pub fn to_rows(&self) -> Vec<Vec<u8>> {
+        (0..self.n_rows).map(|r| self.row_vec(r)).collect()
+    }
+
+    /// The single row-splitting implementation: copies `row` minus its
+    /// `class_col` entry into `attrs_out` (cleared first) and returns the
+    /// class value. Non-allocating when `attrs_out` has capacity.
     ///
     /// # Panics
     ///
     /// Panics if `class_col >= row.len()`.
-    pub fn split_row(row: &[u8], class_col: usize) -> (Vec<u8>, u8) {
+    pub fn split_row_into(row: &[u8], class_col: usize, attrs_out: &mut Vec<u8>) -> u8 {
         assert!(class_col < row.len(), "class column out of range");
-        let mut attrs = Vec::with_capacity(row.len() - 1);
-        attrs.extend_from_slice(&row[..class_col]);
-        attrs.extend_from_slice(&row[class_col + 1..]);
-        (attrs, row[class_col])
+        attrs_out.clear();
+        attrs_out.extend_from_slice(&row[..class_col]);
+        attrs_out.extend_from_slice(&row[class_col + 1..]);
+        row[class_col]
+    }
+
+    /// A single row's attribute vector with column `class_col` removed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `Classifier::predict_row`/`class_probs_into` on the \
+                full row, or `NominalTable::split_row_into` with a reused buffer"
+    )]
+    pub fn attrs_without(&self, row: usize, class_col: usize) -> Vec<u8> {
+        let full = self.row_vec(row);
+        let mut attrs = Vec::with_capacity(full.len().saturating_sub(1));
+        Self::split_row_into(&full, class_col, &mut attrs);
+        attrs
+    }
+
+    /// Splits an arbitrary full-width row into `(attrs, class)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `Classifier::predict_row`/`class_probs_into` on the \
+                full row, or `NominalTable::split_row_into` with a reused buffer"
+    )]
+    pub fn split_row(row: &[u8], class_col: usize) -> (Vec<u8>, u8) {
+        let mut attrs = Vec::with_capacity(row.len().saturating_sub(1));
+        let y = Self::split_row_into(row, class_col, &mut attrs);
+        (attrs, y)
     }
 
     /// Appends a validated row.
@@ -186,7 +323,7 @@ impl NominalTable {
     pub fn push_row(&mut self, row: Vec<u8>) -> Result<(), DatasetError> {
         if row.len() != self.names.len() {
             return Err(DatasetError::RowLength {
-                row: self.rows.len(),
+                row: self.n_rows,
                 len: row.len(),
                 expected: self.names.len(),
             });
@@ -194,14 +331,17 @@ impl NominalTable {
         for (c, (&v, &card)) in row.iter().zip(&self.cards).enumerate() {
             if v as usize >= card {
                 return Err(DatasetError::ValueOutOfRange {
-                    row: self.rows.len(),
+                    row: self.n_rows,
                     col: c,
                     value: v,
                     card,
                 });
             }
         }
-        self.rows.push(row);
+        for (c, &v) in row.iter().enumerate() {
+            self.cols[c].push(v);
+        }
+        self.n_rows += 1;
         Ok(())
     }
 
@@ -211,10 +351,18 @@ impl NominalTable {
     ///
     /// Panics if any index is out of range.
     pub fn select_rows(&self, indices: &[usize]) -> NominalTable {
+        for &i in indices {
+            assert!(i < self.n_rows, "row index {i} out of range");
+        }
         NominalTable {
             names: self.names.clone(),
             cards: self.cards.clone(),
-            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            n_rows: indices.len(),
+            cols: self
+                .cols
+                .iter()
+                .map(|col| indices.iter().map(|&i| col[i]).collect())
+                .collect(),
         }
     }
 }
@@ -237,7 +385,14 @@ mod tests {
     #[test]
     fn rejects_out_of_domain_values() {
         let err = NominalTable::new(names(2), vec![2, 2], vec![vec![0, 2]]).unwrap_err();
-        assert!(matches!(err, DatasetError::ValueOutOfRange { col: 1, value: 2, .. }));
+        assert!(matches!(
+            err,
+            DatasetError::ValueOutOfRange {
+                col: 1,
+                value: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -259,10 +414,79 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_columnar_with_row_views() {
+        let t = NominalTable::new(
+            names(3),
+            vec![4, 4, 4],
+            vec![vec![0, 1, 2], vec![3, 2, 1], vec![1, 1, 1]],
+        )
+        .unwrap();
+        assert_eq!(t.col(0), &[0, 3, 1]);
+        assert_eq!(t.col(2), &[2, 1, 1]);
+        assert_eq!(t.value(1, 0), 3);
+        assert_eq!(t.row_vec(1), vec![3, 2, 1]);
+        let mut buf = Vec::new();
+        t.copy_row_into(2, &mut buf);
+        assert_eq!(buf, vec![1, 1, 1]);
+        assert_eq!(
+            t.to_rows(),
+            vec![vec![0, 1, 2], vec![3, 2, 1], vec![1, 1, 1]]
+        );
+    }
+
+    #[test]
+    fn from_columns_round_trips() {
+        let t =
+            NominalTable::from_columns(names(2), vec![4, 4], vec![vec![0, 1, 2], vec![3, 2, 1]])
+                .unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.to_rows(), vec![vec![0, 3], vec![1, 2], vec![2, 1]]);
+    }
+
+    #[test]
+    fn from_columns_rejects_bad_shapes() {
+        assert!(matches!(
+            NominalTable::from_columns(names(2), vec![2, 2], vec![vec![0, 1], vec![0]])
+                .unwrap_err(),
+            DatasetError::ColumnLength {
+                col: 1,
+                len: 1,
+                expected: 2
+            }
+        ));
+        assert!(matches!(
+            NominalTable::from_columns(names(2), vec![2, 2], vec![vec![0, 2], vec![0, 0]])
+                .unwrap_err(),
+            DatasetError::ValueOutOfRange {
+                row: 1,
+                col: 0,
+                value: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            NominalTable::from_columns(names(2), vec![2, 2], vec![vec![]]).unwrap_err(),
+            DatasetError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn attrs_without_removes_class_column() {
         let t = NominalTable::new(names(3), vec![4, 4, 4], vec![vec![1, 2, 3]]).unwrap();
         assert_eq!(t.attrs_without(0, 1), vec![1, 3]);
         assert_eq!(NominalTable::split_row(&[1, 2, 3], 0), (vec![2, 3], 1));
+    }
+
+    #[test]
+    fn split_row_into_reuses_the_buffer() {
+        let mut buf = Vec::with_capacity(2);
+        let y = NominalTable::split_row_into(&[1, 2, 3], 1, &mut buf);
+        assert_eq!((buf.as_slice(), y), ([1, 3].as_slice(), 2));
+        let ptr = buf.as_ptr();
+        let y = NominalTable::split_row_into(&[4, 5, 6], 2, &mut buf);
+        assert_eq!((buf.as_slice(), y), ([4, 5].as_slice(), 6));
+        assert_eq!(ptr, buf.as_ptr(), "no reallocation on reuse");
     }
 
     #[test]
@@ -272,23 +496,25 @@ mod tests {
         assert!(t.push_row(vec![1, 2]).is_err());
         assert!(t.push_row(vec![1]).is_err());
         assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.col(0), &[1]);
+        assert_eq!(t.col(1), &[1], "failed pushes must not half-append");
     }
 
     #[test]
     fn select_rows_subsets() {
-        let t = NominalTable::new(
-            names(1),
-            vec![5],
-            vec![vec![0], vec![1], vec![2], vec![3]],
-        )
-        .unwrap();
+        let t =
+            NominalTable::new(names(1), vec![5], vec![vec![0], vec![1], vec![2], vec![3]]).unwrap();
         let s = t.select_rows(&[3, 1]);
-        assert_eq!(s.rows(), &[vec![3], vec![1]]);
+        assert_eq!(s.to_rows(), vec![vec![3], vec![1]]);
     }
 
     #[test]
     fn error_display_is_informative() {
         let err = NominalTable::new(names(2), vec![2], vec![]).unwrap_err();
         assert!(err.to_string().contains("2 column names"));
+        let err = NominalTable::from_columns(names(1), vec![2], vec![vec![0], vec![0]])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, DatasetError::ShapeMismatch { .. }));
     }
 }

@@ -16,9 +16,20 @@
 //!   the paper.
 //!
 //! All learners consume [`NominalTable`]s — datasets of discrete (nominal)
-//! attributes — through the [`Learner`] trait and produce [`Classifier`]s
-//! whose [`Classifier::class_probs`] output feeds the cross-feature
-//! analysis combiner (Algorithm 3 of the paper).
+//! attributes, stored column-major — through the [`Learner`] trait and
+//! produce [`Classifier`]s whose probability output feeds the
+//! cross-feature analysis combiner (Algorithm 3 of the paper).
+//!
+//! ## Prediction without allocation
+//!
+//! The ensemble asks `L` sub-models about every event, so the prediction
+//! path avoids per-call allocation: [`Classifier::class_probs_into`] writes
+//! into a caller-owned buffer and takes the *full-width* row together with
+//! the index of the class column to skip in place (no row copy to delete
+//! one entry). Bare attribute vectors — rows that never contained a class
+//! column — use the [`NO_CLASS`] sentinel, which is what the allocating
+//! convenience wrappers ([`Classifier::class_probs`], [`Classifier::predict`],
+//! [`Classifier::prob_of`]) pass.
 //!
 //! # Example
 //!
@@ -38,6 +49,10 @@
 //! let model = C45::default().fit(&table, 2);
 //! assert_eq!(model.predict(&[0, 1]), 0);
 //! assert_eq!(model.predict(&[1, 1]), 1);
+//!
+//! // Zero-alloc path: full-width row, class column skipped in place.
+//! let mut scratch = Vec::new();
+//! assert_eq!(model.predict_row(&[1, 1, 0], 2, &mut scratch), 1);
 //! ```
 
 pub mod c45;
@@ -51,39 +66,104 @@ pub use dataset::{DatasetError, NominalTable};
 pub use naive_bayes::NaiveBayes;
 pub use ripper::Ripper;
 
+/// Sentinel class-column index meaning "this row is a bare attribute
+/// vector; skip nothing".
+pub const NO_CLASS: usize = usize::MAX;
+
+/// Maps attribute index `attr` (in class-column-removed order) to its
+/// position in a full-width row whose class column is `class_col`.
+///
+/// With `class_col == `[`NO_CLASS`] this is the identity, so bare
+/// attribute vectors need no special casing at call sites.
+#[inline]
+pub fn attr_index(attr: usize, class_col: usize) -> usize {
+    attr + usize::from(attr >= class_col)
+}
+
+/// Asserts that a row of `row_len` values carries exactly `n_attrs`
+/// attributes once the class column (if any) is discounted.
+#[inline]
+fn check_row_width(row_len: usize, class_col: usize, n_attrs: usize) {
+    let expected = n_attrs + usize::from(class_col != NO_CLASS);
+    assert_eq!(row_len, expected, "attribute vector length mismatch");
+}
+
+/// Index of the largest probability, ties broken towards the *last*
+/// maximum (the behaviour of `Iterator::max_by`, which the trait's original
+/// allocating `predict` used — kept so refactoring cannot flip tie-broken
+/// predictions).
+#[inline]
+fn argmax_last(probs: &[f64]) -> u8 {
+    let mut best = 0usize;
+    let mut best_p = f64::NEG_INFINITY;
+    for (i, &p) in probs.iter().enumerate() {
+        if p >= best_p {
+            best = i;
+            best_p = p;
+        }
+    }
+    best as u8
+}
+
 /// A trained model over nominal attributes.
 ///
-/// `x` is the attribute vector *excluding* the class column, in the same
-/// order the learner saw during [`Learner::fit`].
-pub trait Classifier {
+/// Models are shared immutably across the ensemble's worker threads, hence
+/// the `Send + Sync` bound.
+///
+/// The one required method is [`Classifier::class_probs_into`]: it reads a
+/// *full-width* row and skips the class column in place, writing the class
+/// distribution into a caller-owned buffer. Everything else — allocating
+/// conveniences over bare attribute vectors, argmax prediction, single-class
+/// probability lookup — has default implementations in terms of it.
+pub trait Classifier: Send + Sync {
     /// Number of classes the model distinguishes.
     fn n_classes(&self) -> usize;
 
-    /// Estimated probability distribution over classes for `x`.
+    /// Writes the estimated class distribution for `row` into `out`
+    /// (cleared first; ends with length [`Classifier::n_classes`], summing
+    /// to 1 within floating-point error).
     ///
-    /// The returned vector has length [`Classifier::n_classes`] and sums to
-    /// 1 (within floating-point error).
-    fn class_probs(&self, x: &[u8]) -> Vec<f64>;
+    /// `row` is a full-width table row whose entry at `class_col` is
+    /// ignored; pass [`NO_CLASS`] when `row` is a bare attribute vector in
+    /// the order the learner saw during [`Learner::fit`].
+    fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>);
 
-    /// The most probable class for `x`.
-    fn predict(&self, x: &[u8]) -> u8 {
-        let probs = self.class_probs(x);
-        probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are comparable"))
-            .map(|(i, _)| i as u8)
-            .unwrap_or(0)
+    /// Estimated probability distribution over classes for the bare
+    /// attribute vector `x`. Allocates; batch loops should prefer
+    /// [`Classifier::class_probs_into`].
+    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_classes());
+        self.class_probs_into(x, NO_CLASS, &mut out);
+        out
     }
 
-    /// Estimated probability of a specific class for `x`.
-    ///
-    /// This is the `p(f_i(x) | x)` of the paper's Algorithm 3.
+    /// The most probable class for full-width `row`, skipping `class_col`
+    /// in place. `scratch` is a reusable probability buffer; no allocation
+    /// happens once it has capacity [`Classifier::n_classes`].
+    fn predict_row(&self, row: &[u8], class_col: usize, scratch: &mut Vec<f64>) -> u8 {
+        self.class_probs_into(row, class_col, scratch);
+        argmax_last(scratch)
+    }
+
+    /// The most probable class for the bare attribute vector `x`.
+    fn predict(&self, x: &[u8]) -> u8 {
+        let mut scratch = Vec::with_capacity(self.n_classes());
+        self.predict_row(x, NO_CLASS, &mut scratch)
+    }
+
+    /// Estimated probability of `class` for full-width `row`, skipping
+    /// `class_col` in place. Zero-alloc analogue of [`Classifier::prob_of`];
+    /// this is the `p(f_i(x) | x)` of the paper's Algorithm 3.
+    fn prob_of_row(&self, row: &[u8], class_col: usize, class: u8, scratch: &mut Vec<f64>) -> f64 {
+        self.class_probs_into(row, class_col, scratch);
+        scratch.get(class as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated probability of a specific class for the bare attribute
+    /// vector `x`.
     fn prob_of(&self, x: &[u8], class: u8) -> f64 {
-        self.class_probs(x)
-            .get(class as usize)
-            .copied()
-            .unwrap_or(0.0)
+        let mut scratch = Vec::with_capacity(self.n_classes());
+        self.prob_of_row(x, NO_CLASS, class, &mut scratch)
     }
 }
 
@@ -94,12 +174,24 @@ impl Classifier for Box<dyn Classifier> {
         (**self).n_classes()
     }
 
+    fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>) {
+        (**self).class_probs_into(row, class_col, out)
+    }
+
     fn class_probs(&self, x: &[u8]) -> Vec<f64> {
         (**self).class_probs(x)
     }
 
+    fn predict_row(&self, row: &[u8], class_col: usize, scratch: &mut Vec<f64>) -> u8 {
+        (**self).predict_row(row, class_col, scratch)
+    }
+
     fn predict(&self, x: &[u8]) -> u8 {
         (**self).predict(x)
+    }
+
+    fn prob_of_row(&self, row: &[u8], class_col: usize, class: u8, scratch: &mut Vec<f64>) -> f64 {
+        (**self).prob_of_row(row, class_col, class, scratch)
     }
 
     fn prob_of(&self, x: &[u8], class: u8) -> f64 {
@@ -131,8 +223,10 @@ mod trait_tests {
         fn n_classes(&self) -> usize {
             self.0.len()
         }
-        fn class_probs(&self, _x: &[u8]) -> Vec<f64> {
-            self.0.clone()
+        fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>) {
+            check_row_width(row.len(), class_col, 0);
+            out.clear();
+            out.extend_from_slice(&self.0);
         }
     }
 
@@ -142,5 +236,36 @@ mod trait_tests {
         assert_eq!(c.predict(&[]), 1);
         assert!((c.prob_of(&[], 2) - 0.2).abs() < 1e-12);
         assert_eq!(c.prob_of(&[], 9), 0.0);
+    }
+
+    #[test]
+    fn predict_breaks_ties_towards_the_last_maximum() {
+        // `Iterator::max_by` (the original implementation) returns the last
+        // of equal maxima; argmax_last must agree.
+        let c = Fixed(vec![0.4, 0.4, 0.2]);
+        assert_eq!(c.predict(&[]), 1);
+    }
+
+    #[test]
+    fn row_variants_skip_the_class_column() {
+        let c = Fixed(vec![0.3, 0.7]);
+        let mut scratch = Vec::new();
+        assert_eq!(c.predict_row(&[9], 0, &mut scratch), 1);
+        assert!((c.prob_of_row(&[9], 0, 0, &mut scratch) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attr_index_skips_the_class_column() {
+        assert_eq!(attr_index(0, 2), 0);
+        assert_eq!(attr_index(1, 2), 1);
+        assert_eq!(attr_index(2, 2), 3);
+        assert_eq!(attr_index(0, 0), 1);
+        assert_eq!(attr_index(5, NO_CLASS), 5);
+    }
+
+    #[test]
+    fn classifiers_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Box<dyn Classifier>>();
     }
 }

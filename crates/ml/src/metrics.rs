@@ -1,4 +1,8 @@
 //! Evaluation metrics for classifiers.
+//!
+//! All metrics walk the table through reused row/probability buffers and
+//! the zero-alloc [`Classifier::predict_row`] / [`Classifier::prob_of_row`]
+//! path, so evaluating a model allocates O(1) regardless of table size.
 
 use crate::dataset::NominalTable;
 use crate::Classifier;
@@ -14,14 +18,16 @@ pub fn accuracy<C: Classifier>(model: &C, table: &NominalTable, class_col: usize
     if table.n_rows() == 0 {
         return 0.0;
     }
-    let correct = table
-        .rows()
-        .iter()
-        .filter(|row| {
-            let (attrs, y) = NominalTable::split_row(row, class_col);
-            model.predict(&attrs) == y
-        })
-        .count();
+    let y = table.col(class_col);
+    let mut row = Vec::with_capacity(table.n_cols());
+    let mut scratch = Vec::with_capacity(model.n_classes());
+    let mut correct = 0usize;
+    for (r, &truth) in y.iter().enumerate() {
+        table.copy_row_into(r, &mut row);
+        if model.predict_row(&row, class_col, &mut scratch) == truth {
+            correct += 1;
+        }
+    }
     correct as f64 / table.n_rows() as f64
 }
 
@@ -38,11 +44,14 @@ pub fn confusion_matrix<C: Classifier>(
     assert!(class_col < table.n_cols(), "class column out of range");
     let k = model.n_classes();
     let mut m = vec![vec![0usize; k]; k];
-    for row in table.rows() {
-        let (attrs, y) = NominalTable::split_row(row, class_col);
-        let pred = model.predict(&attrs) as usize;
-        if (y as usize) < k && pred < k {
-            m[y as usize][pred] += 1;
+    let y = table.col(class_col);
+    let mut row = Vec::with_capacity(table.n_cols());
+    let mut scratch = Vec::with_capacity(k);
+    for (r, &truth) in y.iter().enumerate() {
+        table.copy_row_into(r, &mut row);
+        let pred = model.predict_row(&row, class_col, &mut scratch) as usize;
+        if (truth as usize) < k && pred < k {
+            m[truth as usize][pred] += 1;
         }
     }
     m
@@ -63,14 +72,17 @@ pub fn mean_log_likelihood<C: Classifier>(
     if table.n_rows() == 0 {
         return 0.0;
     }
-    let total: f64 = table
-        .rows()
-        .iter()
-        .map(|row| {
-            let (attrs, y) = NominalTable::split_row(row, class_col);
-            model.prob_of(&attrs, y).max(1e-12).ln()
-        })
-        .sum();
+    let y = table.col(class_col);
+    let mut row = Vec::with_capacity(table.n_cols());
+    let mut scratch = Vec::with_capacity(model.n_classes());
+    let mut total = 0.0;
+    for (r, &truth) in y.iter().enumerate() {
+        table.copy_row_into(r, &mut row);
+        total += model
+            .prob_of_row(&row, class_col, truth, &mut scratch)
+            .max(1e-12)
+            .ln();
+    }
     total / table.n_rows() as f64
 }
 
@@ -94,6 +106,31 @@ mod tests {
         assert_eq!(cm[0][0] + cm[1][1] + cm[2][2], 40);
         assert_eq!(cm[0][1], 0);
         assert!(mean_log_likelihood(&m, &t, 1) > -0.5);
+    }
+
+    #[test]
+    fn class_column_position_does_not_matter() {
+        // Same data with the class column first instead of last must give
+        // the same metrics — exercises the in-place column skipping.
+        let rows_last: Vec<Vec<u8>> = (0..40).map(|i| vec![i % 3, (i % 4) % 3, i % 3]).collect();
+        let rows_first: Vec<Vec<u8>> = rows_last.iter().map(|r| vec![r[2], r[0], r[1]]).collect();
+        let names = |n: [&str; 3]| n.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let t_last = NominalTable::new(names(["a", "b", "y"]), vec![3, 3, 3], rows_last).unwrap();
+        let t_first = NominalTable::new(names(["y", "a", "b"]), vec![3, 3, 3], rows_first).unwrap();
+        let m_last = C45::default().fit(&t_last, 2);
+        let m_first = C45::default().fit(&t_first, 0);
+        assert_eq!(
+            accuracy(&m_last, &t_last, 2),
+            accuracy(&m_first, &t_first, 0)
+        );
+        assert_eq!(
+            mean_log_likelihood(&m_last, &t_last, 2),
+            mean_log_likelihood(&m_first, &t_first, 0)
+        );
+        assert_eq!(
+            confusion_matrix(&m_last, &t_last, 2),
+            confusion_matrix(&m_first, &t_first, 0)
+        );
     }
 
     #[test]

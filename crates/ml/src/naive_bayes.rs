@@ -7,7 +7,7 @@
 //! class.
 
 use crate::dataset::NominalTable;
-use crate::{Classifier, Learner};
+use crate::{attr_index, check_row_width, Classifier, Learner};
 
 /// The naive Bayes learning algorithm (stateless; configuration lives in
 /// the smoothing constant).
@@ -52,19 +52,25 @@ impl Learner for NaiveBayes {
         let n = table.n_rows() as f64;
         let alpha = self.alpha.max(1e-12);
 
+        // Counting is one linear scan per column: the class column once for
+        // the priors, then each attribute column zipped against it.
+        let y = table.col(class_col);
         let mut class_counts = vec![0usize; n_classes];
-        let mut cond_counts: Vec<Vec<usize>> = attr_cards
-            .iter()
-            .map(|&card| vec![0usize; n_classes * card])
-            .collect();
-        for row in table.rows() {
-            let (attrs, y) = NominalTable::split_row(row, class_col);
-            class_counts[y as usize] += 1;
-            for (a, &v) in attrs.iter().enumerate() {
-                let card = attr_cards[a];
-                cond_counts[a][y as usize * card + v as usize] += 1;
-            }
+        for &c in y {
+            class_counts[c as usize] += 1;
         }
+        let cond_counts: Vec<Vec<usize>> = attr_cards
+            .iter()
+            .enumerate()
+            .map(|(a, &card)| {
+                let col = table.col(attr_index(a, class_col));
+                let mut counts = vec![0usize; n_classes * card];
+                for (&v, &c) in col.iter().zip(y) {
+                    counts[c as usize * card + v as usize] += 1;
+                }
+                counts
+            })
+            .collect();
         let log_prior = class_counts
             .iter()
             .map(|&c| ((c as f64 + alpha) / (n + alpha * n_classes as f64)).ln())
@@ -97,29 +103,27 @@ impl Classifier for NaiveBayesModel {
         self.n_classes
     }
 
-    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
-        assert_eq!(
-            x.len(),
-            self.attr_cards.len(),
-            "attribute vector length mismatch"
-        );
-        let mut log_scores: Vec<f64> = self.log_prior.clone();
-        for (a, &v) in x.iter().enumerate() {
-            let card = self.attr_cards[a];
+    fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>) {
+        check_row_width(row.len(), class_col, self.attr_cards.len());
+        out.clear();
+        out.extend_from_slice(&self.log_prior);
+        for (a, &card) in self.attr_cards.iter().enumerate() {
+            let v = row[attr_index(a, class_col)];
             // Clamp unseen (out-of-domain) values to the last bucket.
             let v = (v as usize).min(card - 1);
-            for (class, score) in log_scores.iter_mut().enumerate() {
+            for (class, score) in out.iter_mut().enumerate() {
                 *score += self.log_cond[a][class * card + v];
             }
         }
         // Softmax-normalise in a numerically stable way.
-        let max = log_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
-        let sum: f64 = probs.iter().sum();
-        for p in &mut probs {
+        let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for s in out.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        let sum: f64 = out.iter().sum();
+        for p in out.iter_mut() {
             *p /= sum;
         }
-        probs
     }
 }
 
@@ -184,12 +188,44 @@ mod tests {
     #[test]
     fn multiclass_output() {
         let t = table(
-            vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![0, 0], vec![1, 1], vec![2, 2]],
+            vec![
+                vec![0, 0],
+                vec![1, 1],
+                vec![2, 2],
+                vec![0, 0],
+                vec![1, 1],
+                vec![2, 2],
+            ],
             vec![3, 3],
         );
         let m = NaiveBayes::default().fit(&t, 1);
         assert_eq!(m.n_classes(), 3);
         assert_eq!(m.predict(&[2]), 2);
+    }
+
+    #[test]
+    fn full_row_and_bare_attr_paths_agree_bitwise() {
+        let t = table(
+            vec![
+                vec![0, 1, 0],
+                vec![1, 0, 1],
+                vec![0, 0, 1],
+                vec![1, 1, 0],
+                vec![1, 1, 1],
+            ],
+            vec![2, 2, 2],
+        );
+        for class_col in 0..3 {
+            let m = NaiveBayes::default().fit(&t, class_col);
+            let mut out = Vec::new();
+            for r in 0..t.n_rows() {
+                let full = t.row_vec(r);
+                let mut attrs = Vec::new();
+                NominalTable::split_row_into(&full, class_col, &mut attrs);
+                m.class_probs_into(&full, class_col, &mut out);
+                assert_eq!(out, m.class_probs(&attrs), "row {r}, class_col {class_col}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! improves RIPPER's detection accuracy (Figure 2).
 
 use crate::dataset::NominalTable;
-use crate::{Classifier, Learner};
+use crate::{attr_index, check_row_width, Classifier, Learner};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -30,9 +30,18 @@ pub struct Rule {
 }
 
 impl Rule {
-    /// Whether the rule's conditions all hold for `x`.
+    /// Whether the rule's conditions all hold for the bare attribute
+    /// vector `x`.
     pub fn matches(&self, x: &[u8]) -> bool {
         self.conds.iter().all(|&(a, v)| x[a] == v)
+    }
+
+    /// Whether the rule's conditions all hold for a full-width `row`,
+    /// skipping `class_col` in place.
+    fn matches_row(&self, row: &[u8], class_col: usize) -> bool {
+        self.conds
+            .iter()
+            .all(|&(a, v)| row[attr_index(a, class_col)] == v)
     }
 }
 
@@ -79,8 +88,9 @@ impl RipperModel {
     }
 }
 
-fn covers(conds: &[(usize, u8)], x: &[u8]) -> bool {
-    conds.iter().all(|&(a, v)| x[a] == v)
+/// Whether `conds` all hold for row `i` of the columnar training view.
+fn covers_at(conds: &[(usize, u8)], cols: &[&[u8]], i: usize) -> bool {
+    conds.iter().all(|&(a, v)| cols[a][i] == v)
 }
 
 /// FOIL information gain of refining a rule from coverage `(p0, n0)` to
@@ -106,7 +116,10 @@ fn prune_value(p: f64, n: f64) -> f64 {
 }
 
 struct ClassTrainer<'a> {
-    rows: &'a [(Vec<u8>, u8)],
+    /// Attribute columns (class column removed), borrowed from the table.
+    cols: &'a [&'a [u8]],
+    /// Class column, borrowed from the table.
+    y: &'a [u8],
     attr_cards: &'a [usize],
     cfg: &'a Ripper,
     target: u8,
@@ -120,7 +133,7 @@ impl ClassTrainer<'_> {
         loop {
             let p0 = covered
                 .iter()
-                .filter(|&&i| self.rows[i].1 == self.target)
+                .filter(|&&i| self.y[i] == self.target)
                 .count() as f64;
             let n0 = covered.len() as f64 - p0;
             if n0 == 0.0 || conds.len() >= self.cfg.max_conds {
@@ -141,10 +154,9 @@ impl ClassTrainer<'_> {
             let mut pos = vec![0u32; total];
             let mut neg = vec![0u32; total];
             for &i in &covered {
-                let (x, y) = &self.rows[i];
-                let is_pos = *y == self.target;
-                for (a, &v) in x.iter().enumerate() {
-                    let slot = offsets[a] + v as usize;
+                let is_pos = self.y[i] == self.target;
+                for (a, col) in self.cols.iter().enumerate() {
+                    let slot = offsets[a] + col[i] as usize;
                     if is_pos {
                         pos[slot] += 1;
                     } else {
@@ -168,7 +180,8 @@ impl ClassTrainer<'_> {
             }
             let Some(((a, v), _)) = best else { break };
             conds.push((a, v));
-            covered.retain(|&i| self.rows[i].0[a] == v);
+            let col = self.cols[a];
+            covered.retain(|&i| col[i] == v);
         }
         conds
     }
@@ -179,8 +192,8 @@ impl ClassTrainer<'_> {
         let value_of = |prefix: &[(usize, u8)]| {
             let (mut p, mut n) = (0.0, 0.0);
             for &i in prune {
-                if covers(prefix, &self.rows[i].0) {
-                    if self.rows[i].1 == self.target {
+                if covers_at(prefix, self.cols, i) {
+                    if self.y[i] == self.target {
                         p += 1.0;
                     } else {
                         n += 1.0;
@@ -207,8 +220,8 @@ impl ClassTrainer<'_> {
     fn prune_accuracy(&self, conds: &[(usize, u8)], prune: &[usize]) -> f64 {
         let (mut p, mut n) = (0.0, 0.0);
         for &i in prune {
-            if covers(conds, &self.rows[i].0) {
-                if self.rows[i].1 == self.target {
+            if covers_at(conds, self.cols, i) {
+                if self.y[i] == self.target {
                     p += 1.0;
                 } else {
                     n += 1.0;
@@ -237,37 +250,38 @@ impl Learner for Ripper {
             .filter(|&(i, _)| i != class_col)
             .map(|(_, &c)| c)
             .collect();
-        let rows: Vec<(Vec<u8>, u8)> = table
-            .rows()
-            .iter()
-            .map(|r| NominalTable::split_row(r, class_col))
+        // Borrow columns straight out of the columnar table: no row
+        // materialisation, every coverage test reads contiguous slices.
+        let cols: Vec<&[u8]> = (0..attr_cards.len())
+            .map(|a| table.col(attr_index(a, class_col)))
             .collect();
+        let y = table.col(class_col);
 
         // Order classes rarest-first; the most frequent becomes the default.
         let mut class_freq = vec![0usize; n_classes];
-        for (_, y) in &rows {
-            class_freq[*y as usize] += 1;
+        for &c in y {
+            class_freq[c as usize] += 1;
         }
         let mut order: Vec<u8> = (0..n_classes as u8).collect();
         order.sort_by_key(|&c| (class_freq[c as usize], c));
         let ordered_targets = &order[..n_classes.saturating_sub(1)];
 
-        let mut remaining: Vec<usize> = (0..rows.len()).collect();
+        let mut remaining: Vec<usize> = (0..table.n_rows()).collect();
         let mut rules: Vec<Rule> = Vec::new();
-        let prune_every = (1.0 / self.prune_fraction.clamp(0.05, 0.95)).round().max(2.0) as usize;
+        let prune_every = (1.0 / self.prune_fraction.clamp(0.05, 0.95))
+            .round()
+            .max(2.0) as usize;
 
         for &target in ordered_targets {
             let trainer = ClassTrainer {
-                rows: &rows,
+                cols: &cols,
+                y,
                 attr_cards: &attr_cards,
                 cfg: self,
                 target,
             };
             loop {
-                let positives = remaining
-                    .iter()
-                    .filter(|&&i| rows[i].1 == target)
-                    .count();
+                let positives = remaining.iter().filter(|&&i| y[i] == target).count();
                 if positives == 0 {
                     break;
                 }
@@ -284,7 +298,7 @@ impl Learner for Ripper {
                 let (mut grow, mut prune) = (Vec::new(), Vec::new());
                 let (mut kp, mut kn) = (0usize, 0usize);
                 for &i in &shuffled {
-                    let k = if rows[i].1 == target {
+                    let k = if y[i] == target {
                         kp += 1;
                         kp
                     } else {
@@ -297,7 +311,7 @@ impl Learner for Ripper {
                         grow.push(i);
                     }
                 }
-                if prune.iter().all(|&i| rows[i].1 != target) {
+                if prune.iter().all(|&i| y[i] != target) {
                     // Too few positives to hold any out: evaluate on grow.
                     prune = grow.clone();
                 }
@@ -310,7 +324,7 @@ impl Learner for Ripper {
                 if trainer.prune_accuracy(&conds, &prune) <= 0.5 {
                     break;
                 }
-                remaining.retain(|&i| !covers(&conds, &rows[i].0));
+                remaining.retain(|&i| !covers_at(&conds, &cols, i));
                 rules.push(Rule {
                     conds,
                     class: target,
@@ -322,20 +336,20 @@ impl Learner for Ripper {
         // Default distribution from leftover rows (global if none left).
         let mut default_counts = vec![0u32; n_classes];
         if remaining.is_empty() {
-            for (_, y) in &rows {
-                default_counts[*y as usize] += 1;
+            for &c in y {
+                default_counts[c as usize] += 1;
             }
         } else {
             for &i in &remaining {
-                default_counts[rows[i].1 as usize] += 1;
+                default_counts[y[i] as usize] += 1;
             }
         }
 
         // First-match coverage counts over the *full* training set, for
         // probability output.
-        for (x, y) in &rows {
-            if let Some(rule) = rules.iter_mut().find(|r| r.matches(x)) {
-                rule.counts[*y as usize] += 1;
+        for (i, &truth) in y.iter().enumerate() {
+            if let Some(rule) = rules.iter_mut().find(|r| covers_at(&r.conds, &cols, i)) {
+                rule.counts[truth as usize] += 1;
             }
         }
 
@@ -353,28 +367,28 @@ impl Classifier for RipperModel {
         self.n_classes
     }
 
-    fn class_probs(&self, x: &[u8]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_attrs, "attribute vector length mismatch");
+    fn class_probs_into(&self, row: &[u8], class_col: usize, out: &mut Vec<f64>) {
+        check_row_width(row.len(), class_col, self.n_attrs);
         let counts = self
             .rules
             .iter()
-            .find(|r| r.matches(x))
+            .find(|r| r.matches_row(row, class_col))
             .map(|r| &r.counts)
             .unwrap_or(&self.default_counts);
         let n: u32 = counts.iter().sum();
         let k = self.n_classes as f64;
         // Laplace smoothing; rules that captured nothing (possible after
         // pruning) fall back to uniform.
-        counts
-            .iter()
-            .map(|&c| (c as f64 + 1.0) / (n as f64 + k))
-            .collect()
+        out.clear();
+        out.extend(counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + k)));
     }
 
-    fn predict(&self, x: &[u8]) -> u8 {
+    fn predict_row(&self, row: &[u8], class_col: usize, _scratch: &mut Vec<f64>) -> u8 {
+        check_row_width(row.len(), class_col, self.n_attrs);
         // First-match rule semantics: the rule's own class wins even if its
-        // captured distribution is impure.
-        if let Some(r) = self.rules.iter().find(|r| r.matches(x)) {
+        // captured distribution is impure. (Overrides the default
+        // probability-argmax path; `predict` routes through here too.)
+        if let Some(r) = self.rules.iter().find(|r| r.matches_row(row, class_col)) {
             return r.class;
         }
         self.default_counts

@@ -1,17 +1,15 @@
 //! Property-based tests: invariants every classifier must satisfy on
 //! arbitrary (valid) nominal tables.
 
-use cfa_ml::{C45, Classifier, Learner, NaiveBayes, NominalTable, Ripper};
+use cfa_ml::{Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
 use proptest::prelude::*;
 
 /// Strategy: a random nominal table with 2–5 columns of cardinality 2–4
 /// and 4–60 rows, plus a designated class column.
 fn table_strategy() -> impl Strategy<Value = (NominalTable, usize)> {
     (2usize..=5, 2usize..=4).prop_flat_map(|(n_cols, card)| {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0u8..card as u8, n_cols),
-            4..60,
-        );
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(0u8..card as u8, n_cols), 4..60);
         (rows, 0..n_cols).prop_map(move |(rows, class_col)| {
             let names = (0..n_cols).map(|i| format!("f{i}")).collect();
             let cards = vec![card; n_cols];
@@ -38,14 +36,27 @@ fn check_model_inner<C: Classifier>(
 ) {
     let k = table.cards()[class_col];
     assert_eq!(model.n_classes(), k);
-    for row in table.rows().iter().take(20) {
-        let (attrs, _) = NominalTable::split_row(row, class_col);
+    let mut row = Vec::new();
+    let mut attrs = Vec::new();
+    let mut scratch = Vec::new();
+    for r in 0..table.n_rows().min(20) {
+        table.copy_row_into(r, &mut row);
+        NominalTable::split_row_into(&row, class_col, &mut attrs);
         let probs = model.class_probs(&attrs);
         assert_eq!(probs.len(), k);
         let sum: f64 = probs.iter().sum();
         prop_assert_in_range(sum);
         assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        // The zero-alloc full-row path must agree bitwise with the bare
+        // attribute-vector path.
+        model.class_probs_into(&row, class_col, &mut scratch);
+        assert_eq!(probs, scratch, "full-row and bare-attr probs must agree");
         let pred = model.predict(&attrs);
+        assert_eq!(
+            pred,
+            model.predict_row(&row, class_col, &mut scratch),
+            "full-row and bare-attr predictions must agree"
+        );
         assert!((pred as usize) < k, "prediction within class domain");
         if predict_is_argmax {
             // predict must be the argmax of class_probs.
@@ -99,9 +110,9 @@ proptest! {
             Box::new(Ripper::default().fit(&table, 2)),
             Box::new(NaiveBayes::default().fit(&table, 2)),
         ] {
-            for row in table.rows() {
-                let (attrs, _) = NominalTable::split_row(row, 2);
-                assert_eq!(model.predict(&attrs), 1);
+            let mut scratch = Vec::new();
+            for row in table.to_rows() {
+                assert_eq!(model.predict_row(&row, 2, &mut scratch), 1);
             }
         }
     }

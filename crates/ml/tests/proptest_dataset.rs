@@ -1,0 +1,110 @@
+//! Property-based tests for the columnar [`NominalTable`] storage: every
+//! view (columns, gathered rows, scalar access, row splitting) must agree
+//! with a plain row-major reference of the same data.
+
+use cfa_ml::NominalTable;
+use proptest::prelude::*;
+
+/// Strategy: random row-major data with 1–6 columns of cardinality 1–5
+/// and 0–40 rows. Raw cells are drawn from the widest domain and folded
+/// into each column's cardinality, so every row is valid by construction.
+fn rows_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<u8>>)> {
+    proptest::collection::vec(1usize..=5, 1..=6).prop_flat_map(|cards| {
+        let n_cols = cards.len();
+        let rows = proptest::collection::vec(proptest::collection::vec(0u8..5, n_cols), 0..40);
+        rows.prop_map(move |raw| {
+            let rows: Vec<Vec<u8>> = raw
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .zip(&cards)
+                        .map(|(v, &c)| v % c as u8)
+                        .collect()
+                })
+                .collect();
+            (cards.clone(), rows)
+        })
+    })
+}
+
+fn table_of(cards: &[usize], rows: &[Vec<u8>]) -> NominalTable {
+    NominalTable::new(
+        (0..cards.len()).map(|i| format!("f{i}")).collect(),
+        cards.to_vec(),
+        rows.to_vec(),
+    )
+    .expect("generated within domain")
+}
+
+proptest! {
+    /// Row-major in, columnar storage, row-major out: a full round trip
+    /// loses nothing, and the transposed views agree cell by cell.
+    #[test]
+    fn columnar_views_match_the_row_major_reference(
+        (cards, rows) in rows_strategy()
+    ) {
+        let t = table_of(&cards, &rows);
+        prop_assert_eq!(t.n_rows(), rows.len());
+        prop_assert_eq!(t.n_cols(), cards.len());
+        // Column views are the transpose of the reference rows.
+        for c in 0..cards.len() {
+            let expected: Vec<u8> = rows.iter().map(|r| r[c]).collect();
+            prop_assert_eq!(t.col(c), &expected[..], "column {}", c);
+        }
+        // Scalar access and gathered rows reproduce the reference exactly.
+        let mut buf = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert_eq!(t.value(r, c), v);
+            }
+            t.copy_row_into(r, &mut buf);
+            prop_assert_eq!(&buf, row, "row {}", r);
+        }
+        prop_assert_eq!(t.to_rows(), rows);
+    }
+
+    /// `from_columns` and `new` build identical tables from transposed
+    /// views of the same data.
+    #[test]
+    fn from_columns_agrees_with_row_major_construction(
+        (cards, rows) in rows_strategy()
+    ) {
+        let by_rows = table_of(&cards, &rows);
+        let cols: Vec<Vec<u8>> = (0..cards.len())
+            .map(|c| rows.iter().map(|r| r[c]).collect())
+            .collect();
+        let by_cols = NominalTable::from_columns(
+            (0..cards.len()).map(|i| format!("f{i}")).collect(),
+            cards.clone(),
+            cols,
+        )
+        .expect("transposed data is valid");
+        prop_assert_eq!(by_cols.to_rows(), by_rows.to_rows());
+        for c in 0..cards.len() {
+            prop_assert_eq!(by_cols.col(c), by_rows.col(c));
+        }
+    }
+
+    /// Splitting a row around any class column returns the class value and
+    /// the remaining attributes in order.
+    #[test]
+    fn split_row_into_matches_manual_removal(
+        (cards, rows) in rows_strategy(),
+        class_sel in 0usize..6,
+    ) {
+        let _ = table_of(&cards, &rows);
+        let class_col = class_sel % cards.len();
+        let mut attrs = Vec::new();
+        for row in &rows {
+            let y = NominalTable::split_row_into(row, class_col, &mut attrs);
+            prop_assert_eq!(y, row[class_col]);
+            let expected: Vec<u8> = row
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| c != class_col)
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert_eq!(&attrs, &expected);
+        }
+    }
+}

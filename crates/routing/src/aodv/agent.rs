@@ -370,11 +370,13 @@ impl AodvAgent {
         let mut cascaded = Vec::new();
         for &(dest, seq) in unreachable {
             if let Some(e) = self.table.route(ctx.now(), dest) {
-                if e.next_hop == pkt.link_src && seq >= e.seq
-                    && self.table.invalidate(dest).is_some() {
-                        ctx.trace_route(RouteEventKind::Removed, None);
-                        cascaded.push((dest, seq.saturating_add(1)));
-                    }
+                if e.next_hop == pkt.link_src
+                    && seq >= e.seq
+                    && self.table.invalidate(dest).is_some()
+                {
+                    ctx.trace_route(RouteEventKind::Removed, None);
+                    cascaded.push((dest, seq.saturating_add(1)));
+                }
             }
         }
         if !cascaded.is_empty() {
@@ -698,7 +700,9 @@ mod tests {
         let out = ctx.staged_out();
         assert_eq!(out.len(), 1);
         match &out[0].0.header {
-            AodvHeader::Rrep { dest, origin, hops, .. } => {
+            AodvHeader::Rrep {
+                dest, origin, hops, ..
+            } => {
                 assert_eq!(*dest, NodeId(5));
                 assert_eq!(*origin, NodeId(0));
                 assert_eq!(*hops, 0);
@@ -786,7 +790,8 @@ mod tests {
         assert_eq!(out[0].1, TxDest::Unicast(NodeId(4)));
         drop(ctx);
         assert_eq!(
-            h.trace().count_packets(TracePacketKind::DataTransit, Direction::Forwarded),
+            h.trace()
+                .count_packets(TracePacketKind::DataTransit, Direction::Forwarded),
             1
         );
     }
@@ -806,10 +811,15 @@ mod tests {
         assert!(matches!(&out[0].0.header, AodvHeader::Rerr { .. }));
         drop(ctx);
         assert_eq!(
-            h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+            h.trace()
+                .count_packets(TracePacketKind::DataTransit, Direction::Dropped),
             1
         );
-        assert_eq!(h.trace().count_packets(TracePacketKind::Rerr, Direction::Sent), 1);
+        assert_eq!(
+            h.trace()
+                .count_packets(TracePacketKind::Rerr, Direction::Sent),
+            1
+        );
     }
 
     #[test]
@@ -844,7 +854,11 @@ mod tests {
         let e = agent.table().route(SimTime::ZERO, NodeId(3)).unwrap();
         assert_eq!(e.next_hop, NodeId(3));
         assert_eq!(e.hops, 1);
-        assert_eq!(h.trace().count_packets(TracePacketKind::Hello, Direction::Received), 1);
+        assert_eq!(
+            h.trace()
+                .count_packets(TracePacketKind::Hello, Direction::Received),
+            1
+        );
     }
 
     #[test]
@@ -862,7 +876,9 @@ mod tests {
         let out = ctx.staged_out();
         // RERR (both routes via 2 died) + fresh RREQ for the repair.
         assert_eq!(out.len(), 2);
-        assert!(matches!(&out[0].0.header, AodvHeader::Rerr { unreachable } if unreachable.len() == 2));
+        assert!(
+            matches!(&out[0].0.header, AodvHeader::Rerr { unreachable } if unreachable.len() == 2)
+        );
         assert!(matches!(out[1].0.header, AodvHeader::Rreq { .. }));
         drop(ctx);
         assert_eq!(h.trace().count_routes(RouteEventKind::Repaired), 1);

@@ -317,10 +317,7 @@ impl DsrAgent {
             dst: route[0],
             ttl: Packet::<DsrHeader>::DEFAULT_TTL,
             size,
-            header: DsrHeader::Rrep {
-                route,
-                hop: my_idx,
-            },
+            header: DsrHeader::Rrep { route, hop: my_idx },
             app: None,
         };
         ctx.transmit(pkt, TxDest::Unicast(next));
@@ -403,7 +400,12 @@ impl DsrAgent {
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_, DsrHeader>, pkt: Packet<DsrHeader>) {
         let me = ctx.node();
-        let DsrHeader::Data { route, hop, salvaged } = &pkt.header else {
+        let DsrHeader::Data {
+            route,
+            hop,
+            salvaged,
+        } = &pkt.header
+        else {
             unreachable!("handle_data called with non-data header");
         };
         let my_idx = hop + 1;
@@ -447,7 +449,12 @@ impl DsrAgent {
         next_hop: NodeId,
     ) {
         let me = ctx.node();
-        let DsrHeader::Data { route, hop, salvaged } = &pkt.header else {
+        let DsrHeader::Data {
+            route,
+            hop,
+            salvaged,
+        } = &pkt.header
+        else {
             unreachable!();
         };
         let my_idx = *hop;
@@ -701,7 +708,11 @@ mod tests {
         assert_eq!(out[0].1, TxDest::Broadcast);
         assert_eq!(agent.buffered(), 1);
         drop(ctx);
-        assert_eq!(h.trace().count_packets(TracePacketKind::Rreq, Direction::Sent), 1);
+        assert_eq!(
+            h.trace()
+                .count_packets(TracePacketKind::Rreq, Direction::Sent),
+            1
+        );
     }
 
     #[test]
@@ -843,7 +854,8 @@ mod tests {
         assert_eq!(out[0].1, TxDest::Unicast(NodeId(5)));
         drop(ctx);
         assert_eq!(
-            h.trace().count_packets(TracePacketKind::DataTransit, Direction::Forwarded),
+            h.trace()
+                .count_packets(TracePacketKind::DataTransit, Direction::Forwarded),
             1
         );
     }
@@ -868,7 +880,11 @@ mod tests {
         agent.on_packet(&mut ctx, pkt);
         assert_eq!(ctx.staged_deliveries().len(), 1);
         drop(ctx);
-        assert_eq!(h.trace().count_packets(TracePacketKind::Data, Direction::Received), 1);
+        assert_eq!(
+            h.trace()
+                .count_packets(TracePacketKind::Data, Direction::Received),
+            1
+        );
     }
 
     #[test]
@@ -896,7 +912,9 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0].0.header, DsrHeader::Rerr { .. }));
         match &out[1].0.header {
-            DsrHeader::Data { route, salvaged, .. } => {
+            DsrHeader::Data {
+                route, salvaged, ..
+            } => {
                 assert!(*salvaged);
                 assert_eq!(route, &[NodeId(2), NodeId(4), NodeId(5)]);
             }
@@ -912,7 +930,9 @@ mod tests {
         let mut h = AgentHarness::new(NodeId(1));
         let mut ctx = h.ctx();
         // Route 1 -> 2 -> 3 -> 5 uses link (3, 5).
-        agent.cache.insert(ctx.now(), &[NodeId(2), NodeId(3), NodeId(5)]);
+        agent
+            .cache
+            .insert(ctx.now(), &[NodeId(2), NodeId(3), NodeId(5)]);
         let rerr = make_pkt(
             DsrHeader::Rerr {
                 broken: (NodeId(3), NodeId(5)),
@@ -961,6 +981,10 @@ mod tests {
         assert_eq!(ctx.staged_out().len(), 1);
         drop(ctx);
         assert_eq!(h.trace().count_routes(RouteEventKind::Found), 1);
-        assert_eq!(h.trace().count_packets(TracePacketKind::Data, Direction::Sent), 1);
+        assert_eq!(
+            h.trace()
+                .count_packets(TracePacketKind::Data, Direction::Sent),
+            1
+        );
     }
 }

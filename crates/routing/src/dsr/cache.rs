@@ -78,12 +78,7 @@ impl RouteCache {
     }
 
     /// Shortest live path to `dest` that avoids every node in `avoid`.
-    pub fn best_avoiding(
-        &self,
-        now: SimTime,
-        dest: NodeId,
-        avoid: &[NodeId],
-    ) -> Option<&[NodeId]> {
+    pub fn best_avoiding(&self, now: SimTime, dest: NodeId, avoid: &[NodeId]) -> Option<&[NodeId]> {
         self.routes
             .get(&dest)?
             .iter()
@@ -187,7 +182,10 @@ mod tests {
     fn refresh_extends_expiry() {
         let mut c = cache();
         c.insert(t(0.0), &ids(&[1, 2]));
-        assert_eq!(c.insert(t(100.0), &ids(&[1, 2])), Some(CacheInsert::Refreshed));
+        assert_eq!(
+            c.insert(t(100.0), &ids(&[1, 2])),
+            Some(CacheInsert::Refreshed)
+        );
         // Entry would have expired at 300 without refresh; now lives to 400.
         assert!(c.best(t(350.0), NodeId(2)).is_some());
         assert_eq!(c.expire(t(450.0)), 1);

@@ -29,7 +29,8 @@ fn dsr_buffer_capacity_is_enforced() {
     assert_eq!(agent.buffered(), dsr_constants::BUFFER_CAP);
     // Overflow beyond capacity is recorded as router drops.
     assert_eq!(
-        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        h.trace()
+            .count_packets(TracePacketKind::DataTransit, Direction::Dropped),
         10
     );
 }
@@ -40,7 +41,11 @@ fn dsr_loopback_delivery() {
     let mut h = AgentHarness::new(NodeId(4));
     let mut ctx = h.ctx();
     agent.send_data(&mut ctx, NodeId(4), 256, app_data());
-    assert_eq!(ctx.staged_deliveries().len(), 1, "self-addressed data loops back");
+    assert_eq!(
+        ctx.staged_deliveries().len(),
+        1,
+        "self-addressed data loops back"
+    );
     assert!(ctx.staged_out().is_empty(), "nothing hits the radio");
 }
 
@@ -91,7 +96,8 @@ fn dsr_ttl_zero_data_is_dropped_at_relay() {
     assert!(ctx.staged_out().is_empty());
     drop(ctx);
     assert_eq!(
-        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        h.trace()
+            .count_packets(TracePacketKind::DataTransit, Direction::Dropped),
         1
     );
 }
@@ -119,7 +125,8 @@ fn dsr_salvaged_packet_is_not_salvaged_twice() {
     agent.on_tx_failed(&mut ctx, pkt, NodeId(3));
     drop(ctx);
     assert_eq!(
-        h.trace().count_packets(TracePacketKind::DataTransit, Direction::Dropped),
+        h.trace()
+            .count_packets(TracePacketKind::DataTransit, Direction::Dropped),
         1,
         "second failure terminates the packet"
     );
@@ -176,10 +183,14 @@ fn aodv_ttl_zero_rreq_is_not_rebroadcast() {
         app: None,
     };
     agent.on_packet(&mut ctx, rreq);
-    assert!(ctx.staged_out().is_empty(), "ttl-exhausted flood stops here");
+    assert!(
+        ctx.staged_out().is_empty(),
+        "ttl-exhausted flood stops here"
+    );
     drop(ctx);
     assert_eq!(
-        h.trace().count_packets(TracePacketKind::Rreq, Direction::Dropped),
+        h.trace()
+            .count_packets(TracePacketKind::Rreq, Direction::Dropped),
         1
     );
 }
@@ -242,7 +253,8 @@ fn aodv_rrep_without_reverse_route_is_dropped() {
     assert!(!forwarded, "no reverse route: cannot relay the reply");
     drop(ctx);
     assert_eq!(
-        h.trace().count_packets(TracePacketKind::Rrep, Direction::Dropped),
+        h.trace()
+            .count_packets(TracePacketKind::Rrep, Direction::Dropped),
         1
     );
     // But the forward route was still learned from the reply.

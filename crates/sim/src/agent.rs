@@ -245,13 +245,7 @@ pub trait Agent {
 
     /// Called when a local application asks to deliver `size` bytes of
     /// application data to `dst`.
-    fn send_data(
-        &mut self,
-        ctx: &mut Ctx<'_, Self::Header>,
-        dst: NodeId,
-        size: u32,
-        data: AppData,
-    );
+    fn send_data(&mut self, ctx: &mut Ctx<'_, Self::Header>, dst: NodeId, size: u32, data: AppData);
 }
 
 /// Boxed agents are agents: scenarios mixing honest nodes and attack
@@ -395,7 +389,10 @@ mod tests {
             &mut counter,
         );
         agent.on_packet(&mut ctx, pkt);
-        assert!(ctx.out.is_empty(), "ttl-expired packet must not be forwarded");
+        assert!(
+            ctx.out.is_empty(),
+            "ttl-expired packet must not be forwarded"
+        );
         assert_eq!(
             trace.count_packets(TracePacketKind::DataTransit, Direction::Dropped),
             1

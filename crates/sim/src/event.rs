@@ -77,10 +77,7 @@ impl<H> Ord for Scheduled<H> {
     /// Inverted ordering so that `BinaryHeap` (a max-heap) pops the
     /// earliest event first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .t
-            .cmp(&self.t)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.t.cmp(&self.t).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

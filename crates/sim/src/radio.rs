@@ -187,7 +187,10 @@ mod tests {
                 lost += 1;
             }
         }
-        assert!(lost > 300, "expected heavy loss under contention, got {lost}/1000");
+        assert!(
+            lost > 300,
+            "expected heavy loss under contention, got {lost}/1000"
+        );
     }
 
     #[test]

@@ -213,9 +213,11 @@ impl<A: Agent> Simulator<A> {
                         Pending::AgentPacket(to, pkt)
                     }
                 }
-                EventKind::TxFailed { node, pkt, next_hop } => {
-                    Pending::AgentTxFailed(node, pkt, next_hop)
-                }
+                EventKind::TxFailed {
+                    node,
+                    pkt,
+                    next_hop,
+                } => Pending::AgentTxFailed(node, pkt, next_hop),
                 EventKind::Timer { node, token } => Pending::AgentTimer(node, token),
                 EventKind::AppTick { app, tag } => Pending::AppTick(app, tag),
                 EventKind::MobilitySample => {
@@ -361,7 +363,8 @@ impl<A: Agent> Simulator<A> {
         f(cell.app.as_mut(), &mut ctx);
         let AppCtx { sends, ticks, .. } = ctx;
         for (fire_at, tag) in ticks {
-            self.queue.push(fire_at, EventKind::AppTick { app: idx, tag });
+            self.queue
+                .push(fire_at, EventKind::AppTick { app: idx, tag });
         }
         for (dst, size, data) in sends {
             pending.push(Pending::AgentSend {
@@ -375,7 +378,13 @@ impl<A: Agent> Simulator<A> {
 
     /// Propagates one frame: decides receivers and losses now, schedules
     /// deliveries after the transmit latency.
-    fn transmit(&mut self, sender: NodeId, tx_pos: Point, mut pkt: Packet<A::Header>, dest: TxDest) {
+    fn transmit(
+        &mut self,
+        sender: NodeId,
+        tx_pos: Point,
+        mut pkt: Packet<A::Header>,
+        dest: TxDest,
+    ) {
         let now = self.now;
         pkt.link_src = sender;
         let latency = self.radio.begin_transmission(now, tx_pos, pkt.size);
@@ -543,7 +552,8 @@ mod tests {
         }));
         sim.run();
         assert_eq!(
-            sim.trace(NodeId(0)).count_packets(TracePacketKind::Data, Direction::Sent),
+            sim.trace(NodeId(0))
+                .count_packets(TracePacketKind::Data, Direction::Sent),
             1
         );
         assert_eq!(

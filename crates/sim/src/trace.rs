@@ -192,12 +192,27 @@ mod tests {
     #[test]
     fn counts_filtered_events() {
         let mut tr = NodeTrace::new();
-        tr.packet(SimTime::from_secs(1.0), TracePacketKind::Data, Direction::Sent);
-        tr.packet(SimTime::from_secs(2.0), TracePacketKind::Data, Direction::Sent);
-        tr.packet(SimTime::from_secs(2.0), TracePacketKind::Rreq, Direction::Forwarded);
+        tr.packet(
+            SimTime::from_secs(1.0),
+            TracePacketKind::Data,
+            Direction::Sent,
+        );
+        tr.packet(
+            SimTime::from_secs(2.0),
+            TracePacketKind::Data,
+            Direction::Sent,
+        );
+        tr.packet(
+            SimTime::from_secs(2.0),
+            TracePacketKind::Rreq,
+            Direction::Forwarded,
+        );
         tr.route(SimTime::from_secs(2.5), RouteEventKind::Added, Some(3));
         assert_eq!(tr.count_packets(TracePacketKind::Data, Direction::Sent), 2);
-        assert_eq!(tr.count_packets(TracePacketKind::Rreq, Direction::Forwarded), 1);
+        assert_eq!(
+            tr.count_packets(TracePacketKind::Rreq, Direction::Forwarded),
+            1
+        );
         assert_eq!(tr.count_packets(TracePacketKind::Rreq, Direction::Sent), 0);
         assert_eq!(tr.count_routes(RouteEventKind::Added), 1);
         assert_eq!(tr.count_routes(RouteEventKind::Removed), 0);

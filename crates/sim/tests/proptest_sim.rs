@@ -2,7 +2,7 @@
 
 use manet_sim::mobility::RandomWaypoint;
 use manet_sim::rng::derive_stream;
-use manet_sim::{SimTime};
+use manet_sim::SimTime;
 use proptest::prelude::*;
 
 proptest! {

@@ -155,7 +155,10 @@ mod tests {
         let sent = sim
             .trace(NodeId(0))
             .count_packets(TracePacketKind::Data, Direction::Sent);
-        assert!((19..=21).contains(&sent), "sent {sent} in a 20 s window at 1 pps");
+        assert!(
+            (19..=21).contains(&sent),
+            "sent {sent} in a 20 s window at 1 pps"
+        );
         // No event before the start time.
         assert!(sim
             .trace(NodeId(0))

@@ -341,9 +341,10 @@ mod tests {
         sim.add_app(Box::new(sink));
         sim.run();
         // Pull progress back out of the trace: count in-order data at sink.
-        let recv = sim
-            .trace(NodeId(1))
-            .count_packets(manet_sim::TracePacketKind::Data, manet_sim::Direction::Received);
+        let recv = sim.trace(NodeId(1)).count_packets(
+            manet_sim::TracePacketKind::Data,
+            manet_sim::Direction::Received,
+        );
         let sent = sim
             .trace(NodeId(0))
             .count_packets(manet_sim::TracePacketKind::Data, manet_sim::Direction::Sent);
@@ -383,7 +384,11 @@ mod tests {
         sink.on_receive(&mut ctx, seg(2), 512, NodeId(0));
         assert_eq!(sink.rcv_next(), 1, "gap at 1 holds the cumulative ACK");
         sink.on_receive(&mut ctx, seg(1), 512, NodeId(0));
-        assert_eq!(sink.rcv_next(), 3, "buffered segment drains after the gap fills");
+        assert_eq!(
+            sink.rcv_next(),
+            3,
+            "buffered segment drains after the gap fills"
+        );
         assert_eq!(sink.received(), 3);
     }
 

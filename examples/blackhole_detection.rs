@@ -29,8 +29,15 @@ fn main() {
     println!("\nscore series at the monitored node (100 s buckets, '#' ~ score):");
     for (t, s) in outcome.abnormal_series(100.0) {
         let bar = "#".repeat((s * 40.0) as usize);
-        let marker = if t >= attack_start { " <- attack era" } else { "" };
+        let marker = if t >= attack_start {
+            " <- attack era"
+        } else {
+            ""
+        };
         println!("  t={t:6.0}s  {s:.3}  {bar}{marker}");
     }
-    println!("\nthreshold = {:.3}; snapshots below it are flagged as anomalies", outcome.threshold);
+    println!(
+        "\nthreshold = {:.3}; snapshots below it are flagged as anomalies",
+        outcome.threshold
+    );
 }

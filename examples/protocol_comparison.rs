@@ -10,7 +10,9 @@ use manet_cfa::traffic::{ConnectionPattern, Transport};
 
 fn report<A: manet_cfa::sim::Agent>(name: &str, sim: &Simulator<A>, n: u16) {
     let count = |kind, dir| -> usize {
-        (0..n).map(|i| sim.trace(NodeId(i)).count_packets(kind, dir)).sum()
+        (0..n)
+            .map(|i| sim.trace(NodeId(i)).count_packets(kind, dir))
+            .sum()
     };
     let sent = count(TracePacketKind::Data, Direction::Sent);
     let recv = count(TracePacketKind::Data, Direction::Received);
@@ -20,17 +22,33 @@ fn report<A: manet_cfa::sim::Agent>(name: &str, sim: &Simulator<A>, n: u16) {
     let rerr = count(TracePacketKind::Rerr, Direction::Sent);
     let hello = count(TracePacketKind::Hello, Direction::Sent);
     println!("--- {name} ---");
-    println!("  data sent {sent}, delivered {recv} ({:.0}%)", 100.0 * recv as f64 / sent.max(1) as f64);
+    println!(
+        "  data sent {sent}, delivered {recv} ({:.0}%)",
+        100.0 * recv as f64 / sent.max(1) as f64
+    );
     println!("  control: {rreq} RREQ tx, {rrep} RREP, {rerr} RERR, {hello} HELLO");
-    println!("  overhead: {:.1} control transmissions per delivered packet",
-        (rreq + rrep + rerr + hello) as f64 / recv.max(1) as f64);
+    println!(
+        "  overhead: {:.1} control transmissions per delivered packet",
+        (rreq + rrep + rerr + hello) as f64 / recv.max(1) as f64
+    );
 }
 
 fn main() {
     let n = 50u16;
-    let cfg = || SimConfig::builder().nodes(n).duration_secs(1_000.0).seed(42).build();
-    let pattern = ConnectionPattern::random(n, 30, Transport::Cbr,
-        manet_cfa::sim::SimTime::from_secs(1_000.0), 42);
+    let cfg = || {
+        SimConfig::builder()
+            .nodes(n)
+            .duration_secs(1_000.0)
+            .seed(42)
+            .build()
+    };
+    let pattern = ConnectionPattern::random(
+        n,
+        30,
+        Transport::Cbr,
+        manet_cfa::sim::SimTime::from_secs(1_000.0),
+        42,
+    );
 
     let mut dsr = Simulator::new(cfg(), |_| DsrAgent::new());
     pattern.install(&mut dsr);

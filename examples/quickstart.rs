@@ -27,8 +27,14 @@ fn main() {
     let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
     let outcome = pipeline.run(&train, &[normal], &[attacked]);
 
-    println!("trained {} sub-models; decision threshold {:.3}", 140, outcome.threshold);
-    println!("area between recall-precision curve and the diagonal: {:+.3}", outcome.auc);
+    println!(
+        "trained {} sub-models; decision threshold {:.3}",
+        140, outcome.threshold
+    );
+    println!(
+        "area between recall-precision curve and the diagonal: {:+.3}",
+        outcome.auc
+    );
     if let Some(best) = outcome.optimal {
         println!(
             "best operating point: recall {:.2}, precision {:.2} (threshold {:.3})",

@@ -30,7 +30,10 @@ fn main() {
             .filter(|&i| i != labeled)
             .map(|i| feature_names[i])
             .collect();
-        println!("    {:10}  {:10}  prediction  probability", others[0], others[1]);
+        println!(
+            "    {:10}  {:10}  prediction  probability",
+            others[0], others[1]
+        );
         for rule in &model.rules {
             println!(
                 "    {:10}  {:10}  {:10}  {:.1}",
@@ -46,7 +49,11 @@ fn main() {
     println!("  Reachable? Delivered? Cached?   class     match-count  avg-probability");
     let ex = TwoNodeExample::new();
     for e in ALL_EVENTS {
-        let class = if TwoNodeExample::is_normal(&e) { "Normal  " } else { "Abnormal" };
+        let class = if TwoNodeExample::is_normal(&e) {
+            "Normal  "
+        } else {
+            "Abnormal"
+        };
         println!(
             "  {:10} {:10} {:8}  {class}  {:11.2}  {:.2}",
             b(e[0]),

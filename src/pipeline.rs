@@ -6,8 +6,8 @@ use crate::scenario::{Scenario, TraceBundle};
 use cfa_core::eval::{
     auc_above_diagonal, average_timeseries, optimal_point, recall_precision_curve,
 };
-use cfa_core::{CrossFeatureModel, PrPoint, ScoreMethod, ScoredEvent};
-use cfa_ml::{C45, Classifier, Learner, NaiveBayes, NominalTable, Ripper};
+use cfa_core::{CrossFeatureModel, Parallelism, PrPoint, ScoreMethod, ScoredEvent};
+use cfa_ml::{Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
 use manet_features::EqualFrequencyDiscretizer;
 
 /// Which learner builds the sub-models.
@@ -167,6 +167,10 @@ pub struct Pipeline {
     /// a single 5 s sample, suppressing single-window noise while attacks
     /// (≥ 100 s) remain fully visible.
     pub smoothing: usize,
+    /// Thread budget for ensemble training and batch scoring. Defaults to
+    /// `CFA_THREADS` (or all cores); results are bit-identical for every
+    /// setting.
+    pub parallelism: Parallelism,
 }
 
 impl Pipeline {
@@ -180,6 +184,7 @@ impl Pipeline {
             false_alarm_rate: 0.05,
             discretizer_sample: Some(500),
             smoothing: 6,
+            parallelism: Parallelism::from_env(),
         }
     }
 
@@ -198,6 +203,12 @@ impl Pipeline {
     /// Enables moving-average score smoothing over `k` snapshots.
     pub fn with_smoothing(mut self, k: usize) -> Pipeline {
         self.smoothing = k.max(1);
+        self
+    }
+
+    /// Overrides the thread budget (scores are identical regardless).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Pipeline {
+        self.parallelism = par;
         self
     }
 
@@ -222,7 +233,12 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if `train` contains attacks or `abnormal_tests` is empty.
-    pub fn run(&self, train: &Scenario, normal_tests: &[Scenario], abnormal_tests: &[Scenario]) -> Outcome {
+    pub fn run(
+        &self,
+        train: &Scenario,
+        normal_tests: &[Scenario],
+        abnormal_tests: &[Scenario],
+    ) -> Outcome {
         assert!(
             !train.is_attacked(),
             "the detector must be trained on normal data only"
@@ -232,8 +248,7 @@ impl Pipeline {
             "need at least one attack trace to evaluate detection"
         );
         let train_bundles = train.run_nodes(&Self::default_train_nodes(train.n_nodes));
-        let mut test_bundles: Vec<TraceBundle> =
-            normal_tests.iter().map(Scenario::run).collect();
+        let mut test_bundles: Vec<TraceBundle> = normal_tests.iter().map(Scenario::run).collect();
         test_bundles.extend(abnormal_tests.iter().map(Scenario::run));
         self.evaluate(&train_bundles, &test_bundles)
     }
@@ -265,8 +280,11 @@ impl Pipeline {
         );
         let train_table = disc.transform(&train_matrix).expect("same schema");
         let learner = DynLearner(self.classifier);
-        let model = CrossFeatureModel::train(&learner, &train_table);
-        let train_scores = smooth(&model.scores(&train_table, self.method), self.smoothing);
+        let model = CrossFeatureModel::train_with(&learner, &train_table, self.parallelism);
+        let train_scores = smooth(
+            &model.scores_with(&train_table, self.method, self.parallelism),
+            self.smoothing,
+        );
         let threshold = cfa_core::select_threshold(&train_scores, self.false_alarm_rate);
 
         let mut events = Vec::new();
@@ -275,7 +293,10 @@ impl Pipeline {
         let mut abnormal_scores = Vec::new();
         for bundle in tests {
             let table = disc.transform(&bundle.matrix).expect("same schema");
-            let scores = smooth(&model.scores(&table, self.method), self.smoothing);
+            let scores = smooth(
+                &model.scores_with(&table, self.method, self.parallelism),
+                self.smoothing,
+            );
             let attacked = bundle.scenario.is_attacked();
             for (&score, &is_anomaly) in scores.iter().zip(&bundle.labels) {
                 events.push(ScoredEvent { score, is_anomaly });

@@ -346,7 +346,10 @@ impl Scenario {
                 self.attack_for(n).is_none(),
                 "cannot monitor a compromised node"
             );
-            assert!(n.index() < self.n_nodes as usize, "vantage node out of range");
+            assert!(
+                n.index() < self.n_nodes as usize,
+                "vantage node out of range"
+            );
         }
         {
             let mut attackers: Vec<NodeId> = self.attacks.iter().map(|a| a.attacker).collect();
@@ -365,8 +368,10 @@ impl Scenario {
         nodes
             .iter()
             .map(|&node| {
-                let matrix =
-                    extractor.extract(&traces[node.index()], SimTime::from_secs(self.duration_secs));
+                let matrix = extractor.extract(
+                    &traces[node.index()],
+                    SimTime::from_secs(self.duration_secs),
+                );
                 let labels = matrix
                     .times
                     .iter()
@@ -391,26 +396,29 @@ impl Scenario {
 
     fn run_dsr(&self) -> Vec<manet_sim::NodeTrace> {
         let n = self.n_nodes;
-        let mut sim: Simulator<Box<dyn Agent<Header = DsrHeader>>> =
-            Simulator::new(self.sim_config(), |id| -> Box<dyn Agent<Header = DsrHeader>> {
+        let mut sim: Simulator<Box<dyn Agent<Header = DsrHeader>>> = Simulator::new(
+            self.sim_config(),
+            |id| -> Box<dyn Agent<Header = DsrHeader>> {
                 match self.attack_for(id) {
-                None => Box::new(DsrAgent::new()),
-                Some(a) => match &a.kind {
-                    AttackKind::Blackhole => {
-                        Box::new(DsrBlackhole::new(DsrAgent::new(), a.schedule.clone(), n))
-                    }
-                    AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
-                        DsrAgent::new(),
-                        policy.clone(),
-                        a.schedule.clone(),
-                    )),
-                    AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
-                        DsrAgent::new(),
-                        a.schedule.clone(),
-                        n,
-                    )),
-                },
-            }});
+                    None => Box::new(DsrAgent::new()),
+                    Some(a) => match &a.kind {
+                        AttackKind::Blackhole => {
+                            Box::new(DsrBlackhole::new(DsrAgent::new(), a.schedule.clone(), n))
+                        }
+                        AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
+                            DsrAgent::new(),
+                            policy.clone(),
+                            a.schedule.clone(),
+                        )),
+                        AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
+                            DsrAgent::new(),
+                            a.schedule.clone(),
+                            n,
+                        )),
+                    },
+                }
+            },
+        );
         self.install_traffic(&mut sim);
         sim.run();
         sim.into_traces()
@@ -418,26 +426,29 @@ impl Scenario {
 
     fn run_aodv(&self) -> Vec<manet_sim::NodeTrace> {
         let n = self.n_nodes;
-        let mut sim: Simulator<Box<dyn Agent<Header = AodvHeader>>> =
-            Simulator::new(self.sim_config(), |id| -> Box<dyn Agent<Header = AodvHeader>> {
+        let mut sim: Simulator<Box<dyn Agent<Header = AodvHeader>>> = Simulator::new(
+            self.sim_config(),
+            |id| -> Box<dyn Agent<Header = AodvHeader>> {
                 match self.attack_for(id) {
-                None => Box::new(AodvAgent::new()),
-                Some(a) => match &a.kind {
-                    AttackKind::Blackhole => {
-                        Box::new(AodvBlackhole::new(AodvAgent::new(), a.schedule.clone(), n))
-                    }
-                    AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
-                        AodvAgent::new(),
-                        policy.clone(),
-                        a.schedule.clone(),
-                    )),
-                    AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
-                        AodvAgent::new(),
-                        a.schedule.clone(),
-                        n,
-                    )),
-                },
-            }});
+                    None => Box::new(AodvAgent::new()),
+                    Some(a) => match &a.kind {
+                        AttackKind::Blackhole => {
+                            Box::new(AodvBlackhole::new(AodvAgent::new(), a.schedule.clone(), n))
+                        }
+                        AttackKind::Dropping(policy) => Box::new(PacketDropper::new(
+                            AodvAgent::new(),
+                            policy.clone(),
+                            a.schedule.clone(),
+                        )),
+                        AttackKind::UpdateStorm => Box::new(UpdateStorm::with_default_rate(
+                            AodvAgent::new(),
+                            a.schedule.clone(),
+                            n,
+                        )),
+                    },
+                }
+            },
+        );
         self.install_traffic(&mut sim);
         sim.run();
         sim.into_traces()

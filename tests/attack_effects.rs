@@ -52,19 +52,28 @@ fn perturbation(attack: Attack, protocol: Protocol) -> f64 {
 #[test]
 fn blackhole_perturbs_aodv_features() {
     let d = perturbation(Attack::blackhole_at(&[200.0]), Protocol::Aodv);
-    assert!(d > 1.0, "black hole should visibly move features, got {d:.3}");
+    assert!(
+        d > 1.0,
+        "black hole should visibly move features, got {d:.3}"
+    );
 }
 
 #[test]
 fn blackhole_perturbs_dsr_features() {
     let d = perturbation(Attack::blackhole_at(&[200.0]), Protocol::Dsr);
-    assert!(d > 1.0, "black hole should visibly move features, got {d:.3}");
+    assert!(
+        d > 1.0,
+        "black hole should visibly move features, got {d:.3}"
+    );
 }
 
 #[test]
 fn dropping_perturbs_features() {
     let d = perturbation(constant_dropper(200.0), Protocol::Aodv);
-    assert!(d > 0.01, "constant dropping should move features, got {d:.4}");
+    assert!(
+        d > 0.01,
+        "constant dropping should move features, got {d:.4}"
+    );
 }
 
 #[test]
@@ -83,7 +92,10 @@ fn selective_dropping_is_subtler_than_constant() {
 #[test]
 fn update_storm_perturbs_features() {
     let d = perturbation(Attack::storm_at(&[200.0]), Protocol::Aodv);
-    assert!(d > 1.0, "update storm should visibly move features, got {d:.3}");
+    assert!(
+        d > 1.0,
+        "update storm should visibly move features, got {d:.3}"
+    );
 }
 
 #[test]
@@ -93,7 +105,9 @@ fn dormant_dropper_leaves_the_run_bit_identical() {
     // wrappers do arm advertisement timers, which legitimately reshuffle
     // same-instant event ordering and thus shared radio randomness.)
     let clean = base(Protocol::Aodv).run();
-    let attacked = base(Protocol::Aodv).with_attack(constant_dropper(200.0)).run();
+    let attacked = base(Protocol::Aodv)
+        .with_attack(constant_dropper(200.0))
+        .run();
     for ((row_a, row_c), &t) in attacked
         .matrix
         .rows

@@ -39,8 +39,8 @@ fn cross_feature_analysis_detects_blackhole_on_aodv() {
     let outcome = pipeline.evaluate(&train, &[normal, attacked]);
 
     // Random guessing on this mixture sits at AUC ≈ positives/total − 0.5.
-    let frac_pos = outcome.events.iter().filter(|e| e.is_anomaly).count() as f64
-        / outcome.events.len() as f64;
+    let frac_pos =
+        outcome.events.iter().filter(|e| e.is_anomaly).count() as f64 / outcome.events.len() as f64;
     let random = frac_pos - 0.5;
     assert!(
         outcome.auc > random + 0.15,

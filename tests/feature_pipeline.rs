@@ -26,11 +26,15 @@ fn full_chain_produces_a_working_detector() {
 
     let disc = EqualFrequencyDiscretizer::fit(&matrix, 5, None, 1);
     let table = disc.transform(&matrix).expect("consistent schema");
-    let detector =
-        AnomalyDetector::fit(&NaiveBayes::default(), &table, ScoreMethod::AvgProbability, 0.05);
+    let detector = AnomalyDetector::fit(
+        &NaiveBayes::default(),
+        &table,
+        ScoreMethod::AvgProbability,
+        0.05,
+    );
     // On its own training data, the false-alarm budget must hold.
     let alarms = table
-        .rows()
+        .to_rows()
         .iter()
         .filter(|r| detector.classify(r) == manet_cfa::core::Verdict::Anomaly)
         .count();

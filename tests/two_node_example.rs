@@ -2,7 +2,8 @@
 //! public API — Tables 1, 2 and 3 must reproduce exactly.
 
 use manet_cfa::core::example2node::{SubModel, TwoNodeExample, ALL_EVENTS, NORMAL_EVENTS};
-use manet_cfa::core::ScoreMethod;
+use manet_cfa::core::{CrossFeatureModel, Parallelism, ScoreMethod};
+use manet_cfa::ml::{Learner, NominalTable};
 
 #[test]
 fn table1_has_four_normal_events() {
@@ -17,11 +18,19 @@ fn table1_has_four_normal_events() {
 fn table2_submodel_probabilities() {
     // Spot-check the three probability-0.5 rules called out in the text.
     let reachable = SubModel::build(0);
-    let rule = reachable.rules.iter().find(|r| r.inputs == [false, false]).unwrap();
+    let rule = reachable
+        .rules
+        .iter()
+        .find(|r| r.inputs == [false, false])
+        .unwrap();
     assert!(rule.predicted);
     assert_eq!(rule.probability, 0.5);
     let cached = SubModel::build(2);
-    let rule = cached.rules.iter().find(|r| r.inputs == [false, false]).unwrap();
+    let rule = cached
+        .rules
+        .iter()
+        .find(|r| r.inputs == [false, false])
+        .unwrap();
     assert!(rule.predicted);
     assert_eq!(rule.probability, 0.5);
     let delivered = SubModel::build(1);
@@ -50,4 +59,46 @@ fn algorithm3_dominates_algorithm2_here() {
     };
     assert_eq!(errors(ScoreMethod::AvgProbability), 0);
     assert_eq!(errors(ScoreMethod::MatchCount), 1);
+}
+
+/// The two-node events as a nominal table (three binary features).
+fn event_table(events: &[[bool; 3]]) -> NominalTable {
+    NominalTable::new(
+        vec!["reachable".into(), "delivered".into(), "cached".into()],
+        vec![2, 2, 2],
+        events
+            .iter()
+            .map(|e| e.iter().map(|&b| u8::from(b)).collect())
+            .collect(),
+    )
+    .expect("binary events are in domain")
+}
+
+#[test]
+fn thread_count_is_invisible_on_the_two_node_example() {
+    // Train real cross-feature ensembles on Table 1 and score all eight
+    // events of Table 3: one thread and many threads must produce
+    // bit-identical scores for every learner and both algorithms.
+    let normal = event_table(&NORMAL_EVENTS);
+    let all = event_table(&ALL_EVENTS);
+    fn check<L: Learner + Sync>(learner: &L, normal: &NominalTable, all: &NominalTable)
+    where
+        L::Model: manet_cfa::ml::Classifier,
+    {
+        for par in [Parallelism::threads(3), Parallelism::threads(16)] {
+            let serial = CrossFeatureModel::train_with(learner, normal, Parallelism::serial());
+            let threaded = CrossFeatureModel::train_with(learner, normal, par);
+            for method in [ScoreMethod::MatchCount, ScoreMethod::AvgProbability] {
+                assert_eq!(
+                    serial.scores_with(all, method, Parallelism::serial()),
+                    threaded.scores_with(all, method, par),
+                    "scores must be bit-identical at {} threads",
+                    par.n_threads()
+                );
+            }
+        }
+    }
+    check(&manet_cfa::ml::NaiveBayes::default(), &normal, &all);
+    check(&manet_cfa::ml::C45::default(), &normal, &all);
+    check(&manet_cfa::ml::Ripper::default(), &normal, &all);
 }
