@@ -1,14 +1,21 @@
 //! Regenerates Figure 3: average probability over time, normal vs
 //! abnormal traces, C4.5, four scenarios.
+//!
+//! This binary exercises the **streaming** path end to end: the detector
+//! is trained on cached batch bundles, but every test scenario is scored
+//! live by an [`manet_cfa::core::OnlineMonitor`] while its simulation
+//! runs — no test-side `NodeTrace` is ever retained, and each alarm is
+//! raised mid-run with its sim-time detection latency.
 
-use cfa_bench::experiments::{ScenarioSet, FIG_BUCKET_SECS};
-use cfa_bench::{paper_combos, write_series_csv};
-use manet_cfa::core::ScoreMethod;
+use cfa_bench::experiments::{training_set, FIG_BUCKET_SECS};
+use cfa_bench::{base_scenario, mixed_attack_scenario, paper_combos, write_series_csv};
+use manet_cfa::core::eval::average_timeseries;
+use manet_cfa::core::{MonitorReport, ScoreMethod};
 use manet_cfa::pipeline::{ClassifierKind, Pipeline};
 
 fn main() {
     println!(
-        "Figure 3: average probability over time (C4.5) ({} mode)\n",
+        "Figure 3: average probability over time (C4.5, live-streamed tests) ({} mode)\n",
         if cfa_bench::fast_mode() {
             "FAST"
         } else {
@@ -17,14 +24,29 @@ fn main() {
     );
     let (bh, dropping) = cfa_bench::mixed_attack_starts();
     for (protocol, transport) in paper_combos() {
-        let set = ScenarioSet::build(protocol, transport);
         let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
-        let outcome = set.evaluate(&pipeline);
-        let normal = outcome.normal_series(FIG_BUCKET_SECS);
-        let abnormal = outcome.abnormal_series(FIG_BUCKET_SECS);
+        let trained = pipeline.fit(&training_set(protocol, transport));
+
+        // Score the test scenarios while they run.
+        let normal_reports: Vec<MonitorReport> = (4..=5u64)
+            .map(|seed| {
+                trained.stream_scenario(&base_scenario(protocol, transport).with_seed(seed))
+            })
+            .collect();
+        let attack_report = trained.stream_scenario(&mixed_attack_scenario(protocol, transport, 6));
+
+        let normal_series: Vec<Vec<(f64, f64)>> = normal_reports
+            .iter()
+            .map(|r| r.series[0].series.clone())
+            .collect();
+        let normal = average_timeseries(&normal_series, FIG_BUCKET_SECS);
+        let abnormal =
+            average_timeseries(&[attack_report.series[0].series.clone()], FIG_BUCKET_SECS);
+
         println!(
-            "--- scenario {} (attacks at {bh:.0}s and {dropping:.0}s) ---",
-            set.label()
+            "--- scenario {}/{} (attacks at {bh:.0}s and {dropping:.0}s) ---",
+            protocol.name(),
+            transport.name()
         );
         let mean = |s: &[(f64, f64)], lo: f64, hi: f64| {
             let v: Vec<f64> = s
@@ -44,6 +66,30 @@ fn main() {
             mean(&abnormal, 0.0, bh),
             mean(&abnormal, bh, f64::MAX)
         );
+
+        let alarms = &attack_report.alarms;
+        let after_first_attack = alarms.iter().filter(|a| a.snapshot_time > bh).count();
+        let mean_latency =
+            alarms.iter().map(|a| a.latency()).sum::<f64>() / alarms.len().max(1) as f64;
+        let first_detection = alarms
+            .iter()
+            .find(|a| a.snapshot_time > bh)
+            .map(|a| {
+                format!(
+                    "{:.0}s (+{:.0}s after onset)",
+                    a.detected_at,
+                    a.detected_at - bh
+                )
+            })
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "  online alarms : {} total ({} after first intrusion), mean sim-time latency {:.2}s",
+            alarms.len(),
+            after_first_attack,
+            mean_latency
+        );
+        println!("  first post-onset alarm raised at {first_detection}");
+
         write_series_csv(
             &format!("fig3_{}_{}_normal.csv", protocol.name(), transport.name()),
             "time_s,avg_probability",

@@ -32,12 +32,7 @@ impl ScenarioSet {
     /// Training uses seeds 1–3 (6 vantage nodes each); normal tests use
     /// seeds 4–5; the attack trace uses seed 6.
     pub fn build(protocol: Protocol, transport: Transport) -> ScenarioSet {
-        let train_nodes = Pipeline::default_train_nodes(50);
-        let mut train = Vec::new();
-        for seed in 1..=3u64 {
-            let s = crate::base_scenario(protocol, transport).with_seed(seed);
-            train.extend(cached_bundles(&s, &train_nodes));
-        }
+        let train = training_set(protocol, transport);
         let normal_tests = (4..=5u64)
             .map(|seed| cached_bundle(&crate::base_scenario(protocol, transport).with_seed(seed)))
             .collect();
@@ -75,6 +70,20 @@ impl ScenarioSet {
         tests.extend(attacks.iter().cloned());
         pipeline.evaluate(&self.train, &tests)
     }
+}
+
+/// Builds (or loads from cache) the training bundles alone — seeds 1–3,
+/// 6 vantage nodes each. Streaming experiments train on these batch
+/// bundles and then score their test scenarios live, so no test-side
+/// `NodeTrace` is ever materialised.
+pub fn training_set(protocol: Protocol, transport: Transport) -> Vec<TraceBundle> {
+    let train_nodes = Pipeline::default_train_nodes(50);
+    let mut train = Vec::new();
+    for seed in 1..=3u64 {
+        let s = crate::base_scenario(protocol, transport).with_seed(seed);
+        train.extend(cached_bundles(&s, &train_nodes));
+    }
+    train
 }
 
 /// Builds the black-hole-only trace used by Figures 5(a)/6 (three 100 s

@@ -14,6 +14,17 @@ pub enum Verdict {
     Anomaly,
 }
 
+/// Score and decision for one streamed snapshot — what
+/// [`AnomalyDetector::score_snapshot`] returns to an online caller that
+/// wants both pieces from a single ensemble pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotVerdict {
+    /// The ensemble score (higher = more normal).
+    pub score: f64,
+    /// The threshold decision for that score.
+    pub verdict: Verdict,
+}
+
 /// A trained cross-feature anomaly detector.
 ///
 /// Combines a [`CrossFeatureModel`] with a decision threshold chosen from
@@ -129,6 +140,25 @@ impl<M: Classifier> AnomalyDetector<M> {
             Verdict::Normal
         } else {
             Verdict::Anomaly
+        }
+    }
+
+    /// Scores and classifies one streamed snapshot in a single ensemble
+    /// pass — the streaming counterpart of [`AnomalyDetector::score`] +
+    /// [`AnomalyDetector::classify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    pub fn score_snapshot(&self, row: &[u8]) -> SnapshotVerdict {
+        let score = self.score(row);
+        SnapshotVerdict {
+            score,
+            verdict: if score >= self.threshold {
+                Verdict::Normal
+            } else {
+                Verdict::Anomaly
+            },
         }
     }
 }

@@ -48,13 +48,15 @@ pub mod detector;
 pub mod eval;
 pub mod example2node;
 pub mod model;
+pub mod online;
 pub mod parallel;
 pub mod reduction;
 pub mod threshold;
 
-pub use detector::{AnomalyDetector, Verdict};
+pub use detector::{AnomalyDetector, SnapshotVerdict, Verdict};
 pub use eval::{PrPoint, ScoredEvent};
 pub use model::{CrossFeatureModel, ScoreMethod};
+pub use online::{Alarm, MonitorReport, NodeScoreSeries, OnlineMonitor, MONITOR_STEP_SECS};
 pub use parallel::Parallelism;
 pub use reduction::{
     select_informative, submodel_predictability, submodel_predictability_with, SubModelStats,

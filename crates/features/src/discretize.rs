@@ -85,6 +85,18 @@ impl EqualFrequencyDiscretizer {
         self.cuts[col].partition_point(|&c| c <= value) as u8
     }
 
+    /// Discretizes one continuous snapshot row into `out` (cleared first),
+    /// reusing its allocation — the streaming path's per-row transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` disagrees with the fitted column count.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<u8>) {
+        assert_eq!(row.len(), self.cuts.len(), "row width != fitted columns");
+        out.clear();
+        out.extend((0..row.len()).map(|c| self.bucket(c, row[c])));
+    }
+
     /// Discretizes a whole matrix into a [`NominalTable`].
     ///
     /// # Errors

@@ -1,8 +1,14 @@
 //! Feature extraction: audit trace → continuous feature matrix.
+//!
+//! This is the batch (post-hoc) entry point. Since the streaming refactor
+//! it is a thin wrapper: the trace is replayed through
+//! [`crate::IncrementalExtractor`], the single implementation of the
+//! feature semantics, so batch and online extraction cannot drift apart.
 
-use crate::spec::{FeatureSpec, StatMeasure, N_TOPOLOGY_FEATURES};
+use crate::incremental::{rows_to_matrix, IncrementalExtractor};
+use crate::spec::FeatureSpec;
 use manet_sim::trace::NodeTrace;
-use manet_sim::{Direction, RouteEventKind, SimTime, TracePacketKind};
+use manet_sim::SimTime;
 
 /// A continuous feature matrix: one row per 5-second snapshot.
 #[derive(Debug, Clone)]
@@ -41,63 +47,6 @@ impl Default for FeatureExtractor {
     }
 }
 
-/// Per-(type, direction) sorted event-time index, in seconds.
-struct TimeIndex {
-    /// `by[ptype_idx][dir_idx]` → sorted times.
-    by: Vec<Vec<Vec<f64>>>,
-}
-
-impl TimeIndex {
-    fn build(trace: &NodeTrace, spec: &FeatureSpec) -> TimeIndex {
-        use crate::spec::PacketTypeDim;
-        let dir_idx = |d: Direction| Direction::ALL.iter().position(|&x| x == d).unwrap();
-        // Raw (kind, dir) buckets first.
-        let kind_idx =
-            |k: TracePacketKind| TracePacketKind::ALL.iter().position(|&x| x == k).unwrap();
-        let mut raw: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 4]; TracePacketKind::ALL.len()];
-        for e in &trace.packet_events {
-            raw[kind_idx(e.kind)][dir_idx(e.dir)].push(e.t.as_secs());
-        }
-        // Aggregate into the spec's packet-type dimension.
-        let _ = spec;
-        let mut by: Vec<Vec<Vec<f64>>> = Vec::with_capacity(PacketTypeDim::ALL.len());
-        for ptype in PacketTypeDim::ALL {
-            let mut per_dir: Vec<Vec<f64>> = Vec::with_capacity(4);
-            #[allow(clippy::needless_range_loop)] // d indexes every kind's raw bucket
-            for d in 0..4 {
-                let mut merged: Vec<f64> = Vec::new();
-                for &k in ptype.trace_kinds() {
-                    merged.extend_from_slice(&raw[kind_idx(k)][d]);
-                }
-                merged.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-                per_dir.push(merged);
-            }
-            by.push(per_dir);
-        }
-        TimeIndex { by }
-    }
-
-    /// Events with `lo <= t < hi` for a (ptype, dir) pair.
-    fn window(&self, ptype_idx: usize, dir_idx: usize, lo: f64, hi: f64) -> &[f64] {
-        let v = &self.by[ptype_idx][dir_idx];
-        let start = v.partition_point(|&t| t < lo);
-        let end = v.partition_point(|&t| t < hi);
-        &v[start..end]
-    }
-}
-
-fn interval_stddev(times: &[f64]) -> f64 {
-    if times.len() < 3 {
-        // Fewer than two intervals: no spread to measure.
-        return 0.0;
-    }
-    let intervals: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-    let n = intervals.len() as f64;
-    let mean = intervals.iter().sum::<f64>() / n;
-    let var = intervals.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
-    var.sqrt()
-}
-
 impl FeatureExtractor {
     /// Creates an extractor with the paper's 5-second snapshot cadence.
     pub fn new() -> FeatureExtractor {
@@ -113,114 +62,26 @@ impl FeatureExtractor {
     }
 
     /// Extracts feature rows for snapshots at `5, 10, …` up to
-    /// `duration` seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `duration` is not positive.
+    /// `duration` seconds, by replaying the trace through the streaming
+    /// extractor. A non-positive duration (or an empty trace over a run
+    /// shorter than one snapshot interval) yields an empty matrix.
     pub fn extract(&self, trace: &NodeTrace, duration: SimTime) -> FeatureMatrix {
-        let dur = duration.as_secs();
-        assert!(dur > 0.0, "duration must be positive");
-        let index = TimeIndex::build(trace, &self.spec);
-        let dir_idx = |d: Direction| Direction::ALL.iter().position(|&x| x == d).unwrap();
-        let ptype_idx = |p: crate::spec::PacketTypeDim| {
-            crate::spec::PacketTypeDim::ALL
-                .iter()
-                .position(|&x| x == p)
-                .unwrap()
-        };
-
-        // Route events and mobility samples, sorted by construction.
-        let route_times: Vec<(f64, RouteEventKind, Option<u8>)> = trace
-            .route_events
-            .iter()
-            .map(|e| (e.t.as_secs(), e.kind, e.route_len))
-            .collect();
-
-        let mut times = Vec::new();
-        let mut rows = Vec::new();
-        let mut t = self.snapshot_interval;
-        let mut route_lo = 0usize;
-        while t <= dur + 1e-9 {
-            let lo = t - self.snapshot_interval;
-            let mut row = Vec::with_capacity(self.spec.len());
-
-            // --- Feature Set I ---
-            // Velocity: the mobility sample closest to this snapshot time.
-            let velocity = trace
-                .mobility
-                .iter()
-                .min_by(|a, b| {
-                    let da = (a.t.as_secs() - t).abs();
-                    let db = (b.t.as_secs() - t).abs();
-                    da.partial_cmp(&db).expect("finite times")
-                })
-                .map_or(0.0, |s| s.velocity);
-            row.push(velocity);
-
-            // Route-event counters over the base 5 s window.
-            while route_lo < route_times.len() && route_times[route_lo].0 < lo {
-                route_lo += 1;
-            }
-            let mut counts = [0usize; 5];
-            let mut len_sum = 0.0;
-            let mut len_n = 0usize;
-            let kind_pos =
-                |k: RouteEventKind| RouteEventKind::ALL.iter().position(|&x| x == k).unwrap();
-            for &(rt, kind, route_len) in &route_times[route_lo..] {
-                if rt >= t {
-                    break;
-                }
-                counts[kind_pos(kind)] += 1;
-                if matches!(kind, RouteEventKind::Added | RouteEventKind::Noticed) {
-                    if let Some(l) = route_len {
-                        len_sum += f64::from(l);
-                        len_n += 1;
-                    }
-                }
-            }
-            let add = counts[kind_pos(RouteEventKind::Added)] as f64;
-            let removal = counts[kind_pos(RouteEventKind::Removed)] as f64;
-            row.push(add);
-            row.push(removal);
-            row.push(counts[kind_pos(RouteEventKind::Found)] as f64);
-            row.push(counts[kind_pos(RouteEventKind::Noticed)] as f64);
-            row.push(counts[kind_pos(RouteEventKind::Repaired)] as f64);
-            row.push(add + removal); // total route change
-            row.push(if len_n > 0 {
-                len_sum / len_n as f64
-            } else {
-                0.0
-            });
-            debug_assert_eq!(row.len(), N_TOPOLOGY_FEATURES);
-
-            // --- Feature Set II ---
-            for f in self.spec.traffic_features() {
-                let lo_w = (t - f.period).max(0.0);
-                let window = index.window(ptype_idx(f.ptype), dir_idx(f.dir), lo_w, t);
-                let v = match f.stat {
-                    StatMeasure::Count => window.len() as f64,
-                    StatMeasure::IntervalStdDev => interval_stddev(window),
-                };
-                row.push(v);
-            }
-
-            times.push(t);
-            rows.push(row);
-            t += self.snapshot_interval;
+        debug_assert_eq!(self.snapshot_interval, 5.0, "cadence is fixed by the spec");
+        let mut inc = IncrementalExtractor::new();
+        if duration.as_secs() > 0.0 {
+            inc.preload(trace);
+            inc.finish(duration);
         }
-        FeatureMatrix {
-            names: self.spec.names().to_vec(),
-            times,
-            rows,
-        }
+        let rows = inc.drain_rows();
+        rows_to_matrix(&self.spec, rows)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manet_sim::SimTime;
+    use crate::incremental::interval_stddev;
+    use manet_sim::{Direction, RouteEventKind, SimTime, TracePacketKind};
 
     fn trace_with_events() -> NodeTrace {
         let mut tr = NodeTrace::new();
@@ -346,5 +207,12 @@ mod tests {
         let m = FeatureExtractor::new().extract(&NodeTrace::new(), SimTime::from_secs(10.0));
         assert_eq!(m.n_rows(), 2);
         assert!(m.rows.iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_duration_yields_empty_matrix_without_panicking() {
+        let m = FeatureExtractor::new().extract(&trace_with_events(), SimTime::ZERO);
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 140, "names are still the full layout");
     }
 }

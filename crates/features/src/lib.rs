@@ -20,8 +20,10 @@
 
 pub mod discretize;
 pub mod extract;
+pub mod incremental;
 pub mod spec;
 
 pub use discretize::EqualFrequencyDiscretizer;
 pub use extract::{FeatureExtractor, FeatureMatrix};
+pub use incremental::{rows_to_matrix, IncrementalExtractor, SnapshotRow};
 pub use spec::{FeatureSpec, PacketTypeDim, StatMeasure, N_FEATURES, N_TRAFFIC_FEATURES};

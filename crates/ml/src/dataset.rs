@@ -290,31 +290,6 @@ impl NominalTable {
         row[class_col]
     }
 
-    /// A single row's attribute vector with column `class_col` removed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `Classifier::predict_row`/`class_probs_into` on the \
-                full row, or `NominalTable::split_row_into` with a reused buffer"
-    )]
-    pub fn attrs_without(&self, row: usize, class_col: usize) -> Vec<u8> {
-        let full = self.row_vec(row);
-        let mut attrs = Vec::with_capacity(full.len().saturating_sub(1));
-        Self::split_row_into(&full, class_col, &mut attrs);
-        attrs
-    }
-
-    /// Splits an arbitrary full-width row into `(attrs, class)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `Classifier::predict_row`/`class_probs_into` on the \
-                full row, or `NominalTable::split_row_into` with a reused buffer"
-    )]
-    pub fn split_row(row: &[u8], class_col: usize) -> (Vec<u8>, u8) {
-        let mut attrs = Vec::with_capacity(row.len().saturating_sub(1));
-        let y = Self::split_row_into(row, class_col, &mut attrs);
-        (attrs, y)
-    }
-
     /// Appends a validated row.
     ///
     /// # Errors
@@ -468,14 +443,6 @@ mod tests {
             NominalTable::from_columns(names(2), vec![2, 2], vec![vec![]]).unwrap_err(),
             DatasetError::ShapeMismatch { .. }
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn attrs_without_removes_class_column() {
-        let t = NominalTable::new(names(3), vec![4, 4, 4], vec![vec![1, 2, 3]]).unwrap();
-        assert_eq!(t.attrs_without(0, 1), vec![1, 3]);
-        assert_eq!(NominalTable::split_row(&[1, 2, 3], 0), (vec![2, 3], 1));
     }
 
     #[test]

@@ -247,7 +247,7 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification accepted by [`vec`]: an exact `usize`, or a
+    /// Length specification accepted by [`vec()`]: an exact `usize`, or a
     /// half-open / inclusive `usize` range (matching proptest's `SizeRange`
     /// conversions).
     pub trait IntoSizeBounds {

@@ -12,6 +12,7 @@ use crate::app::AppData;
 use crate::mobility::Point;
 use crate::packet::{NodeId, Packet, PacketId, TxDest};
 use crate::rng::SimRng;
+use crate::sink::TraceSink;
 use crate::time::SimTime;
 use crate::trace::{Direction, NodeTrace, RouteEventKind, TracePacketKind};
 
@@ -33,7 +34,6 @@ impl TimerToken {
 }
 
 /// Buffered execution context for agent callbacks.
-#[derive(Debug)]
 pub struct Ctx<'a, H> {
     now: SimTime,
     node: NodeId,
@@ -41,7 +41,7 @@ pub struct Ctx<'a, H> {
     pub(crate) out: Vec<(Packet<H>, TxDest)>,
     pub(crate) timers: Vec<(SimTime, TimerToken)>,
     pub(crate) deliveries: Vec<(AppData, u32, NodeId)>,
-    trace: &'a mut NodeTrace,
+    trace: &'a mut dyn TraceSink,
     rng: &'a mut SimRng,
     next_packet_id: &'a mut u64,
 }
@@ -51,7 +51,7 @@ impl<'a, H> Ctx<'a, H> {
         now: SimTime,
         node: NodeId,
         pos: Point,
-        trace: &'a mut NodeTrace,
+        trace: &'a mut dyn TraceSink,
         rng: &'a mut SimRng,
         next_packet_id: &'a mut u64,
     ) -> Ctx<'a, H> {
@@ -135,6 +135,19 @@ impl<'a, H> Ctx<'a, H> {
     /// Application deliveries staged so far, as `(data, size, from)`.
     pub fn staged_deliveries(&self) -> &[(AppData, u32, NodeId)] {
         &self.deliveries
+    }
+}
+
+impl<H: std::fmt::Debug> std::fmt::Debug for Ctx<'_, H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("node", &self.node)
+            .field("pos", &self.pos)
+            .field("out", &self.out)
+            .field("timers", &self.timers)
+            .field("deliveries", &self.deliveries)
+            .finish_non_exhaustive()
     }
 }
 

@@ -45,6 +45,7 @@ pub mod packet;
 pub mod radio;
 pub mod rng;
 pub mod simulator;
+pub mod sink;
 pub mod time;
 pub mod trace;
 
@@ -55,5 +56,6 @@ pub use mobility::{Point, RandomWaypoint, Waypoint};
 pub use packet::{NodeId, Packet, PacketId, TxDest};
 pub use radio::RadioModel;
 pub use simulator::Simulator;
+pub use sink::{AuditEvent, ForwardingSink, NullSink, TeeSink, TraceSink};
 pub use time::SimTime;
 pub use trace::{Direction, NodeTrace, PacketEvent, RouteEvent, RouteEventKind, TracePacketKind};

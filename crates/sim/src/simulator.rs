@@ -9,6 +9,7 @@ use crate::mobility::{Point, RandomWaypoint};
 use crate::packet::{NodeId, Packet, TxDest};
 use crate::radio::{RadioModel, Reception};
 use crate::rng::{SimRng, StreamLabel};
+use crate::sink::TraceSink;
 use crate::time::SimTime;
 use crate::trace::NodeTrace;
 use std::collections::HashMap;
@@ -17,7 +18,7 @@ use std::collections::HashMap;
 struct NodeCell<A> {
     agent: A,
     mobility: RandomWaypoint,
-    trace: NodeTrace,
+    sink: Box<dyn TraceSink>,
     rng: SimRng,
 }
 
@@ -90,7 +91,7 @@ impl<A: Agent> Simulator<A> {
                     cfg.pause,
                     StreamLabel::Mobility(i).stream(cfg.seed),
                 ),
-                trace: NodeTrace::new(),
+                sink: Box::new(NodeTrace::new()),
                 rng: StreamLabel::Agent(i).stream(cfg.seed),
             })
             .collect();
@@ -146,18 +147,48 @@ impl<A: Agent> Simulator<A> {
         &self.cfg
     }
 
+    /// Replaces the audit sink of one node. By default every node records
+    /// into an in-memory [`NodeTrace`]; install a streaming sink (e.g. a
+    /// forwarding sink or an incremental extractor) to process audit events
+    /// as they occur instead, or a [`crate::sink::NullSink`] to discard them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or if the simulation has already
+    /// started (events may already have been routed to the old sink).
+    pub fn set_sink(&mut self, node: NodeId, sink: Box<dyn TraceSink>) {
+        assert!(!self.started, "sinks must be installed before run()");
+        self.nodes[node.index()].sink = sink;
+    }
+
     /// The audit trace of one node.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range, or if the node's sink does not
+    /// retain an in-memory [`NodeTrace`] (see [`Simulator::set_sink`]).
     pub fn trace(&self, node: NodeId) -> &NodeTrace {
-        &self.nodes[node.index()].trace
+        self.nodes[node.index()]
+            .sink
+            .as_node_trace()
+            .expect("node's audit sink does not retain an in-memory NodeTrace")
     }
 
     /// Consumes the simulator and returns all node traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node's sink does not retain an in-memory [`NodeTrace`]
+    /// (see [`Simulator::set_sink`]).
     pub fn into_traces(self) -> Vec<NodeTrace> {
-        self.nodes.into_iter().map(|c| c.trace).collect()
+        self.nodes
+            .into_iter()
+            .map(|c| {
+                c.sink
+                    .into_node_trace()
+                    .expect("node's audit sink does not retain an in-memory NodeTrace")
+            })
+            .collect()
     }
 
     /// Position of `node` at the current time.
@@ -241,7 +272,7 @@ impl<A: Agent> Simulator<A> {
         for cell in &mut self.nodes {
             cell.mobility.advance_to(now);
             let v = cell.mobility.velocity(now);
-            cell.trace.mobility_sample(now, v);
+            cell.sink.mobility(now, v);
         }
     }
 
@@ -320,7 +351,7 @@ impl<A: Agent> Simulator<A> {
             now,
             node,
             pos,
-            &mut cell.trace,
+            cell.sink.as_mut(),
             &mut cell.rng,
             &mut self.packet_counter,
         );
@@ -616,6 +647,75 @@ mod tests {
         sim.run_until(SimTime::from_secs(20.0));
         let end = sim.trace(NodeId(0)).mobility.len();
         assert!(end > mid);
+    }
+
+    #[test]
+    fn forwarding_sink_streams_the_same_events_the_trace_records() {
+        use crate::sink::{AuditEvent, ForwardingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mk = || {
+            let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+            sim.add_app(Box::new(OneShot {
+                node: NodeId(0),
+                dst: NodeId(5),
+                flow: FlowId(1),
+                fired: false,
+            }));
+            sim
+        };
+
+        // Streamed run: node 5's events are pushed to a subscriber.
+        let streamed = Rc::new(RefCell::new(Vec::new()));
+        let tap = streamed.clone();
+        let mut sim = mk();
+        sim.set_sink(
+            NodeId(5),
+            Box::new(ForwardingSink::new(move |e: AuditEvent| {
+                tap.borrow_mut().push(e)
+            })),
+        );
+        sim.run();
+
+        // Reference run: default in-memory trace.
+        let mut reference = mk();
+        reference.run();
+        let trace = reference.trace(NodeId(5));
+
+        let streamed = streamed.borrow();
+        let expected = trace.packet_events.len() + trace.route_events.len() + trace.mobility.len();
+        assert_eq!(streamed.len(), expected);
+        // Events arrive in chronological order.
+        for w in streamed.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+        // And the packet substream matches the trace exactly.
+        let packets: Vec<_> = streamed
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Packet(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(packets, trace.packet_events);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not retain an in-memory NodeTrace")]
+    fn trace_panics_when_sink_discards() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.set_sink(NodeId(0), Box::new(crate::sink::NullSink));
+        sim.run();
+        let _ = sim.trace(NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sinks must be installed before run()")]
+    fn sinks_cannot_change_mid_run() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.run_until(SimTime::from_secs(1.0));
+        sim.set_sink(NodeId(0), Box::new(crate::sink::NullSink));
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Trace sinks: where audit observations go as they happen.
+//!
+//! The paper's detector is an *online* system: every node scores its own
+//! audit stream as it is produced. To support that posture, agents do not
+//! write into a concrete [`NodeTrace`] — their context routes every
+//! observation through a [`TraceSink`]. The in-memory [`NodeTrace`] is one
+//! sink implementation (the post-hoc path); a [`ForwardingSink`] pushes
+//! events to a subscriber as they occur (the streaming path); [`TeeSink`]
+//! and [`NullSink`] compose and disable recording.
+//!
+//! Downstream crates build on this: `manet-features` implements
+//! [`TraceSink`] for its incremental extractor, so a running simulator can
+//! feed per-node feature snapshots to a detector *mid-simulation* without
+//! ever materialising a full trace.
+
+use crate::time::SimTime;
+use crate::trace::{
+    Direction, MobilitySample, NodeTrace, PacketEvent, RouteEvent, RouteEventKind, TracePacketKind,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One audit observation, as routed through a [`TraceSink`].
+///
+/// This is the unit a [`ForwardingSink`] hands to its subscriber; it is the
+/// tagged union of the three record types a [`NodeTrace`] stores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditEvent {
+    /// A packet observation.
+    Packet(PacketEvent),
+    /// A route-fabric observation.
+    Route(RouteEvent),
+    /// A mobility sample.
+    Mobility(MobilitySample),
+}
+
+impl AuditEvent {
+    /// When the observation was made.
+    pub fn time(&self) -> SimTime {
+        match self {
+            AuditEvent::Packet(e) => e.t,
+            AuditEvent::Route(e) => e.t,
+            AuditEvent::Mobility(e) => e.t,
+        }
+    }
+}
+
+/// A destination for one node's audit observations.
+///
+/// The simulator calls these methods in non-decreasing time order (it
+/// processes events chronologically); implementations may rely on that.
+pub trait TraceSink {
+    /// Records a packet observation.
+    fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction);
+
+    /// Records a route-fabric observation.
+    fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>);
+
+    /// Records a mobility sample.
+    fn mobility(&mut self, t: SimTime, velocity: f64);
+
+    /// The in-memory trace behind this sink, if it is one (or wraps one).
+    ///
+    /// [`crate::Simulator::trace`] uses this to keep the post-hoc accessors
+    /// working when the default in-memory sinks are in place.
+    fn as_node_trace(&self) -> Option<&NodeTrace> {
+        None
+    }
+
+    /// Consumes the sink and extracts its in-memory trace, if it holds one.
+    fn into_node_trace(self: Box<Self>) -> Option<NodeTrace> {
+        None
+    }
+}
+
+impl TraceSink for NodeTrace {
+    fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction) {
+        NodeTrace::packet(self, t, kind, dir);
+    }
+
+    fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>) {
+        NodeTrace::route(self, t, kind, route_len);
+    }
+
+    fn mobility(&mut self, t: SimTime, velocity: f64) {
+        NodeTrace::mobility_sample(self, t, velocity);
+    }
+
+    fn as_node_trace(&self) -> Option<&NodeTrace> {
+        Some(self)
+    }
+
+    fn into_node_trace(self: Box<Self>) -> Option<NodeTrace> {
+        Some(*self)
+    }
+}
+
+/// Shared sinks: lets a driver keep a handle to the sink while the
+/// simulator owns the other. This is how an online monitor taps a running
+/// simulation — it holds the `Rc` and drains completed snapshots between
+/// [`crate::Simulator::run_until`] steps.
+impl<S: TraceSink + ?Sized> TraceSink for Rc<RefCell<S>> {
+    fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction) {
+        self.borrow_mut().packet(t, kind, dir);
+    }
+
+    fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>) {
+        self.borrow_mut().route(t, kind, route_len);
+    }
+
+    fn mobility(&mut self, t: SimTime, velocity: f64) {
+        self.borrow_mut().mobility(t, velocity);
+    }
+}
+
+/// A sink that forwards every observation to a subscriber callback as it
+/// occurs — the push end of the streaming pipeline.
+#[derive(Debug)]
+pub struct ForwardingSink<F: FnMut(AuditEvent)> {
+    subscriber: F,
+}
+
+impl<F: FnMut(AuditEvent)> ForwardingSink<F> {
+    /// Creates a sink forwarding to `subscriber`.
+    pub fn new(subscriber: F) -> ForwardingSink<F> {
+        ForwardingSink { subscriber }
+    }
+}
+
+impl<F: FnMut(AuditEvent)> TraceSink for ForwardingSink<F> {
+    fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction) {
+        (self.subscriber)(AuditEvent::Packet(PacketEvent { t, kind, dir }));
+    }
+
+    fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>) {
+        (self.subscriber)(AuditEvent::Route(RouteEvent { t, kind, route_len }));
+    }
+
+    fn mobility(&mut self, t: SimTime, velocity: f64) {
+        (self.subscriber)(AuditEvent::Mobility(MobilitySample { t, velocity }));
+    }
+}
+
+/// Duplicates every observation into two sinks (e.g. stream *and* retain).
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn packet(&mut self, t: SimTime, kind: TracePacketKind, dir: Direction) {
+        self.0.packet(t, kind, dir);
+        self.1.packet(t, kind, dir);
+    }
+
+    fn route(&mut self, t: SimTime, kind: RouteEventKind, route_len: Option<u8>) {
+        self.0.route(t, kind, route_len);
+        self.1.route(t, kind, route_len);
+    }
+
+    fn mobility(&mut self, t: SimTime, velocity: f64) {
+        self.0.mobility(t, velocity);
+        self.1.mobility(t, velocity);
+    }
+
+    fn as_node_trace(&self) -> Option<&NodeTrace> {
+        self.0.as_node_trace().or_else(|| self.1.as_node_trace())
+    }
+}
+
+/// Discards every observation. Installed on nodes whose audit stream is
+/// not monitored, so long runs don't accumulate traces nobody reads.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn packet(&mut self, _t: SimTime, _kind: TracePacketKind, _dir: Direction) {}
+    fn route(&mut self, _t: SimTime, _kind: RouteEventKind, _route_len: Option<u8>) {}
+    fn mobility(&mut self, _t: SimTime, _velocity: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_trace_is_a_sink() {
+        let mut tr = NodeTrace::new();
+        let sink: &mut dyn TraceSink = &mut tr;
+        sink.packet(
+            SimTime::from_secs(1.0),
+            TracePacketKind::Data,
+            Direction::Sent,
+        );
+        sink.route(SimTime::from_secs(2.0), RouteEventKind::Added, Some(2));
+        sink.mobility(SimTime::from_secs(3.0), 4.5);
+        assert_eq!(tr.packet_events.len(), 1);
+        assert_eq!(tr.route_events.len(), 1);
+        assert_eq!(tr.mobility.len(), 1);
+        assert!(tr.as_node_trace().is_some());
+    }
+
+    #[test]
+    fn forwarding_sink_pushes_events_in_order() {
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let tap = events.clone();
+        let mut sink = ForwardingSink::new(move |e: AuditEvent| tap.borrow_mut().push(e));
+        sink.packet(
+            SimTime::from_secs(1.0),
+            TracePacketKind::Rreq,
+            Direction::Forwarded,
+        );
+        sink.mobility(SimTime::from_secs(2.0), 1.0);
+        let events = events.borrow();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time().as_secs(), 1.0);
+        assert!(matches!(events[1], AuditEvent::Mobility(_)));
+    }
+
+    #[test]
+    fn tee_duplicates_and_null_discards() {
+        let mut tee = TeeSink(NodeTrace::new(), NodeTrace::new());
+        tee.packet(
+            SimTime::from_secs(0.5),
+            TracePacketKind::Data,
+            Direction::Received,
+        );
+        assert_eq!(tee.0.packet_events, tee.1.packet_events);
+        assert_eq!(tee.as_node_trace().unwrap().packet_events.len(), 1);
+
+        let mut null = NullSink;
+        null.packet(
+            SimTime::from_secs(0.5),
+            TracePacketKind::Data,
+            Direction::Received,
+        );
+        // Nothing to observe: NullSink holds no state.
+        assert!(null.as_node_trace().is_none());
+    }
+
+    #[test]
+    fn shared_sink_taps_through_rc() {
+        let shared = Rc::new(RefCell::new(NodeTrace::new()));
+        let mut handle = shared.clone();
+        TraceSink::route(
+            &mut handle,
+            SimTime::from_secs(1.0),
+            RouteEventKind::Found,
+            None,
+        );
+        assert_eq!(shared.borrow().route_events.len(), 1);
+    }
+
+    #[test]
+    fn boxed_trace_extracts() {
+        let mut tr = NodeTrace::new();
+        tr.mobility_sample(SimTime::from_secs(1.0), 2.0);
+        let boxed: Box<dyn TraceSink> = Box::new(tr);
+        let back = boxed.into_node_trace().expect("in-memory sink");
+        assert_eq!(back.mobility.len(), 1);
+        let null: Box<dyn TraceSink> = Box::new(NullSink);
+        assert!(null.into_node_trace().is_none());
+    }
+}

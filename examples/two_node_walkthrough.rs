@@ -1,10 +1,14 @@
 //! The paper's illustrative two-node example (§3), reproduced end to end:
-//! prints Tables 1, 2 and 3 and checks the threshold-0.5 separation.
+//! prints Tables 1, 2 and 3 and checks the threshold-0.5 separation —
+//! then scales the same detector up to a live-monitored simulation, with
+//! anomaly scores computed *while the network runs* (no retained trace).
 //!
 //! Run with `cargo run --example two_node_walkthrough`.
 
 use manet_cfa::core::example2node::{SubModel, TwoNodeExample, ALL_EVENTS, NORMAL_EVENTS};
 use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
 
 fn b(v: bool) -> &'static str {
     if v {
@@ -78,4 +82,63 @@ fn main() {
     }
     println!("  Algorithm 2 (match count):      {match_count_errors} error(s) — the paper's one false alarm");
     println!("  Algorithm 3 (avg probability):  {prob_errors} error(s) — perfect accuracy");
+
+    streaming_part();
+}
+
+/// Part 2: the same cross-feature idea deployed online. A detector is
+/// trained on a normal run's batch bundles, then a second, black-holed
+/// run is scored **live**: each node's audit events stream through an
+/// incremental extractor, every 5 s snapshot is scored the moment its
+/// window provably closes, and alarms fire mid-simulation. The monitored
+/// run keeps only sliding-window state — no full `NodeTrace` exists.
+fn streaming_part() {
+    println!("\nPart 2: online monitoring of a live simulation");
+    let base = Scenario::paper_default(Protocol::Aodv, Transport::Cbr)
+        .with_nodes(20)
+        .with_connections(10)
+        .with_duration(300.0);
+
+    // Same mobility and traffic as the training run; the only difference
+    // is the black hole switching on at 150 s. At this miniature scale a
+    // fresh seed's normal drift would swamp the signal (the paper uses
+    // 10 000 s runs); keeping the seed isolates the attack's effect.
+    let train = base.clone().with_seed(41);
+    let attacked = base
+        .with_seed(41)
+        .with_attack(Attack::blackhole_at(&[150.0]));
+
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability)
+        .with_false_alarm_rate(0.01);
+    let trained = pipeline.fit(&train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes)));
+    println!(
+        "  trained NBC ensemble; alarm threshold {:.3} (1% false-alarm budget)",
+        trained.threshold()
+    );
+
+    println!("  streaming a black-holed run (attack sessions from t=150s)...");
+    let report = trained.stream_scenario(&attacked);
+    let series = &report.series[0].series;
+    let pre = report
+        .alarms
+        .iter()
+        .filter(|a| a.snapshot_time <= 150.0)
+        .count();
+    println!(
+        "  scored {} snapshots online; {} alarm(s) raised mid-run ({pre} before the attack)",
+        series.len(),
+        report.alarms.len()
+    );
+    for a in report.alarms.iter().take(8) {
+        println!(
+            "    alarm: window ending t={:>5.0}s scored {:.3}, detected at t={:>5.0}s (latency {:.0}s)",
+            a.snapshot_time,
+            a.score,
+            a.detected_at,
+            a.latency()
+        );
+    }
+    if report.alarms.len() > 8 {
+        println!("    ... and {} more", report.alarms.len() - 8);
+    }
 }

@@ -2,13 +2,16 @@
 //! discretizer + cross-feature ensemble → scored, labelled events and the
 //! paper's accuracy measures.
 
-use crate::scenario::{Scenario, TraceBundle};
+use crate::scenario::{Protocol, Scenario, TraceBundle};
 use cfa_core::eval::{
     auc_above_diagonal, average_timeseries, optimal_point, recall_precision_curve,
 };
-use cfa_core::{CrossFeatureModel, Parallelism, PrPoint, ScoreMethod, ScoredEvent};
+use cfa_core::{
+    AnomalyDetector, CrossFeatureModel, MonitorReport, OnlineMonitor, Parallelism, PrPoint,
+    ScoreMethod, ScoredEvent,
+};
 use cfa_ml::{Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
-use manet_features::EqualFrequencyDiscretizer;
+use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix};
 
 /// Which learner builds the sub-models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,15 +256,16 @@ impl Pipeline {
         self.evaluate(&train_bundles, &test_bundles)
     }
 
-    /// The same pipeline over pre-computed bundles (lets experiments reuse
-    /// expensive simulations). Training rows are the concatenation of all
-    /// `train` bundles.
+    /// Trains the discretizer, ensemble, and threshold on pre-computed
+    /// normal bundles, producing a [`TrainedPipeline`] that can score
+    /// batch matrices or monitor live simulations. Training rows are the
+    /// concatenation of all `train` bundles.
     ///
     /// # Panics
     ///
     /// Panics if any training bundle has attack labels, or there are no
     /// training rows.
-    pub fn evaluate(&self, train: &[TraceBundle], tests: &[TraceBundle]) -> Outcome {
+    pub fn fit(&self, train: &[TraceBundle]) -> TrainedPipeline {
         assert!(!train.is_empty(), "need training bundles");
         assert!(
             train.iter().all(|b| b.labels.iter().all(|&l| !l)),
@@ -286,17 +290,31 @@ impl Pipeline {
             self.smoothing,
         );
         let threshold = cfa_core::select_threshold(&train_scores, self.false_alarm_rate);
+        TrainedPipeline {
+            disc,
+            detector: AnomalyDetector::with_threshold(model, self.method, threshold),
+            smoothing: self.smoothing,
+            parallelism: self.parallelism,
+        }
+    }
+
+    /// The same pipeline over pre-computed bundles (lets experiments reuse
+    /// expensive simulations): [`Pipeline::fit`] followed by batch scoring
+    /// of every test bundle.
+    ///
+    /// # Panics
+    ///
+    /// As [`Pipeline::fit`].
+    pub fn evaluate(&self, train: &[TraceBundle], tests: &[TraceBundle]) -> Outcome {
+        let trained = self.fit(train);
+        let threshold = trained.threshold();
 
         let mut events = Vec::new();
         let mut traces = Vec::new();
         let mut normal_scores = Vec::new();
         let mut abnormal_scores = Vec::new();
         for bundle in tests {
-            let table = disc.transform(&bundle.matrix).expect("same schema");
-            let scores = smooth(
-                &model.scores_with(&table, self.method, self.parallelism),
-                self.smoothing,
-            );
+            let scores = trained.score_matrix(&bundle.matrix);
             let attacked = bundle.scenario.is_attacked();
             for (&score, &is_anomaly) in scores.iter().zip(&bundle.labels) {
                 events.push(ScoredEvent { score, is_anomaly });
@@ -322,6 +340,87 @@ impl Pipeline {
             normal_scores,
             abnormal_scores,
             curve,
+        }
+    }
+}
+
+/// A fitted pipeline: discretizer + ensemble + threshold, ready to score
+/// batch matrices ([`TrainedPipeline::score_matrix`]) or to monitor a live
+/// simulation as it runs ([`TrainedPipeline::stream_scenario`]).
+///
+/// Both paths apply the same trailing moving-average smoothing the
+/// pipeline trained with, so their scores are bit-identical for identical
+/// audit streams.
+pub struct TrainedPipeline {
+    disc: EqualFrequencyDiscretizer,
+    detector: AnomalyDetector<Box<dyn Classifier>>,
+    smoothing: usize,
+    parallelism: Parallelism,
+}
+
+impl TrainedPipeline {
+    /// The decision threshold chosen from smoothed training scores.
+    pub fn threshold(&self) -> f64 {
+        self.detector.threshold()
+    }
+
+    /// The fitted discretizer.
+    pub fn discretizer(&self) -> &EqualFrequencyDiscretizer {
+        &self.disc
+    }
+
+    /// The trained detector (ensemble + threshold).
+    pub fn detector(&self) -> &AnomalyDetector<Box<dyn Classifier>> {
+        &self.detector
+    }
+
+    /// Scores a continuous feature matrix: discretize, run the ensemble,
+    /// smooth. One smoothed score per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` does not have the training schema.
+    pub fn score_matrix(&self, matrix: &FeatureMatrix) -> Vec<f64> {
+        let table = self.disc.transform(matrix).expect("same schema");
+        smooth(
+            &self
+                .detector
+                .model()
+                .scores_with(&table, self.detector.method(), self.parallelism),
+            self.smoothing,
+        )
+    }
+
+    /// Runs `scenario` under an [`OnlineMonitor`] watching its monitored
+    /// node: the simulation's audit events stream through an incremental
+    /// extractor, and every snapshot is scored the moment it finalises.
+    /// No full `NodeTrace` is retained anywhere; memory is bounded by the
+    /// extractor's sliding-window state.
+    ///
+    /// The report's score series is bit-identical to
+    /// [`TrainedPipeline::score_matrix`] over the batch bundle of the same
+    /// scenario, and its alarms carry sim-time detection latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid or monitors a compromised node.
+    pub fn stream_scenario(&self, scenario: &Scenario) -> MonitorReport {
+        let monitored = [scenario.monitored];
+        scenario.validate_vantages(&monitored);
+        match scenario.protocol {
+            Protocol::Dsr => {
+                OnlineMonitor::new(scenario.build_dsr(), &monitored, &self.detector, &self.disc)
+                    .with_smoothing(self.smoothing)
+                    .run()
+            }
+            Protocol::Aodv => OnlineMonitor::new(
+                scenario.build_aodv(),
+                &monitored,
+                &self.detector,
+                &self.disc,
+            )
+            .with_smoothing(self.smoothing)
+            .run(),
         }
     }
 }

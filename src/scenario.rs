@@ -340,24 +340,7 @@ impl Scenario {
     ///
     /// As [`Scenario::run`], for any of the requested nodes.
     pub fn run_nodes(&self, nodes: &[NodeId]) -> Vec<TraceBundle> {
-        assert!(!nodes.is_empty(), "need at least one vantage node");
-        for &n in nodes {
-            assert!(
-                self.attack_for(n).is_none(),
-                "cannot monitor a compromised node"
-            );
-            assert!(
-                n.index() < self.n_nodes as usize,
-                "vantage node out of range"
-            );
-        }
-        {
-            let mut attackers: Vec<NodeId> = self.attacks.iter().map(|a| a.attacker).collect();
-            attackers.sort();
-            let before = attackers.len();
-            attackers.dedup();
-            assert_eq!(before, attackers.len(), "one attack per compromised node");
-        }
+        self.validate_vantages(nodes);
         let traces = match self.protocol {
             Protocol::Dsr => self.run_dsr(),
             Protocol::Aodv => self.run_aodv(),
@@ -394,7 +377,41 @@ impl Scenario {
             .collect()
     }
 
-    fn run_dsr(&self) -> Vec<manet_sim::NodeTrace> {
+    /// Checks per-vantage-node preconditions shared by the batch and
+    /// streaming paths.
+    pub(crate) fn validate_vantages(&self, nodes: &[NodeId]) {
+        assert!(!nodes.is_empty(), "need at least one vantage node");
+        for &n in nodes {
+            assert!(
+                self.attack_for(n).is_none(),
+                "cannot monitor a compromised node"
+            );
+            assert!(
+                n.index() < self.n_nodes as usize,
+                "vantage node out of range"
+            );
+        }
+        self.validate_attackers();
+    }
+
+    fn validate_attackers(&self) {
+        let mut attackers: Vec<NodeId> = self.attacks.iter().map(|a| a.attacker).collect();
+        attackers.sort();
+        let before = attackers.len();
+        attackers.dedup();
+        assert_eq!(before, attackers.len(), "one attack per compromised node");
+    }
+
+    /// Builds the configured DSR simulator — agents, attacks, and traffic
+    /// installed but not yet run. Streaming callers install audit sinks
+    /// (e.g. via [`cfa_core::OnlineMonitor`]) before driving it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scenario parameters are invalid, or if called for a
+    /// scenario whose `protocol` is not [`Protocol::Dsr`].
+    pub fn build_dsr(&self) -> Simulator<Box<dyn Agent<Header = DsrHeader>>> {
+        assert_eq!(self.protocol, Protocol::Dsr, "scenario is not DSR");
         let n = self.n_nodes;
         let mut sim: Simulator<Box<dyn Agent<Header = DsrHeader>>> = Simulator::new(
             self.sim_config(),
@@ -420,11 +437,24 @@ impl Scenario {
             },
         );
         self.install_traffic(&mut sim);
+        sim
+    }
+
+    fn run_dsr(&self) -> Vec<manet_sim::NodeTrace> {
+        let mut sim = self.build_dsr();
         sim.run();
         sim.into_traces()
     }
 
-    fn run_aodv(&self) -> Vec<manet_sim::NodeTrace> {
+    /// Builds the configured AODV simulator — the [`Scenario::build_dsr`]
+    /// counterpart for [`Protocol::Aodv`] scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scenario parameters are invalid, or if called for a
+    /// scenario whose `protocol` is not [`Protocol::Aodv`].
+    pub fn build_aodv(&self) -> Simulator<Box<dyn Agent<Header = AodvHeader>>> {
+        assert_eq!(self.protocol, Protocol::Aodv, "scenario is not AODV");
         let n = self.n_nodes;
         let mut sim: Simulator<Box<dyn Agent<Header = AodvHeader>>> = Simulator::new(
             self.sim_config(),
@@ -450,6 +480,11 @@ impl Scenario {
             },
         );
         self.install_traffic(&mut sim);
+        sim
+    }
+
+    fn run_aodv(&self) -> Vec<manet_sim::NodeTrace> {
+        let mut sim = self.build_aodv();
         sim.run();
         sim.into_traces()
     }

@@ -1,0 +1,85 @@
+//! Acceptance test for the streaming refactor: scoring a full attack
+//! scenario live (audit events → incremental extractor → online detector)
+//! must reproduce the batch pipeline (full `NodeTrace` → batch extractor →
+//! batch scoring) **bit for bit**, while also raising each alarm within
+//! one monitor step of the offending window closing.
+
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::core::MONITOR_STEP_SECS;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
+
+fn base(protocol: Protocol, seed: u64) -> Scenario {
+    Scenario::paper_default(protocol, Transport::Cbr)
+        .with_nodes(25)
+        .with_connections(12)
+        .with_duration(400.0)
+        .with_seed(seed)
+}
+
+/// Batch-scores `scenario` and live-streams it, then checks both paths
+/// agree exactly.
+fn assert_stream_matches_batch(pipeline: &Pipeline, train: &Scenario, scenario: &Scenario) {
+    let train_bundles = train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes));
+    let trained = pipeline.fit(&train_bundles);
+
+    // Batch path: full simulation, retained trace, post-hoc scoring.
+    let bundle = scenario.run();
+    let batch_scores = trained.score_matrix(&bundle.matrix);
+
+    // Streaming path: identical simulation scored while it runs.
+    let report = trained.stream_scenario(scenario);
+    assert_eq!(report.series.len(), 1);
+    let series = &report.series[0].series;
+
+    assert_eq!(
+        series.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+        bundle.matrix.times,
+        "streamed snapshot times differ from batch rows"
+    );
+    assert_eq!(series.len(), batch_scores.len());
+    for (&(t, live), &batch) in series.iter().zip(&batch_scores) {
+        assert!(
+            live.to_bits() == batch.to_bits(),
+            "score diverged at t={t}: streamed {live} != batch {batch}"
+        );
+    }
+
+    // The monitor's alarms are exactly the snapshots whose smoothed batch
+    // score dips below the trained threshold, detected within one step.
+    let expected_alarms: Vec<f64> = bundle
+        .matrix
+        .times
+        .iter()
+        .zip(&batch_scores)
+        .filter(|&(_, &s)| s < trained.threshold())
+        .map(|(&t, _)| t)
+        .collect();
+    let got_alarms: Vec<f64> = report.alarms.iter().map(|a| a.snapshot_time).collect();
+    assert_eq!(got_alarms, expected_alarms);
+    for a in &report.alarms {
+        assert_eq!(a.node, scenario.monitored);
+        assert!(
+            a.latency() >= 0.0 && a.latency() <= MONITOR_STEP_SECS + 1e-9,
+            "alarm at t={} detected {}s late",
+            a.snapshot_time,
+            a.latency()
+        );
+    }
+}
+
+#[test]
+fn streamed_attack_scenario_scores_bit_identical_to_batch_aodv() {
+    let pipeline = Pipeline::new(ClassifierKind::C45, ScoreMethod::AvgProbability);
+    let train = base(Protocol::Aodv, 1);
+    let attacked = base(Protocol::Aodv, 3).with_attack(Attack::blackhole_at(&[200.0, 320.0]));
+    assert_stream_matches_batch(&pipeline, &train, &attacked);
+}
+
+#[test]
+fn streamed_attack_scenario_scores_bit_identical_to_batch_dsr() {
+    let pipeline = Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::MatchCount);
+    let train = base(Protocol::Dsr, 5);
+    let attacked = base(Protocol::Dsr, 7).with_attack(Attack::storm_at(&[150.0, 300.0]));
+    assert_stream_matches_batch(&pipeline, &train, &attacked);
+}
