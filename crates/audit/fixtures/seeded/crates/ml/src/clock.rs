@@ -1,0 +1,10 @@
+//! Seeded D002/D005 violations for the cfa-audit acceptance test.
+//! This file is never compiled; it exists to be scanned.
+
+fn wall_clock() -> std::time::SystemTime {
+    // D002: wall clock outside crates/bench.
+    std::time::SystemTime::now()
+}
+
+#[allow(dead_code)]
+fn bare_allow() {} // the attribute above is D005: no justification comment

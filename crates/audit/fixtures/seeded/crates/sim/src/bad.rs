@@ -1,0 +1,35 @@
+//! Seeded D001/D003/D004 violations for the cfa-audit acceptance test.
+//! This file is never compiled; it exists to be scanned.
+
+use std::collections::HashMap;
+
+struct Table {
+    routes: HashMap<u32, u32>,
+}
+
+fn leak_order(t: &Table) -> Vec<u32> {
+    // D001: unordered iteration in a deterministic crate path.
+    t.routes.values().copied().collect()
+}
+
+fn loop_order(t: &Table) {
+    // D001: for-loop form.
+    for (k, v) in &t.routes {
+        drop((k, v));
+    }
+}
+
+fn allowed_count(t: &Table) -> usize {
+    // audit: allow(D001, reason = "counting only; order cannot escape")
+    t.routes.keys().count()
+}
+
+fn float_eq(score: f64) -> bool {
+    // D003: bitwise float comparison.
+    score == 0.0
+}
+
+fn hot_unwrap(v: &[u32]) -> u32 {
+    // D004: panic in library hot-path code.
+    *v.last().unwrap()
+}

@@ -1,0 +1,855 @@
+//! # cfa-audit
+//!
+//! A zero-dependency determinism lint engine for the manet-cfa workspace.
+//!
+//! The repo's headline guarantees — PR 1's "bit-identical at any thread
+//! count" ensemble and PR 2's "batch == stream bit-for-bit" equivalence —
+//! rest on determinism discipline that the compiler does not enforce: one
+//! careless iteration over a `HashMap`, one wall-clock read, one float
+//! equality, and trace bytes silently stop being reproducible. `cfa-audit`
+//! enforces that discipline statically with a lightweight line/token
+//! scanner over the workspace's `.rs` files (no `syn`: the crate registry
+//! is unreachable from the build hosts, so the analyzer is deliberately
+//! dependency-free).
+//!
+//! ## Rules
+//!
+//! | ID   | What it flags | Where |
+//! |------|---------------|-------|
+//! | D001 | unordered iteration over `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`, `for _ in &map`, …) | deterministic crates (sim, routing, traffic, attacks, features, core) and the root crate |
+//! | D002 | wall clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `RandomState`) | everywhere except `crates/bench` |
+//! | D003 | `f64`/`f32` `==`/`!=` comparisons (use `to_bits()` or an epsilon) | non-test code |
+//! | D004 | `unwrap()`/`expect()` in library hot paths | non-test code of sim, routing, features |
+//! | D005 | bare `#[allow(...)]` without a justification comment | everywhere |
+//!
+//! ## Escape hatch
+//!
+//! A finding can be suppressed with a justified annotation on the same
+//! line or the line above:
+//!
+//! ```text
+//! // audit: allow(D001, reason = "summing lengths; order cannot escape")
+//! ```
+//!
+//! The `reason` is mandatory — an allow without one is itself reported.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A determinism rule enforced by the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered iteration over a hash-based collection.
+    D001,
+    /// Wall-clock time or OS entropy.
+    D002,
+    /// Bitwise float equality comparison.
+    D003,
+    /// `unwrap`/`expect` in library hot-path code.
+    D004,
+    /// `#[allow(...)]` without a justification comment.
+    D005,
+}
+
+impl Rule {
+    /// Every rule, in id order.
+    pub const ALL: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005];
+
+    /// The rule's stable identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+            Rule::D005 => "D005",
+        }
+    }
+
+    /// Parses an identifier like `D001`.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s)
+    }
+
+    /// One-line description of what the rule protects.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D001 => "unordered iteration over HashMap/HashSet in a deterministic crate",
+            Rule::D002 => "wall-clock time or OS entropy outside crates/bench",
+            Rule::D003 => "f64/f32 == or != comparison outside tests",
+            Rule::D004 => "unwrap()/expect() in sim/routing/features library code",
+            Rule::D005 => "#[allow(...)] without a justification comment",
+        }
+    }
+
+    /// The fix-it hint printed with each finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::D001 => "use manet_sim::det::{DetMap, DetSet} (ordered iteration) or IndexedMap (hot lookups); if order provably cannot escape, annotate `// audit: allow(D001, reason = \"...\")`",
+            Rule::D002 => "derive all randomness from the scenario seed (SimRng streams) and all time from SimTime; benches belong in crates/bench",
+            Rule::D003 => "compare with f64::to_bits()/total_cmp for exact identity, or an explicit epsilon for tolerance",
+            Rule::D004 => "restructure with let-else/match so malformed input degrades gracefully; a documented panic contract needs `// audit: allow(D004, reason = \"...\")`",
+            Rule::D005 => "add a same-line or preceding-line comment explaining why the lint is suppressed",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Extra context (e.g. "allow without reason").
+    pub note: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.snippet
+        )?;
+        if let Some(n) = &self.note {
+            write!(f, " [{n}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which crates must stay iteration-order deterministic (rule D001).
+const DETERMINISTIC_ROOTS: [&str; 7] = [
+    "crates/sim/",
+    "crates/routing/",
+    "crates/traffic/",
+    "crates/attacks/",
+    "crates/features/",
+    "crates/core/",
+    "src/",
+];
+
+/// Which crates count as hot-path library code for rule D004.
+const HOT_PATH_ROOTS: [&str; 3] = ["crates/sim/", "crates/routing/", "crates/features/"];
+
+fn is_under(rel: &str, roots: &[&str]) -> bool {
+    roots.iter().any(|r| rel.starts_with(r))
+}
+
+/// Whether a whole file is test/bench/example collateral (exempt from the
+/// library-code rules D001/D003/D004).
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+}
+
+/// A parsed `audit: allow(...)` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: Option<Rule>,
+    has_reason: bool,
+    line: usize,
+    /// True if the annotation's line had no code, so it covers the next
+    /// code line as well.
+    standalone: bool,
+}
+
+/// Lexer state carried across lines: inside a block comment, or inside a
+/// multi-line string literal (`close` is the terminator; `cooked` strings
+/// process backslash escapes, raw ones don't).
+#[derive(Default)]
+struct SplitState {
+    in_block_comment: bool,
+    in_string: Option<(String, bool)>,
+}
+
+/// Strips string/char literals and comments from one line, resuming block
+/// comments and multi-line strings across lines. Returns
+/// `(code, comment_text)`.
+fn split_code_and_comment(line: &str, state: &mut SplitState) -> (String, String) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    // Resume a string literal left open on a previous line.
+    if let Some((close, cooked)) = state.in_string.take() {
+        loop {
+            if i >= bytes.len() {
+                state.in_string = Some((close, cooked));
+                return (code, comment);
+            }
+            if cooked && bytes[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            if line[i..].starts_with(close.as_str()) {
+                i += close.len();
+                code.push('"');
+                break;
+            }
+            i += 1;
+        }
+    }
+    while i < bytes.len() {
+        if state.in_block_comment {
+            if line[i..].starts_with("*/") {
+                state.in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let rest = &line[i..];
+        if let Some(text) = rest.strip_prefix("//") {
+            comment.push_str(text);
+            break;
+        }
+        if rest.starts_with("/*") {
+            state.in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        if rest.starts_with("r\"") || rest.starts_with("r#\"") {
+            let (open, close) = if rest.starts_with("r#\"") {
+                (3, "\"#")
+            } else {
+                (2, "\"")
+            };
+            match rest[open..].find(close) {
+                Some(end) => {
+                    code.push('"');
+                    i += open + end + close.len();
+                }
+                None => {
+                    state.in_string = Some((close.to_string(), false));
+                    return (code, comment);
+                }
+            }
+            continue;
+        }
+        if bytes[i] == b'"' {
+            // Cooked string with escapes; may continue onto further lines.
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    state.in_string = Some(("\"".to_string(), true));
+                    return (code, comment);
+                }
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            code.push('"');
+            continue;
+        }
+        if bytes[i] == b'\'' {
+            // Char literal vs lifetime: a literal closes within 3 bytes.
+            let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                line[i + 2..].find('\'').map(|p| p + 3)
+            } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                Some(3)
+            } else {
+                None
+            };
+            if let Some(l) = lit_len {
+                code.push_str("' '");
+                i += l;
+            } else {
+                code.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        code.push(bytes[i] as char);
+        i += 1;
+    }
+    (code, comment)
+}
+
+/// Parses an `audit: allow(Dxxx, reason = "...")` annotation out of a
+/// comment, if present.
+fn parse_allow(comment: &str, line: usize, standalone: bool) -> Option<Allow> {
+    // The directive must lead the comment (` // audit: allow(...)`) so
+    // that prose merely *mentioning* the syntax is never parsed.
+    let rest = comment.trim_start().strip_prefix("audit:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    // Last close paren: the reason text may itself contain `()`.
+    let close = rest.rfind(')')?;
+    let args = &rest[..close];
+    let mut parts = args.splitn(2, ',');
+    let rule = Rule::from_id(parts.next().unwrap_or("").trim());
+    let has_reason = parts
+        .next()
+        .map(|p| {
+            let p = p.trim();
+            p.strip_prefix("reason")
+                .map(|r| {
+                    let r = r.trim_start().trim_start_matches('=').trim();
+                    // Demand an actual quoted, non-empty justification.
+                    r.len() > 2 && r.starts_with('"') && r.ends_with('"')
+                })
+                .unwrap_or(false)
+        })
+        .unwrap_or(false);
+    Some(Allow {
+        rule,
+        has_reason,
+        line,
+        standalone,
+    })
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Finds `needle` in `hay` preceded by a non-identifier character (or the
+/// start of the line).
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let ok_before = at == 0 || !is_ident_char(hay.as_bytes()[at - 1]);
+        if ok_before {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+/// Extracts the identifier immediately before `pos` in `code`.
+fn ident_before(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&code[start..end])
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in a file's code lines.
+fn collect_hash_bindings(code_lines: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for code in code_lines {
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `name: [path::]HashMap<..>` (field, param or annotated let).
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(':') {
+            let at = search + pos;
+            let after = code[at + 1..].trim_start();
+            if (after.starts_with("HashMap") || after.starts_with("HashSet"))
+                || (after.starts_with("std::collections::Hash"))
+            {
+                if let Some(name) = ident_before(code, at) {
+                    if name != "let" && !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+            search = at + 1;
+        }
+        // `let [mut] name = ... HashMap::new() / HashSet::with_capacity ...`
+        if code.contains("HashMap::") || code.contains("HashSet::") {
+            if let Some(let_pos) = code.find("let ") {
+                let after_let = code[let_pos + 4..].trim_start();
+                let after_let = after_let
+                    .strip_prefix("mut ")
+                    .unwrap_or(after_let)
+                    .trim_start();
+                let end = after_let
+                    .find(|c: char| !(c == '_' || c.is_ascii_alphanumeric()))
+                    .unwrap_or(after_let.len());
+                let name = &after_let[..end];
+                if !name.is_empty() && !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+const ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Checks a code line for unordered iteration over any of `names`.
+fn d001_hit(code: &str, names: &[String]) -> bool {
+    for name in names {
+        // `name.iter()` etc — the receiver's last path segment is `name`.
+        for m in ITER_METHODS {
+            let pat = format!("{name}{m}");
+            if contains_token(code, &pat) {
+                return true;
+            }
+        }
+        if contains_token(code, &format!("{name}.into_iter()")) {
+            return true;
+        }
+        // `for x in &name` / `for x in &mut name` / `for x in name`.
+        if let Some(in_pos) = code.find(" in ") {
+            if code.trim_start().starts_with("for ") || code.contains(" for ") {
+                let target = code[in_pos + 4..].trim_start();
+                let target = target.strip_prefix('&').unwrap_or(target);
+                let target = target.strip_prefix("mut ").unwrap_or(target).trim_start();
+                // Strip leading path qualifiers like `self.`.
+                let head_end = target
+                    .find(|c: char| {
+                        !(c == '_' || c == '.' || c == ':' || c.is_ascii_alphanumeric())
+                    })
+                    .unwrap_or(target.len());
+                let head = &target[..head_end];
+                let last = head.rsplit(['.', ':']).next().unwrap_or(head);
+                if last == name {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+const D002_TOKENS: [&str; 4] = ["SystemTime", "Instant::now", "thread_rng", "RandomState"];
+
+/// Collects identifiers bound to `f32`/`f64` in a file's code lines.
+fn collect_float_bindings(code_lines: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for code in code_lines {
+        if !(code.contains("f64") || code.contains("f32")) {
+            continue;
+        }
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(':') {
+            let at = search + pos;
+            let after = code[at + 1..].trim_start();
+            let is_float = ["f64", "f32"].iter().any(|t| {
+                after
+                    .strip_prefix(t)
+                    .is_some_and(|rest| rest.is_empty() || !is_ident_char(rest.as_bytes()[0]))
+            });
+            if is_float {
+                if let Some(name) = ident_before(code, at) {
+                    if !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+            search = at + 1;
+        }
+    }
+    names
+}
+
+fn looks_like_float_literal(tok: &str) -> bool {
+    let tok = tok.trim_end_matches("f64").trim_end_matches("f32");
+    let mut seen_dot = false;
+    let mut seen_digit = false;
+    for c in tok.chars() {
+        match c {
+            '0'..='9' | '_' => seen_digit = true,
+            '.' if !seen_dot => seen_dot = true,
+            _ => return false,
+        }
+    }
+    seen_digit && seen_dot
+}
+
+/// Checks a code line for a float `==`/`!=` comparison.
+fn d003_hit(code: &str, float_names: &[String]) -> bool {
+    for op in ["==", "!="] {
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(op) {
+            let at = search + pos;
+            // Skip `!==`-like and `<=`/`>=`-adjacent artifacts and pattern
+            // arrows; `==`/`!=` surrounded by operator chars isn't a float
+            // comparison either way.
+            let lhs = code[..at].trim_end();
+            let rhs = code[at + 2..].trim_start();
+            let lhs_tok = lhs
+                .rsplit(|c: char| c.is_whitespace() || "(,{[".contains(c))
+                .next()
+                .unwrap_or("");
+            let rhs_tok = rhs
+                .split(|c: char| c.is_whitespace() || ")],;{".contains(c))
+                .next()
+                .unwrap_or("");
+            let float_side = |tok: &str| {
+                looks_like_float_literal(tok)
+                    || float_names.iter().any(|n| {
+                        tok == n
+                            || tok.ends_with(&format!(".{n}"))
+                            || tok == format!("*{n}").as_str()
+                    })
+            };
+            if float_side(lhs_tok) || float_side(rhs_tok) {
+                return true;
+            }
+            search = at + 2;
+        }
+    }
+    false
+}
+
+/// Scans one file's source text. `rel` is the workspace-relative path with
+/// forward slashes; it selects which rules apply.
+pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_det_crate = is_under(rel, &DETERMINISTIC_ROOTS);
+    let in_hot_crate = is_under(rel, &HOT_PATH_ROOTS);
+    let in_bench = rel.starts_with("crates/bench/");
+    let file_is_test = is_test_path(rel);
+
+    // First pass: split every line into code and comment, find the
+    // `#[cfg(test)]` tail, and collect allow annotations and bindings.
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comments: Vec<String> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut test_tail_start = usize::MAX;
+    let mut state = SplitState::default();
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_and_comment(raw, &mut state);
+        if test_tail_start == usize::MAX && code.contains("#[cfg(test)]") {
+            test_tail_start = idx;
+        }
+        let standalone = code.trim().is_empty();
+        if let Some(allow) = parse_allow(&comment, idx, standalone) {
+            allows.push(allow);
+        }
+        code_lines.push(code);
+        comments.push(comment);
+    }
+    let hash_names = collect_hash_bindings(&code_lines);
+    let float_names = collect_float_bindings(&code_lines);
+
+    let allowed = |rule: Rule, line: usize| -> bool {
+        allows.iter().any(|a| {
+            a.rule == Some(rule)
+                && a.has_reason
+                && (a.line == line || (a.standalone && a.line + 1 == line))
+        })
+    };
+
+    // Malformed allows are findings in their own right: the escape hatch
+    // requires both a known rule id and a written reason.
+    for a in &allows {
+        let (rule, note) = match (a.rule, a.has_reason) {
+            (Some(_), true) => continue,
+            (Some(r), false) => (
+                r,
+                "audit allow without a reason — the escape hatch requires reason = \"...\"",
+            ),
+            (None, _) => (Rule::D005, "audit allow names an unknown rule id"),
+        };
+        findings.push(Finding {
+            rule,
+            file: rel.to_string(),
+            line: a.line + 1,
+            snippet: source.lines().nth(a.line).unwrap_or("").trim().to_string(),
+            note: Some(note.to_string()),
+        });
+    }
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let in_test = file_is_test || idx >= test_tail_start;
+        let raw_snippet = || source.lines().nth(idx).unwrap_or("").trim().to_string();
+        let push = |rule: Rule, findings: &mut Vec<Finding>| {
+            if !allowed(rule, idx) {
+                findings.push(Finding {
+                    rule,
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    snippet: raw_snippet(),
+                    note: None,
+                });
+            }
+        };
+
+        if in_det_crate && !in_test && d001_hit(code, &hash_names) {
+            push(Rule::D001, &mut findings);
+        }
+        if !in_bench && D002_TOKENS.iter().any(|t| contains_token(code, t)) {
+            push(Rule::D002, &mut findings);
+        }
+        if !in_test && d003_hit(code, &float_names) {
+            push(Rule::D003, &mut findings);
+        }
+        if in_hot_crate && !in_test && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            push(Rule::D004, &mut findings);
+        }
+        if code.contains("#[allow(") || code.contains("#![allow(") {
+            let comment_here = !comments[idx].trim().is_empty();
+            let comment_above = idx > 0
+                && source
+                    .lines()
+                    .nth(idx - 1)
+                    .map(|l| l.trim_start().starts_with("//"))
+                    .unwrap_or(false);
+            if !comment_here && !comment_above {
+                push(Rule::D005, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively collects the `.rs` files under `root`, skipping build
+/// output and VCS internals, in sorted (deterministic) order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `fixtures` holds deliberately-violating test trees; they are
+            // scanned by pointing the binary at them directly.
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under `root` (a workspace checkout) and returns
+/// all findings, ordered by file then line.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<Rule> {
+        scan_source(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    const DET: &str = "crates/sim/src/fixture.rs";
+
+    // --- D001 -----------------------------------------------------------
+
+    #[test]
+    fn d001_flags_hashmap_iteration() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Vec<u32> { s.m.values().copied().collect() }\n";
+        assert_eq!(rules(DET, src), vec![Rule::D001]);
+    }
+
+    #[test]
+    fn d001_flags_for_loop_over_hashset() {
+        let src = "fn f() {\n    let mut seen = HashSet::new();\n    seen.insert(1u32);\n    for x in &seen { println!(\"{x}\"); }\n}\n";
+        assert_eq!(rules(DET, src), vec![Rule::D001]);
+    }
+
+    #[test]
+    fn d001_allowed_with_reason() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   // audit: allow(D001, reason = \"summing; order cannot escape\")\n\
+                   fn f(s: &S) -> usize { s.m.values().count() }\n";
+        assert!(rules(DET, src).is_empty());
+    }
+
+    #[test]
+    fn d001_allow_without_reason_is_reported() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   // audit: allow(D001)\n\
+                   fn f(s: &S) -> usize { s.m.values().count() }\n";
+        let got = rules(DET, src);
+        // Both the malformed allow and the unsuppressed finding surface.
+        assert_eq!(got, vec![Rule::D001, Rule::D001]);
+    }
+
+    #[test]
+    fn d001_clean_on_detmap_and_lookups() {
+        let src = "struct S { m: DetMap<u32, u32>, h: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Vec<u32> { s.m.values().copied().collect() }\n\
+                   fn g(s: &S) -> Option<&u32> { s.h.get(&3) }\n";
+        assert!(rules(DET, src).is_empty());
+    }
+
+    #[test]
+    fn d001_ignores_non_deterministic_crates() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> usize { s.m.keys().count() }\n";
+        assert!(rules("crates/ml/src/fixture.rs", src).is_empty());
+    }
+
+    // --- D002 -----------------------------------------------------------
+
+    #[test]
+    fn d002_flags_wall_clock_and_entropy() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); }\n\
+                   fn g() { let r = rand::thread_rng(); }\n";
+        assert_eq!(
+            rules("crates/ml/src/fixture.rs", src),
+            vec![Rule::D002, Rule::D002]
+        );
+    }
+
+    #[test]
+    fn d002_allowed_with_reason() {
+        let src = "// audit: allow(D002, reason = \"bench harness measures wall time\")\n\
+                   fn f() { let t = Instant::now(); }\n";
+        assert!(rules("crates/criterion/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_clean_in_bench_crate() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(rules("crates/bench/src/fixture.rs", src).is_empty());
+    }
+
+    // --- D003 -----------------------------------------------------------
+
+    #[test]
+    fn d003_flags_float_literal_equality() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(rules(DET, src), vec![Rule::D003]);
+    }
+
+    #[test]
+    fn d003_flags_typed_float_identifier() {
+        let src = "fn f(score: f64, threshold: f64) -> bool { score != threshold }\n";
+        assert_eq!(rules(DET, src), vec![Rule::D003]);
+    }
+
+    #[test]
+    fn d003_allowed_with_reason() {
+        let src = "// audit: allow(D003, reason = \"exact sentinel propagated unchanged\")\n\
+                   fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(rules(DET, src).is_empty());
+    }
+
+    #[test]
+    fn d003_clean_on_to_bits_and_integers() {
+        let src = "fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }\n\
+                   fn g(n: usize) -> bool { n == 3 }\n";
+        assert!(rules(DET, src).is_empty());
+    }
+
+    #[test]
+    fn d003_ignores_test_tail() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: f64) -> bool { x == 0.5 }\n}\n";
+        assert!(rules(DET, src).is_empty());
+    }
+
+    // --- D004 -----------------------------------------------------------
+
+    #[test]
+    fn d004_flags_unwrap_in_hot_crate() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
+        assert_eq!(
+            rules("crates/routing/src/fixture.rs", src),
+            vec![Rule::D004]
+        );
+    }
+
+    #[test]
+    fn d004_allowed_with_reason_on_same_line() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.last().unwrap() } // audit: allow(D004, reason = \"caller guarantees non-empty\")\n";
+        assert!(rules("crates/routing/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d004_clean_outside_hot_crates_and_tests() {
+        let hot_test = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(rules("crates/routing/src/fixture.rs", hot_test).is_empty());
+        let cold = "fn f() { Some(1).unwrap(); }\n";
+        assert!(rules("crates/ml/src/fixture.rs", cold).is_empty());
+    }
+
+    // --- D005 -----------------------------------------------------------
+
+    #[test]
+    fn d005_flags_bare_allow_attribute() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(rules("crates/ml/src/fixture.rs", src), vec![Rule::D005]);
+    }
+
+    #[test]
+    fn d005_clean_with_same_line_justification() {
+        let src = "#[allow(dead_code)] // kept for the serialization layout\nfn f() {}\n";
+        assert!(rules("crates/ml/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d005_clean_with_preceding_comment() {
+        let src = "// the indices walk three arrays in lockstep\n#[allow(clippy::needless_range_loop)]\nfn f() {}\n";
+        assert!(rules("crates/ml/src/fixture.rs", src).is_empty());
+    }
+
+    // --- engine details -------------------------------------------------
+
+    #[test]
+    fn string_literals_do_not_trigger_rules() {
+        let src = "fn f() -> &'static str { \"call .unwrap() or thread_rng here\" }\n";
+        assert!(rules("crates/routing/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_location_and_snippet() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\n";
+        let got = scan_source("crates/sim/src/fixture.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[0].snippet, "*v.last().unwrap()");
+    }
+}

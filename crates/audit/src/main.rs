@@ -1,0 +1,64 @@
+//! `cfa-audit` — scan the workspace for determinism violations.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p cfa-audit            # scan the workspace checkout
+//! cargo run -p cfa-audit -- <path>  # scan another tree (e.g. a fixture)
+//! cargo run -p cfa-audit -- --rules # print the rule table
+//! ```
+//!
+//! Exits non-zero if any finding survives its allow annotations, so CI can
+//! gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cfa_audit::{scan_tree, Rule};
+
+fn workspace_root() -> PathBuf {
+    // crates/audit/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--rules" => {
+            for rule in Rule::ALL {
+                println!("{rule}  {}", rule.summary());
+                println!("      fix: {}", rule.hint());
+            }
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => workspace_root(),
+    };
+
+    let findings = match scan_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cfa-audit: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if findings.is_empty() {
+        println!("cfa-audit: clean ({} rules, no findings)", Rule::ALL.len());
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &findings {
+        println!("{f}");
+        println!("    fix: {}", f.rule.hint());
+    }
+    println!(
+        "cfa-audit: {} finding{} — see `cargo run -p cfa-audit -- --rules`",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,63 @@
+//! The two acceptance gates for the analyzer itself:
+//!
+//! 1. the shipped workspace is finding-free (every real violation has
+//!    either been fixed or carries a justified `audit: allow`), and
+//! 2. the seeded fixture tree trips every rule, so the scan cannot have
+//!    silently gone blind.
+
+use std::path::PathBuf;
+
+use cfa_audit::{scan_tree, Rule};
+
+fn audit_crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn shipped_workspace_is_finding_free() {
+    let root = audit_crate_dir().join("../..").canonicalize().unwrap();
+    let findings = scan_tree(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "the shipped tree must audit clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    for rule in Rule::ALL {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "seeded fixture no longer trips {rule}; findings: {findings:?}"
+        );
+    }
+    // The justified allow in the fixture must still suppress its line.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.snippet.contains("keys().count()")),
+        "allowed-with-reason line was flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn fixture_findings_are_ordered_and_located() {
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    // Walk order is sorted, so ml/ findings precede sim/ findings.
+    let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+    let mut sorted = files.clone();
+    sorted.sort();
+    assert_eq!(
+        files, sorted,
+        "findings must come out in deterministic file order"
+    );
+    assert!(findings.iter().all(|f| f.line > 0));
+}

@@ -33,6 +33,7 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         eprintln!("\nbenchmark group: {name}");
@@ -61,12 +62,14 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
     }
 
+    /// Runs one benchmark within the group.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -76,6 +79,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Ends the group (upstream flushes reports here; a no-op for us).
     pub fn finish(self) {}
 }
 
@@ -86,10 +90,12 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Times `iters` executions of `body`.
     pub fn iter<O, F>(&mut self, mut body: F)
     where
         F: FnMut() -> O,
     {
+        // audit: allow(D002, reason = "benchmark harness: wall-clock timing is the whole point")
         let start = Instant::now();
         for _ in 0..self.iters {
             black_box(body());
@@ -105,6 +111,7 @@ pub struct BenchmarkId {
 }
 
 impl BenchmarkId {
+    /// Joins a function name and a parameter label into one id.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
         BenchmarkId {
             id: format!("{}/{}", function_name.into(), parameter),
@@ -112,7 +119,9 @@ impl BenchmarkId {
     }
 }
 
+/// Values accepted as benchmark identifiers (`&str`, `String`, [`BenchmarkId`]).
 pub trait IntoBenchmarkId {
+    /// The rendered identifier.
     fn into_benchmark_id(self) -> String;
 }
 
@@ -190,6 +199,7 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "`.")]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+

@@ -50,7 +50,9 @@ impl EqualFrequencyDiscretizer {
         let mut cuts = Vec::with_capacity(n_cols);
         for c in 0..n_cols {
             let mut vals: Vec<f64> = indices.iter().map(|&r| matrix.rows[r][c]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+            // total_cmp gives a deterministic order even for non-finite
+            // values instead of panicking on NaN.
+            vals.sort_by(f64::total_cmp);
             let mut col_cuts: Vec<f64> = Vec::with_capacity(n_buckets - 1);
             for b in 1..n_buckets {
                 let q = b as f64 / n_buckets as f64;

@@ -188,11 +188,11 @@ impl IncrementalExtractor {
     }
 
     fn dir_idx(d: Direction) -> usize {
-        Direction::ALL.iter().position(|&x| x == d).unwrap()
+        d.index()
     }
 
     fn kind_idx(k: TracePacketKind) -> usize {
-        TracePacketKind::ALL.iter().position(|&x| x == k).unwrap()
+        k.index()
     }
 
     /// Buffers a packet observation without advancing the watermark.
@@ -321,8 +321,7 @@ impl IncrementalExtractor {
         let mut counts = [0usize; 5];
         let mut len_sum = 0.0;
         let mut len_n = 0usize;
-        let kind_pos =
-            |k: RouteEventKind| RouteEventKind::ALL.iter().position(|&x| x == k).unwrap();
+        let kind_pos = |k: RouteEventKind| k.index();
         for &(rt, kind, route_len) in &self.routes[self.routes_start..] {
             if rt >= t {
                 break;
@@ -351,7 +350,7 @@ impl IncrementalExtractor {
         debug_assert_eq!(row.len(), N_TOPOLOGY_FEATURES);
 
         // --- Feature Set II ---
-        let ptype_idx = |p: PacketTypeDim| PacketTypeDim::ALL.iter().position(|&x| x == p).unwrap();
+        let ptype_idx = |p: PacketTypeDim| p.index();
         for f in self.spec.traffic_features() {
             let lo_w = (t - f.period).max(0.0);
             let window = self.traffic

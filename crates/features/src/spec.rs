@@ -34,6 +34,12 @@ impl PacketTypeDim {
         PacketTypeDim::Hello,
     ];
 
+    /// Position of this dimension in [`PacketTypeDim::ALL`] (O(1): `ALL`
+    /// lists the variants in declaration order).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Which raw trace kinds contribute to this dimension value.
     pub fn trace_kinds(self) -> &'static [TracePacketKind] {
         match self {

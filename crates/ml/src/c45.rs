@@ -89,11 +89,11 @@ impl C45Model {
 }
 
 fn entropy(counts: &[u32]) -> f64 {
-    let n: u32 = counts.iter().sum();
-    if n == 0 {
+    let total: u32 = counts.iter().sum();
+    if total == 0 {
         return 0.0;
     }
-    let n = n as f64;
+    let n = f64::from(total);
     counts
         .iter()
         .filter(|&&c| c > 0)

@@ -106,12 +106,12 @@ fn foil_gain(p0: f64, n0: f64, p1: f64, n1: f64) -> f64 {
 
 /// Rule-value metric on the pruning set: `(p − n) / (p + n)`, Cohen's
 /// IREP* pruning criterion.
-fn prune_value(p: f64, n: f64) -> f64 {
-    if p + n == 0.0 {
+fn prune_value(p: usize, n: usize) -> f64 {
+    if p + n == 0 {
         // An uncovering rule is worthless but not actively harmful.
         -1.0
     } else {
-        (p - n) / (p + n)
+        (p as f64 - n as f64) / (p + n) as f64
     }
 }
 
@@ -131,14 +131,15 @@ impl ClassTrainer<'_> {
         let mut conds: Vec<(usize, u8)> = Vec::new();
         let mut covered: Vec<usize> = grow.to_vec();
         loop {
-            let p0 = covered
+            let pos_count = covered
                 .iter()
                 .filter(|&&i| self.y[i] == self.target)
-                .count() as f64;
-            let n0 = covered.len() as f64 - p0;
-            if n0 == 0.0 || conds.len() >= self.cfg.max_conds {
+                .count();
+            let neg_count = covered.len() - pos_count;
+            if neg_count == 0 || conds.len() >= self.cfg.max_conds {
                 break; // pure (or bounded): stop refining
             }
+            let (p0, n0) = (pos_count as f64, neg_count as f64);
             // One counting pass over the covered rows computes (p, n) for
             // every (attribute, value) candidate simultaneously.
             let offsets: Vec<usize> = self
@@ -190,13 +191,13 @@ impl ClassTrainer<'_> {
     /// improves; returns the best prefix.
     fn prune_rule(&self, conds: Vec<(usize, u8)>, prune: &[usize]) -> Vec<(usize, u8)> {
         let value_of = |prefix: &[(usize, u8)]| {
-            let (mut p, mut n) = (0.0, 0.0);
+            let (mut p, mut n) = (0usize, 0usize);
             for &i in prune {
                 if covers_at(prefix, self.cols, i) {
                     if self.y[i] == self.target {
-                        p += 1.0;
+                        p += 1;
                     } else {
-                        n += 1.0;
+                        n += 1;
                     }
                 }
             }
@@ -218,20 +219,20 @@ impl ClassTrainer<'_> {
 
     /// Accuracy of the rule on the pruning set (positives / covered).
     fn prune_accuracy(&self, conds: &[(usize, u8)], prune: &[usize]) -> f64 {
-        let (mut p, mut n) = (0.0, 0.0);
+        let (mut p, mut n) = (0usize, 0usize);
         for &i in prune {
             if covers_at(conds, self.cols, i) {
                 if self.y[i] == self.target {
-                    p += 1.0;
+                    p += 1;
                 } else {
-                    n += 1.0;
+                    n += 1;
                 }
             }
         }
-        if p + n == 0.0 {
+        if p + n == 0 {
             0.0
         } else {
-            p / (p + n)
+            p as f64 / (p + n) as f64
         }
     }
 }

@@ -32,10 +32,12 @@ impl TestRng {
         TestRng { state: h }
     }
 
+    /// Builds a generator from an explicit seed.
     pub fn from_seed(seed: u64) -> TestRng {
         TestRng { state: seed }
     }
 
+    /// The next 64 uniformly random bits (SplitMix64).
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -62,10 +64,13 @@ impl TestRng {
 /// Mirrors `proptest::strategy::Strategy` closely enough for the call sites
 /// in this workspace; `sample` replaces the upstream value-tree machinery.
 pub trait Strategy {
+    /// The type of values this strategy produces.
     type Value;
 
+    /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Maps produced values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -74,6 +79,7 @@ pub trait Strategy {
         Map { source: self, f }
     }
 
+    /// Derives a second strategy from each produced value.
     fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
     where
         Self: Sized,
@@ -83,6 +89,7 @@ pub trait Strategy {
         FlatMap { source: self, f }
     }
 
+    /// Rejects values failing `pred` (resampling up to a retry cap).
     fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
     where
         Self: Sized,
@@ -244,6 +251,7 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
+/// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
 
@@ -284,6 +292,7 @@ pub mod collection {
         }
     }
 
+    /// Result of [`vec()`]: samples a length, then each element.
     pub struct VecStrategy<S> {
         element: S,
         min_len: usize,
@@ -300,6 +309,7 @@ pub mod collection {
     }
 }
 
+/// Boolean strategies (`proptest::bool::ANY`).
 pub mod bool {
     use super::{Strategy, TestRng};
 
@@ -307,6 +317,7 @@ pub mod bool {
     #[derive(Clone, Copy, Debug)]
     pub struct Any;
 
+    /// The canonical instance of [`Any`].
     pub const ANY: Any = Any;
 
     impl Strategy for Any {
@@ -321,10 +332,12 @@ pub mod bool {
 /// Runner configuration; only `cases` is honoured.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
+    /// Number of sampled cases per property.
     pub cases: u32,
 }
 
 impl ProptestConfig {
+    /// Config running `cases` cases per property.
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
@@ -336,6 +349,7 @@ impl Default for ProptestConfig {
     }
 }
 
+/// One-stop imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
@@ -387,16 +401,19 @@ macro_rules! __proptest_body {
 }
 
 /// `assert!` under proptest's name (no shrinking machinery to hook into).
+/// Asserts inside a property (stand-in: plain `assert!`).
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };
 }
 
+/// Asserts equality inside a property (stand-in: plain `assert_eq!`).
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
 }
 
+/// Asserts inequality inside a property (stand-in: plain `assert_ne!`).
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };

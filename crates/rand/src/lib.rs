@@ -15,12 +15,15 @@
 /// Low-level source of randomness: everything else is derived from
 /// [`RngCore::next_u64`].
 pub trait RngCore {
+    /// The next 64 uniformly random bits.
     fn next_u64(&mut self) -> u64;
 
+    /// The next 32 uniformly random bits (top half of a 64-bit draw).
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 
+    /// Fills `dest` with uniformly random bytes.
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_u64().to_le_bytes();
@@ -73,11 +76,13 @@ impl<R: RngCore + ?Sized> Rng for R {}
 /// Seedable generators; only the `seed_from_u64` entry point is provided
 /// because it is the only one the workspace uses.
 pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
     fn seed_from_u64(seed: u64) -> Self;
 }
 
 /// Types sampleable via [`Rng::gen`].
 pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
@@ -162,6 +167,7 @@ impl SampleUniform for f64 {
 
 /// Range-shaped arguments accepted by [`Rng::gen_range`].
 pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value uniformly from this range.
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
@@ -223,6 +229,7 @@ impl Xoshiro256 {
     }
 }
 
+/// The concrete generators ([`SmallRng`](rngs::SmallRng), [`StdRng`](rngs::StdRng)).
 pub mod rngs {
     use super::{RngCore, SeedableRng, Xoshiro256};
 
@@ -264,13 +271,16 @@ pub mod rngs {
     }
 }
 
+/// Sequence-related extensions ([`SliceRandom`](seq::SliceRandom)).
 pub mod seq {
     use super::RngCore;
 
     /// Slice extension: in-place Fisher–Yates shuffle.
     pub trait SliceRandom {
+        /// Element type of the slice.
         type Item;
 
+        /// Shuffles the slice in place (Fisher–Yates).
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
     }
 

@@ -4,10 +4,9 @@ use super::constants::*;
 use super::table::{RouteTable, UpdateOutcome};
 use super::AodvHeader;
 use manet_sim::{
-    Agent, AppData, Ctx, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
+    Agent, AppData, Ctx, DetMap, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
     TracePacketKind, TxDest,
 };
-use std::collections::HashMap;
 
 const TOKEN_SWEEP: u64 = 1;
 const TOKEN_HELLO: u64 = 2;
@@ -34,10 +33,10 @@ pub struct AodvAgent {
     table: RouteTable,
     my_seq: u32,
     next_rreq_id: u32,
-    seen_rreq: HashMap<(NodeId, u32), SimTime>,
+    seen_rreq: DetMap<(NodeId, u32), SimTime>,
     buffer: Vec<Buffered>,
-    discoveries: HashMap<NodeId, Discovery>,
-    neighbors: HashMap<NodeId, SimTime>,
+    discoveries: DetMap<NodeId, Discovery>,
+    neighbors: DetMap<NodeId, SimTime>,
 }
 
 impl Default for AodvAgent {
@@ -53,10 +52,10 @@ impl AodvAgent {
             table: RouteTable::new(SimTime::from_secs(ROUTE_TTL)),
             my_seq: 0,
             next_rreq_id: 0,
-            seen_rreq: HashMap::new(),
+            seen_rreq: DetMap::new(),
             buffer: Vec::new(),
-            discoveries: HashMap::new(),
-            neighbors: HashMap::new(),
+            discoveries: DetMap::new(),
+            neighbors: DetMap::new(),
         }
     }
 
@@ -451,15 +450,14 @@ impl AodvAgent {
         let now = ctx.now();
         // Neighbour liveness.
         let timeout = SimTime::from_secs(NEIGHBOR_TIMEOUT);
-        let mut dead: Vec<NodeId> = self
+        // DetMap iteration is key-ordered, so link-break processing (and
+        // thus shared radio randomness) is deterministic by construction.
+        let dead: Vec<NodeId> = self
             .neighbors
             .iter()
             .filter(|(_, &last)| now.saturating_sub(last) >= timeout)
             .map(|(&n, _)| n)
             .collect();
-        // HashMap iteration order is instance-random; sort so link-break
-        // processing (and thus shared radio randomness) is deterministic.
-        dead.sort_unstable();
         for n in dead {
             self.handle_link_break(ctx, n);
         }
@@ -884,6 +882,45 @@ mod tests {
         assert_eq!(h.trace().count_routes(RouteEventKind::Repaired), 1);
         assert_eq!(h.trace().count_routes(RouteEventKind::Removed), 2);
         assert_eq!(agent.buffered(), 1);
+    }
+
+    #[test]
+    fn seen_rreq_memory_holds_steady_state_size() {
+        let mut agent = AodvAgent::new();
+        let mut h = AgentHarness::new(NodeId(9));
+        // 10 distinct RREQs/s for 10 minutes with a 1 Hz sweep.
+        for i in 0..6000u32 {
+            let now = SimTime::from_secs(f64::from(i) * 0.1);
+            h.set_now(now);
+            let origin = (i % 7) as u16;
+            let mut ctx = h.ctx();
+            let rreq = pkt(
+                AodvHeader::Rreq {
+                    origin: NodeId(origin),
+                    origin_seq: i,
+                    dest: NodeId(8),
+                    dest_seq: None,
+                    id: i,
+                    hops: 0,
+                },
+                origin,
+                origin,
+                8,
+            );
+            agent.on_packet(&mut ctx, rreq);
+            drop(ctx);
+            if i % 10 == 0 {
+                let mut ctx = h.ctx();
+                agent.on_timer(&mut ctx, TimerToken(TOKEN_SWEEP));
+            }
+        }
+        // The dedup horizon is SEEN_TTL (60 s): at 10 RREQ/s the working
+        // set holds ~600 entries, not the 6000 this run produced.
+        assert!(
+            agent.seen_rreq.len() <= 700,
+            "seen_rreq failed to reach steady state: {} entries",
+            agent.seen_rreq.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The AODV routing table.
 
-use manet_sim::{NodeId, SimTime};
-use std::collections::HashMap;
+use manet_sim::{DetMap, NodeId, SimTime};
 
 /// One routing-table entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +40,7 @@ impl UpdateOutcome {
 /// Per-destination routing table with AODV's freshness rules.
 #[derive(Debug, Default)]
 pub struct RouteTable {
-    entries: HashMap<NodeId, RouteEntry>,
+    entries: DetMap<NodeId, RouteEntry>,
     ttl: SimTime,
 }
 
@@ -49,7 +48,7 @@ impl RouteTable {
     /// Creates a table whose routes live for `ttl` after their last use.
     pub fn new(ttl: SimTime) -> RouteTable {
         RouteTable {
-            entries: HashMap::new(),
+            entries: DetMap::new(),
             ttl,
         }
     }
@@ -138,6 +137,7 @@ impl RouteTable {
     /// Invalidates every valid route using `next_hop`, returning the
     /// affected `(destination, new sequence number)` pairs.
     pub fn invalidate_via(&mut self, next_hop: NodeId) -> Vec<(NodeId, u32)> {
+        // DetMap iterates in key order, so `out` is sorted by destination.
         let mut out = Vec::new();
         for (&dest, e) in self.entries.iter_mut() {
             if e.valid && e.next_hop == next_hop {
@@ -146,7 +146,6 @@ impl RouteTable {
                 out.push((dest, e.seq));
             }
         }
-        out.sort_by_key(|&(d, _)| d);
         out
     }
 

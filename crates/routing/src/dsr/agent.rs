@@ -4,10 +4,9 @@ use super::cache::{CacheInsert, RouteCache};
 use super::constants::*;
 use super::DsrHeader;
 use manet_sim::{
-    Agent, AppData, Ctx, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
+    Agent, AppData, Ctx, DetMap, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
     TracePacketKind, TxDest,
 };
-use std::collections::HashMap;
 
 const TOKEN_SWEEP: u64 = 1;
 const TOKEN_RREQ_BASE: u64 = 0x1_0000;
@@ -33,8 +32,8 @@ struct Discovery {
 pub struct DsrAgent {
     cache: RouteCache,
     buffer: Vec<Buffered>,
-    seen_rreq: HashMap<(NodeId, u32), SimTime>,
-    discoveries: HashMap<NodeId, Discovery>,
+    seen_rreq: DetMap<(NodeId, u32), SimTime>,
+    discoveries: DetMap<NodeId, Discovery>,
     next_rreq_id: u32,
 }
 
@@ -50,8 +49,8 @@ impl DsrAgent {
         DsrAgent {
             cache: RouteCache::new(SimTime::from_secs(CACHE_TTL)),
             buffer: Vec::new(),
-            seen_rreq: HashMap::new(),
-            discoveries: HashMap::new(),
+            seen_rreq: DetMap::new(),
+            discoveries: DetMap::new(),
             next_rreq_id: 0,
         }
     }
@@ -203,16 +202,19 @@ impl DsrAgent {
         if my_index == 0 {
             return; // the source itself noticed the break; no RERR needed
         }
-        // Path back to the source: my predecessors, reversed.
+        // Path back to the source: my predecessors, reversed. `my_index >= 1`
+        // here, so the back route holds at least `[me, predecessor]`.
         let back_route: Vec<NodeId> = data_route[..=my_index].iter().rev().copied().collect();
-        debug_assert_eq!(back_route[0], me);
+        debug_assert_eq!(back_route.first(), Some(&me));
+        let (Some(&next), Some(&source)) = (back_route.get(1), back_route.last()) else {
+            return;
+        };
         ctx.trace_packet(TracePacketKind::Rerr, Direction::Sent);
-        let next = back_route[1];
         let pkt = Packet {
             id: ctx.fresh_packet_id(),
             src: me,
             link_src: me,
-            dst: *back_route.last().expect("non-empty back route"),
+            dst: source,
             ttl: Packet::<DsrHeader>::DEFAULT_TTL,
             size: RERR_SIZE,
             header: DsrHeader::Rerr {
@@ -299,11 +301,11 @@ impl DsrAgent {
     fn reply_with_route(&mut self, ctx: &mut Ctx<'_, DsrHeader>, route: Vec<NodeId>) {
         let me = ctx.node();
         // The reply travels from `me` back toward the origin. `hop` counts
-        // positions from the position of `me` in the route.
-        let my_idx = route
-            .iter()
-            .position(|&n| n == me)
-            .expect("replier must be on the route");
+        // positions from the position of `me` in the route. Every caller
+        // appends `me` before replying; a route without us is degenerate.
+        let Some(my_idx) = route.iter().position(|&n| n == me) else {
+            return;
+        };
         if my_idx == 0 {
             return; // degenerate: we are the origin
         }
@@ -331,12 +333,14 @@ impl DsrAgent {
         let Some(my_idx) = my_idx else {
             return; // not addressed to us / malformed
         };
+        let Some(&route_end) = route.last() else {
+            return; // empty routes were filtered by the index check above
+        };
         if my_idx == 0 {
             // We are the origin: the discovery succeeded.
-            let dst = *route.last().expect("route has endpoints");
             self.learn_route(ctx, &route[1..], false);
-            self.discoveries.remove(&dst);
-            self.flush_buffer_for(ctx, dst);
+            self.discoveries.remove(&route_end);
+            self.flush_buffer_for(ctx, route_end);
             return;
         }
         // Intermediate: learn the forward sub-path and relay toward origin.
@@ -349,7 +353,7 @@ impl DsrAgent {
         let size = RREP_BASE_SIZE + ADDR_SIZE * (route.len() as u32);
         let pkt = Packet {
             id: ctx.fresh_packet_id(),
-            src: *route.last().expect("route has endpoints"),
+            src: route_end,
             link_src: me,
             dst: route[0],
             ttl: Packet::<DsrHeader>::DEFAULT_TTL,
@@ -378,13 +382,16 @@ impl DsrAgent {
             ctx.trace_route(RouteEventKind::Removed, None);
         }
         if my_idx + 1 < back_route.len() {
+            let Some(&source) = back_route.last() else {
+                return; // unreachable: the bounds check above implies non-empty
+            };
             ctx.trace_packet(TracePacketKind::Rerr, Direction::Forwarded);
             let next = back_route[my_idx + 1];
             let pkt = Packet {
                 id: ctx.fresh_packet_id(),
                 src: back_route[0],
                 link_src: me,
-                dst: *back_route.last().expect("non-empty"),
+                dst: source,
                 ttl: Packet::<DsrHeader>::DEFAULT_TTL,
                 size: RERR_SIZE,
                 header: DsrHeader::Rerr {
@@ -949,6 +956,43 @@ mod tests {
         drop(ctx);
         assert!(agent.cache().best(SimTime::ZERO, NodeId(5)).is_none());
         assert_eq!(h.trace().count_routes(RouteEventKind::Removed), 1);
+    }
+
+    #[test]
+    fn seen_rreq_memory_holds_steady_state_size() {
+        let mut agent = DsrAgent::new();
+        let mut h = AgentHarness::new(NodeId(9));
+        // 10 distinct RREQs/s for 10 minutes, sweeping once a second like
+        // the simulator's periodic timer would.
+        for i in 0..6000u32 {
+            let now = SimTime::from_secs(f64::from(i) * 0.1);
+            h.set_now(now);
+            let origin = NodeId((i % 7) as u16);
+            let mut ctx = h.ctx();
+            let pkt = make_pkt(
+                DsrHeader::Rreq {
+                    origin,
+                    target: NodeId(8),
+                    id: i,
+                    route: vec![origin],
+                },
+                origin.0,
+                8,
+            );
+            agent.on_packet(&mut ctx, pkt);
+            drop(ctx);
+            if i % 10 == 0 {
+                let mut ctx = h.ctx();
+                agent.on_timer(&mut ctx, TimerToken(TOKEN_SWEEP));
+            }
+        }
+        // The dedup horizon is SEEN_TTL (60 s): at 10 RREQ/s the working
+        // set holds ~600 entries, not the 6000 this run produced.
+        assert!(
+            agent.seen_rreq.len() <= 700,
+            "seen_rreq failed to reach steady state: {} entries",
+            agent.seen_rreq.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The DSR route cache.
 
-use manet_sim::{NodeId, SimTime};
-use std::collections::HashMap;
+use manet_sim::{DetMap, NodeId, SimTime};
 
 /// Result of inserting a path into the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +26,7 @@ struct CachedRoute {
 /// paths per destination and always serves the shortest live one.
 #[derive(Debug, Default)]
 pub struct RouteCache {
-    routes: HashMap<NodeId, Vec<CachedRoute>>,
+    routes: DetMap<NodeId, Vec<CachedRoute>>,
     ttl: SimTime,
 }
 
@@ -38,7 +37,7 @@ impl RouteCache {
     /// Creates a cache whose entries live for `ttl`.
     pub fn new(ttl: SimTime) -> RouteCache {
         RouteCache {
-            routes: HashMap::new(),
+            routes: DetMap::new(),
             ttl,
         }
     }
@@ -47,12 +46,12 @@ impl RouteCache {
     /// how the insert was handled, or `None` for degenerate paths (empty,
     /// or containing duplicates, which would loop).
     pub fn insert(&mut self, now: SimTime, path: &[NodeId]) -> Option<CacheInsert> {
-        if path.is_empty() || Self::has_duplicates(path) {
+        if Self::has_duplicates(path) {
             return None;
         }
-        let dest = *path.last().expect("non-empty path");
+        let &dest = path.last()?;
         let expires = now + self.ttl;
-        let entry = self.routes.entry(dest).or_default();
+        let entry = self.routes.entry_or_default(dest);
         if let Some(existing) = entry.iter_mut().find(|r| r.path == path) {
             existing.expires = expires;
             return Some(CacheInsert::Refreshed);

@@ -297,13 +297,48 @@ impl<H: Clone + std::fmt::Debug> Agent for Box<dyn Agent<Header = H>> {
 /// for testing the simulator kernel without a real routing protocol.
 #[derive(Debug, Default)]
 pub struct FloodAgent {
-    seen: std::collections::HashSet<PacketId>,
+    /// Flood-dedup memory: packet id → when it was first seen. Bounded by
+    /// [`FloodAgent::SEEN_HORIZON_SECS`] / [`FloodAgent::SEEN_CAP`] so long
+    /// runs hold a steady-state size instead of growing forever.
+    seen: crate::det::DetMap<PacketId, SimTime>,
 }
 
 impl FloodAgent {
+    /// Entries older than this are forgotten; a packet's TTL expires its
+    /// flood long before its dedup entry does.
+    pub const SEEN_HORIZON_SECS: f64 = 60.0;
+
+    /// Hard bound on remembered ids. When a pruning pass leaves the memory
+    /// above this, the oldest ids (packet ids are allocated monotonically)
+    /// are dropped first.
+    pub const SEEN_CAP: usize = 4096;
+
     /// Creates a new flooding agent.
     pub fn new() -> FloodAgent {
         FloodAgent::default()
+    }
+
+    /// Number of packet ids currently remembered for flood dedup.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Records `id` at time `now`, pruning entries past the dedup horizon.
+    /// Returns `false` if the id was already known.
+    fn remember(&mut self, id: PacketId, now: SimTime) -> bool {
+        if self.seen.contains_key(&id) {
+            return false;
+        }
+        self.seen.insert(id, now);
+        if self.seen.len() > Self::SEEN_CAP {
+            let horizon = SimTime::from_secs(Self::SEEN_HORIZON_SECS);
+            self.seen
+                .retain(|_, &mut t| now.saturating_sub(t) < horizon);
+            while self.seen.len() > Self::SEEN_CAP {
+                self.seen.pop_first();
+            }
+        }
+        true
     }
 }
 
@@ -311,7 +346,7 @@ impl Agent for FloodAgent {
     type Header = ();
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_, ()>, pkt: Packet<()>) {
-        if !self.seen.insert(pkt.id) {
+        if !self.remember(pkt.id, ctx.now()) {
             return;
         }
         if pkt.dst == ctx.node() {
@@ -343,7 +378,7 @@ impl Agent for FloodAgent {
             header: (),
             app: Some(data),
         };
-        self.seen.insert(pkt.id);
+        self.remember(pkt.id, ctx.now());
         ctx.transmit(pkt, TxDest::Broadcast);
     }
 }
@@ -375,6 +410,60 @@ mod tests {
         let a = ctx.fresh_packet_id();
         let b = ctx.fresh_packet_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flood_dedup_memory_holds_steady_state_size() {
+        let mut agent = FloodAgent::new();
+        let mut h = AgentHarness::new(NodeId(0));
+        // A long run at a steady packet rate: ~20 packets/s for an hour.
+        for i in 0..72_000u64 {
+            let now = SimTime::from_secs(i as f64 * 0.05);
+            h.set_now(now);
+            let mut ctx = h.ctx();
+            let pkt = Packet {
+                id: PacketId(i),
+                src: NodeId(1),
+                link_src: NodeId(1),
+                dst: NodeId(2),
+                ttl: 4,
+                size: 64,
+                header: (),
+                app: None,
+            };
+            agent.on_packet(&mut ctx, pkt);
+            assert!(
+                agent.seen_len() <= FloodAgent::SEEN_CAP + 1,
+                "dedup memory grew past its cap at t={now:?}: {}",
+                agent.seen_len()
+            );
+        }
+        // Steady state, not just "under the cap at the end": the horizon
+        // (60 s at 20 pkt/s = 1200 live entries) bounds the working set.
+        assert!(agent.seen_len() <= FloodAgent::SEEN_CAP);
+    }
+
+    #[test]
+    fn flood_dedup_still_suppresses_recent_duplicates() {
+        let mut agent = FloodAgent::new();
+        let mut h = AgentHarness::new(NodeId(0));
+        let pkt = |id: u64| Packet {
+            id: PacketId(id),
+            src: NodeId(1),
+            link_src: NodeId(1),
+            dst: NodeId(2),
+            ttl: 4,
+            size: 64,
+            header: (),
+            app: None,
+        };
+        let mut ctx = h.ctx();
+        agent.on_packet(&mut ctx, pkt(7));
+        assert_eq!(ctx.staged_out().len(), 1);
+        drop(ctx);
+        let mut ctx = h.ctx();
+        agent.on_packet(&mut ctx, pkt(7));
+        assert!(ctx.staged_out().is_empty(), "duplicate must be suppressed");
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Determinism-safe collections.
+//!
+//! The repo's headline guarantees — bit-identical ensemble scores at any
+//! thread count, and batch == stream bit-for-bit equivalence — hold only if
+//! every byte of every audit trace is reproducible. `std`'s `HashMap` /
+//! `HashSet` iterate in an order that depends on a per-process random seed
+//! (`RandomState`), so a single careless `.values()` loop in simulator or
+//! agent state can silently reintroduce run-to-run nondeterminism that no
+//! fixed-seed replay test reliably catches.
+//!
+//! This module provides the collections deterministic code should use
+//! instead, and the `cfa-audit` static analyzer (rule **D001**) pushes the
+//! deterministic crates onto them:
+//!
+//! * [`DetMap`] / [`DetSet`] — BTree-backed maps/sets whose iteration order
+//!   is the key order, always. Drop-in for the common `HashMap`/`HashSet`
+//!   API surface. Use these for protocol and kernel state.
+//! * [`IndexedMap`] — insertion-ordered map with an O(1) hash lookup path,
+//!   for hot lookup tables that are built once and probed per event (e.g.
+//!   the simulator's flow-endpoint table). The internal hash index is never
+//!   iterated, so its random state cannot leak into observable behaviour.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// An ordered map with deterministic (key-ordered) iteration.
+///
+/// A thin wrapper around [`BTreeMap`] exposing the `HashMap` methods the
+/// simulator and protocol agents need. Lookups are O(log n) — for per-event
+/// hot paths on large key spaces prefer [`IndexedMap`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct DetMap<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> DetMap<K, V> {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a key-value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Looks up a value by key, mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Returns the value for `key`, inserting `V::default()` first if absent.
+    pub fn entry_or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.inner.entry(key).or_default()
+    }
+
+    /// Keeps only the entries for which `f` returns `true`. Entries are
+    /// visited in key order.
+    pub fn retain(&mut self, f: impl FnMut(&K, &mut V) -> bool) {
+        self.inner.retain(f);
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.inner.iter()
+    }
+
+    /// Iterates entries in key order with mutable values.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.inner.values()
+    }
+
+    /// Iterates values in key order, mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.inner.values_mut()
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    pub fn pop_first(&mut self) -> Option<(K, V)> {
+        self.inner.pop_first()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        DetMap::new()
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// An ordered set with deterministic (element-ordered) iteration.
+///
+/// A thin wrapper around [`BTreeSet`] exposing the `HashSet` methods the
+/// simulator and protocol agents need.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DetSet<T> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> DetSet<T> {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts a value; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Removes a value; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value)
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Keeps only the elements for which `f` returns `true`, visited in
+    /// order.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.inner.retain(f);
+    }
+
+    /// Iterates elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inner.iter()
+    }
+
+    /// Removes and returns the smallest element.
+    pub fn pop_first(&mut self) -> Option<T> {
+        self.inner.pop_first()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<T: Ord> Default for DetSet<T> {
+    fn default() -> Self {
+        DetSet::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// An insertion-ordered map with an O(1) hash lookup path.
+///
+/// Entries live in a `Vec` in insertion order; a private `HashMap` maps keys
+/// to slots. Iteration walks the `Vec`, so observable order is the
+/// deterministic insertion order — the hash index's random state never
+/// escapes. Built for tables that are populated once and then probed on
+/// every event (the simulator's flow-endpoint table), so removal is
+/// intentionally not offered.
+pub struct IndexedMap<K, V> {
+    slots: Vec<(K, V)>,
+    // Lookup acceleration only. Never iterated: iteration order would be
+    // nondeterministic (audit rule D001).
+    index: HashMap<K, usize>,
+}
+
+impl<K, V> IndexedMap<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    /// Creates an empty map.
+    pub fn new() -> IndexedMap<K, V> {
+        IndexedMap {
+            slots: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Inserts a key-value pair, returning the previous value if the key was
+    /// already present (the slot keeps its original insertion position).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.index.get(&key) {
+            Some(&slot) => Some(std::mem::replace(&mut self.slots[slot].1, value)),
+            None => {
+                self.index.insert(key.clone(), self.slots.len());
+                self.slots.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Looks up a value by key in O(1).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.index.get(key).map(|&slot| &self.slots[slot].1)
+    }
+
+    /// Looks up a value by key in O(1), mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.index.get(key) {
+            Some(&slot) => Some(&mut self.slots[slot].1),
+            None => None,
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.slots.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl<K, V> Default for IndexedMap<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    fn default() -> Self {
+        IndexedMap::new()
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for IndexedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.slots.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_map_iterates_in_key_order() {
+        let mut m = DetMap::new();
+        for k in [5u32, 1, 9, 3] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        let vals: Vec<u32> = m.values().copied().collect();
+        assert_eq!(vals, vec![10, 30, 50, 90]);
+    }
+
+    #[test]
+    fn det_map_basic_ops() {
+        let mut m = DetMap::new();
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("a", 2), Some(1));
+        assert!(m.contains_key(&"a"));
+        *m.entry_or_default("b") += 7;
+        assert_eq!(m.get(&"b"), Some(&7));
+        m.retain(|&k, _| k != "a");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&"b"), Some(7));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn det_set_iterates_in_order() {
+        let mut s = DetSet::new();
+        for v in [4u8, 2, 8, 6] {
+            assert!(s.insert(v));
+        }
+        assert!(!s.insert(4));
+        let got: Vec<u8> = s.iter().copied().collect();
+        assert_eq!(got, vec![2, 4, 6, 8]);
+        assert_eq!(s.pop_first(), Some(2));
+        s.retain(|&v| v > 4);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn indexed_map_preserves_insertion_order() {
+        let mut m = IndexedMap::new();
+        m.insert("z", 1);
+        m.insert("a", 2);
+        m.insert("m", 3);
+        let keys: Vec<&str> = m.keys().copied().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+        assert_eq!(m.get(&"a"), Some(&2));
+    }
+
+    #[test]
+    fn indexed_map_reinsert_keeps_slot() {
+        let mut m = IndexedMap::new();
+        m.insert(1u32, "one");
+        m.insert(2, "two");
+        assert_eq!(m.insert(1, "uno"), Some("one"));
+        let entries: Vec<(u32, &str)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(entries, vec![(1, "uno"), (2, "two")]);
+        assert_eq!(m.len(), 2);
+    }
+}

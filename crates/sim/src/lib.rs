@@ -39,6 +39,7 @@
 pub mod agent;
 pub mod app;
 pub mod config;
+pub mod det;
 pub mod event;
 pub mod mobility;
 pub mod packet;
@@ -52,6 +53,7 @@ pub mod trace;
 pub use agent::{Agent, AgentHarness, Ctx, TimerToken};
 pub use app::{App, AppCtx, AppData, AppKind, FlowId};
 pub use config::{SimConfig, SimConfigBuilder};
+pub use det::{DetMap, DetSet, IndexedMap};
 pub use mobility::{Point, RandomWaypoint, Waypoint};
 pub use packet::{NodeId, Packet, PacketId, TxDest};
 pub use radio::RadioModel;

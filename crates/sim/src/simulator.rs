@@ -4,6 +4,7 @@
 use crate::agent::{Agent, Ctx, TimerToken};
 use crate::app::{App, AppCtx, AppData, FlowId};
 use crate::config::SimConfig;
+use crate::det::IndexedMap;
 use crate::event::{EventKind, EventQueue};
 use crate::mobility::{Point, RandomWaypoint};
 use crate::packet::{NodeId, Packet, TxDest};
@@ -12,7 +13,6 @@ use crate::rng::{SimRng, StreamLabel};
 use crate::sink::TraceSink;
 use crate::time::SimTime;
 use crate::trace::NodeTrace;
-use std::collections::HashMap;
 
 /// Per-node state owned by the simulator.
 struct NodeCell<A> {
@@ -63,7 +63,7 @@ pub struct Simulator<A: Agent> {
     queue: EventQueue<A::Header>,
     nodes: Vec<NodeCell<A>>,
     apps: Vec<AppCell>,
-    flow_endpoints: HashMap<(FlowId, NodeId), usize>,
+    flow_endpoints: IndexedMap<(FlowId, NodeId), usize>,
     radio: RadioModel,
     packet_counter: u64,
     started: bool,
@@ -102,7 +102,7 @@ impl<A: Agent> Simulator<A> {
             queue: EventQueue::new(),
             nodes,
             apps: Vec::new(),
-            flow_endpoints: HashMap::new(),
+            flow_endpoints: IndexedMap::new(),
             radio,
             packet_counter: 0,
             started: false,
@@ -171,6 +171,7 @@ impl<A: Agent> Simulator<A> {
         self.nodes[node.index()]
             .sink
             .as_node_trace()
+            // audit: allow(D004, reason = "documented panic contract: trace() requires an in-memory NodeTrace sink")
             .expect("node's audit sink does not retain an in-memory NodeTrace")
     }
 
@@ -186,6 +187,7 @@ impl<A: Agent> Simulator<A> {
             .map(|c| {
                 c.sink
                     .into_node_trace()
+                    // audit: allow(D004, reason = "documented panic contract: into_traces() requires in-memory NodeTrace sinks")
                     .expect("node's audit sink does not retain an in-memory NodeTrace")
             })
             .collect()
@@ -230,7 +232,9 @@ impl<A: Agent> Simulator<A> {
             if t > end {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event vanished");
+            let Some(ev) = self.queue.pop() else {
+                break; // unreachable: a time was just peeked
+            };
             self.now = ev.t;
             let first = match ev.kind {
                 EventKind::Deliver {

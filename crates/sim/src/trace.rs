@@ -49,6 +49,12 @@ impl TracePacketKind {
     pub fn is_route(self) -> bool {
         !matches!(self, TracePacketKind::Data)
     }
+
+    /// Position of this kind in [`TracePacketKind::ALL`] (O(1): `ALL` lists
+    /// the variants in declaration order).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// Flow direction of a packet observation (Table 5).
@@ -72,6 +78,12 @@ impl Direction {
         Direction::Forwarded,
         Direction::Dropped,
     ];
+
+    /// Position of this direction in [`Direction::ALL`] (O(1): `ALL` lists
+    /// the variants in declaration order).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// One packet observation in a node's audit log.
@@ -109,6 +121,12 @@ impl RouteEventKind {
         RouteEventKind::Noticed,
         RouteEventKind::Repaired,
     ];
+
+    /// Position of this kind in [`RouteEventKind::ALL`] (O(1): `ALL` lists
+    /// the variants in declaration order).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// One route-fabric observation in a node's audit log.
@@ -216,6 +234,19 @@ mod tests {
         assert_eq!(tr.count_packets(TracePacketKind::Rreq, Direction::Sent), 0);
         assert_eq!(tr.count_routes(RouteEventKind::Added), 1);
         assert_eq!(tr.count_routes(RouteEventKind::Removed), 0);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, k) in TracePacketKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, d) in Direction::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+        for (i, k) in RouteEventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Hash-shaker: the end-to-end determinism guarantee the `det` collection
+//! layer (and cfa-audit's D001 rule) exists to protect.
+//!
+//! `HashMap`/`HashSet` iteration order is seeded per *process* from OS
+//! entropy, so a nondeterminism bug of that class reproduces across two
+//! runs **in the same process** only by luck — but it reliably shows up
+//! across processes. These tests therefore run the full pipeline twice
+//! from scratch inside one process AND are built to be run repeatedly in
+//! CI (each invocation is a fresh `RandomState`): any hash-order leak into
+//! event ordering, feature extraction, or model fitting eventually shakes
+//! out as a `to_bits` mismatch here.
+
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
+
+fn attack_scenario(protocol: Protocol) -> (Scenario, Scenario) {
+    let train = Scenario::paper_default(protocol, Transport::Cbr)
+        .with_nodes(25)
+        .with_connections(12)
+        .with_duration(400.0)
+        .with_seed(11);
+    let attacked = Scenario::paper_default(protocol, Transport::Cbr)
+        .with_nodes(25)
+        .with_connections(12)
+        .with_duration(400.0)
+        .with_seed(13)
+        .with_attack(Attack::blackhole_at(&[180.0, 310.0]));
+    (train, attacked)
+}
+
+/// Trains and scores the attacked scenario completely from scratch.
+fn score_once(protocol: Protocol, kind: ClassifierKind, method: ScoreMethod) -> Vec<u64> {
+    let (train, attacked) = attack_scenario(protocol);
+    let train_bundles = train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes));
+    let trained = Pipeline::new(kind, method).fit(&train_bundles);
+    let bundle = attacked.run();
+    trained
+        .score_matrix(&bundle.matrix)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect()
+}
+
+#[test]
+fn aodv_attack_scenario_scores_bit_identical_across_runs() {
+    let a = score_once(
+        Protocol::Aodv,
+        ClassifierKind::C45,
+        ScoreMethod::AvgProbability,
+    );
+    let b = score_once(
+        Protocol::Aodv,
+        ClassifierKind::C45,
+        ScoreMethod::AvgProbability,
+    );
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "AODV pipeline scores are not bit-identical across runs"
+    );
+}
+
+#[test]
+fn dsr_attack_scenario_scores_bit_identical_across_runs() {
+    let a = score_once(
+        Protocol::Dsr,
+        ClassifierKind::Ripper,
+        ScoreMethod::MatchCount,
+    );
+    let b = score_once(
+        Protocol::Dsr,
+        ClassifierKind::Ripper,
+        ScoreMethod::MatchCount,
+    );
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "DSR pipeline scores are not bit-identical across runs"
+    );
+}
