@@ -1,0 +1,19 @@
+//! Seeded D008 violation: allocation reachable from the zero-alloc
+//! predict path. This file is never compiled; it exists to be scanned.
+
+pub struct Model {
+    weights: Vec<f64>,
+}
+
+impl Model {
+    /// Per-row scoring entry point — a D008 reachability root.
+    pub fn predict_row(&self, row: &[u8]) -> f64 {
+        self.widen(row)
+    }
+
+    fn widen(&self, row: &[u8]) -> f64 {
+        // D008: allocates on the predict path.
+        let copy = row.to_vec();
+        copy.len() as f64 + self.weights.len() as f64
+    }
+}

@@ -1,0 +1,30 @@
+//! Seeded D006/D007 violations: a toy event loop whose dispatch can
+//! panic and whose per-event log grows without bound.
+//! This file is never compiled; it exists to be scanned.
+
+pub struct Simulator {
+    pending: Vec<u32>,
+    log: Vec<u32>,
+}
+
+impl Simulator {
+    /// Event-loop entry point — a D006/D007 reachability root.
+    pub fn run(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            self.dispatch(i);
+            i += 1;
+        }
+    }
+
+    fn dispatch(&mut self, i: usize) {
+        // D006: slice indexing transitively reachable from Simulator::run.
+        let ev = self.pending[i];
+        self.record(ev);
+    }
+
+    fn record(&mut self, ev: u32) {
+        // D007: grows on the event path; no method of Simulator evicts.
+        self.log.push(ev);
+    }
+}

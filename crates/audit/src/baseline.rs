@@ -1,0 +1,172 @@
+//! The findings baseline: a committed, diff-friendly ledger of
+//! grandfathered findings. New code is held to deny-level — CI fails on
+//! any finding *not* in the baseline — while pre-existing findings burn
+//! down over time (shrinking the file is always safe; growing it is a
+//! reviewed decision).
+//!
+//! Format: one tab-separated line per grandfathered finding,
+//! `RULE<TAB>file<TAB>snippet`, sorted; `#` lines are comments. The
+//! snippet (the trimmed source line) is the stable part of a finding's
+//! identity — line numbers shift with every edit, the offending
+//! expression does not. Matching is multiset-aware: two identical
+//! offending lines in one file need two baseline entries.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A loaded baseline: finding keys with multiplicities.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+/// The workspace-relative location of the committed baseline.
+pub const BASELINE_REL_PATH: &str = "crates/audit/baseline.txt";
+
+fn key(rule: &str, file: &str, snippet: &str) -> String {
+    // Tabs cannot appear in the parts: paths are ours, snippets are
+    // whitespace-trimmed source lines with interior tabs normalised.
+    format!("{rule}\t{file}\t{}", snippet.replace('\t', " "))
+}
+
+impl Baseline {
+    /// Parses baseline text. Unparseable lines are ignored rather than
+    /// fatal — a corrupted baseline can only make the audit stricter.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(rule), Some(file), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *entries.entry(key(rule, file, snippet)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(_) => Baseline::default(),
+        }
+    }
+
+    /// Number of grandfathered entries (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// True when the baseline grandfathers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classifies `findings` against the baseline: returns one flag per
+    /// finding, true = grandfathered. Multiset semantics: each baseline
+    /// entry absorbs at most its multiplicity, in finding order.
+    pub fn classify(&self, findings: &[Finding]) -> Vec<bool> {
+        let mut budget = self.entries.clone();
+        findings
+            .iter()
+            .map(|f| {
+                let k = key(f.rule.id(), &f.file, &f.snippet);
+                match budget.get_mut(&k) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+
+    /// Serialises `findings` as fresh baseline text (sorted, commented
+    /// header) — the `--update-baseline` output.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| key(f.rule.id(), &f.file, &f.snippet))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# cfa-audit baseline — grandfathered findings (RULE<TAB>file<TAB>snippet).\n\
+             # New findings are deny-level; shrink this file by fixing entries, never grow\n\
+             # it without review. Regenerate with `cargo run -p cfa-audit -- --update-baseline`.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rule, Severity};
+
+    fn finding(rule: Rule, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            snippet: snippet.into(),
+            note: None,
+            severity: Severity::Error,
+        }
+    }
+
+    #[test]
+    fn round_trip_classifies_everything_as_baselined() {
+        let fs = vec![
+            finding(Rule::D006, "a.rs", "x[0]"),
+            finding(Rule::D008, "b.rs", "y.clone()"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&fs));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.classify(&fs), vec![true, true]);
+    }
+
+    #[test]
+    fn multiset_matching_absorbs_each_entry_once() {
+        let fs = vec![
+            finding(Rule::D006, "a.rs", "x[0]"),
+            finding(Rule::D006, "a.rs", "x[0]"),
+        ];
+        let one = Baseline::parse("D006\ta.rs\tx[0]\n");
+        assert_eq!(one.classify(&fs), vec![true, false]);
+        let two = Baseline::parse("D006\ta.rs\tx[0]\nD006\ta.rs\tx[0]\n");
+        assert_eq!(two.classify(&fs), vec![true, true]);
+    }
+
+    #[test]
+    fn line_shifts_do_not_invalidate_the_baseline() {
+        let mut f = finding(Rule::D007, "a.rs", "self.log.push(e);");
+        let b = Baseline::parse(&Baseline::render(&[f.clone()]));
+        f.line = 999; // the file grew above the finding
+        assert_eq!(b.classify(&[f]), vec![true]);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = Baseline::parse("# header\n\nD001\tx.rs\tfor k in m.keys() {\n");
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.txt"));
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! The workspace call graph: name-based resolution of the call sites the
+//! [`parser`](crate::parser) mined, plus deterministic reachability.
+//!
+//! Resolution policy (conservative, zero type inference):
+//!
+//! * **Free calls** `name(...)` resolve to free functions only — same
+//!   module first, then same file, then same crate, then workspace-wide.
+//!   A method of the same name never captures a free call (shadowing
+//!   stays sound).
+//! * **Direct self calls** `self.name(...)` resolve to the method of the
+//!   enclosing impl/trait type when one exists; otherwise they fall back
+//!   to every method of that name (trait default methods live on the
+//!   trait type).
+//! * **Other method calls** `recv.name(...)` resolve to *every* workspace
+//!   method named `name` — the conservative answer for trait-object and
+//!   generic dispatch (`Box<dyn App>`, `A: Agent`).
+//! * **Qualified calls** `Head::name(...)` resolve to `Head`'s method if
+//!   the workspace defines one, else to free functions named `name`
+//!   (module-qualified paths like `helpers::score`).
+//!
+//! Calls that resolve to nothing are std/vendored-API calls and simply
+//! add no edges. Edges are deduplicated and sorted, and BFS visits in
+//! index order, so reachability and the recorded shortest call chains are
+//! byte-for-byte reproducible run to run.
+
+use crate::parser::{CallKind, FnDef};
+use std::collections::BTreeMap;
+
+/// The resolved workspace call graph over all parsed functions.
+pub struct CallGraph {
+    /// The parsed functions, in file-then-source order.
+    pub fns: Vec<FnDef>,
+    /// `edges[i]` = sorted, deduplicated callee indices of `fns[i]`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Strips a workspace-relative path to its crate root (`crates/sim/` or
+/// `src/`), the granularity used for same-crate resolution preferences.
+fn crate_root(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        match rest.find('/') {
+            Some(end) => &rel[..7 + end + 1],
+            None => rel,
+        }
+    } else {
+        match rel.find('/') {
+            Some(end) => &rel[..end + 1],
+            None => rel,
+        }
+    }
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed functions. Test functions participate
+    /// as callees only if a non-test function actually names them — roots
+    /// and rule reporting both exclude them downstream.
+    pub fn build(fns: Vec<FnDef>) -> CallGraph {
+        // Lookup indexes. BTreeMap: lookups only, but ordered anyway so
+        // that no future iteration can introduce nondeterminism.
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue; // never resolve *into* test code
+            }
+            match &f.owner {
+                None => free_by_name.entry(&f.name).or_default().push(i),
+                Some(o) => {
+                    methods_by_name.entry(&f.name).or_default().push(i);
+                    methods_by_owner
+                        .entry((o.as_str(), &f.name))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
+        for f in &fns {
+            let mut out: Vec<usize> = Vec::new();
+            for call in &f.calls {
+                match &call.kind {
+                    CallKind::Free => {
+                        if let Some(cands) = free_by_name.get(call.name.as_str()) {
+                            // Narrow by proximity: same module+file, then
+                            // same file, then same crate, then anywhere.
+                            let same_file: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| fns[c].file == f.file)
+                                .collect();
+                            let same_mod: Vec<usize> = same_file
+                                .iter()
+                                .copied()
+                                .filter(|&c| fns[c].module == f.module)
+                                .collect();
+                            let same_crate: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| crate_root(&fns[c].file) == crate_root(&f.file))
+                                .collect();
+                            let chosen = if !same_mod.is_empty() {
+                                same_mod
+                            } else if !same_file.is_empty() {
+                                same_file
+                            } else if !same_crate.is_empty() {
+                                same_crate
+                            } else {
+                                cands.clone()
+                            };
+                            out.extend(chosen);
+                        }
+                    }
+                    CallKind::Method { on_self } => {
+                        let scoped = f
+                            .owner
+                            .as_deref()
+                            .filter(|_| *on_self)
+                            .and_then(|o| methods_by_owner.get(&(o, call.name.as_str())));
+                        match scoped {
+                            Some(ms) => out.extend(ms.iter().copied()),
+                            None => {
+                                if let Some(ms) = methods_by_name.get(call.name.as_str()) {
+                                    out.extend(ms.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                    CallKind::Qualified { head } => {
+                        if let Some(ms) = methods_by_owner.get(&(head.as_str(), call.name.as_str()))
+                        {
+                            out.extend(ms.iter().copied());
+                        } else if let Some(cands) = free_by_name.get(call.name.as_str()) {
+                            // Module-qualified free call (`helpers::f()`):
+                            // accept free fns whose module path ends with
+                            // the head segment, or any when head is a
+                            // crate-ish qualifier.
+                            let crate_ish = matches!(head.as_str(), "crate" | "self" | "super");
+                            out.extend(cands.iter().copied().filter(|&c| {
+                                crate_ish || fns[c].module.last().map(String::as_str) == Some(head)
+                            }));
+                        }
+                    }
+                    CallKind::Macro => {}
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Indices of non-test functions whose qualified name ends with any of
+    /// `suffixes` (`"Simulator::run"`) or whose bare name equals a suffix
+    /// without `::` (`"predict_row"`).
+    pub fn roots(&self, suffixes: &[&str]) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test)
+            .filter(|(_, f)| {
+                suffixes.iter().any(|s| {
+                    if s.contains("::") {
+                        let q = f.qualified();
+                        q == *s || q.ends_with(&format!("::{s}"))
+                    } else {
+                        f.name == *s
+                    }
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS from `roots`: returns, for each function index, `Some(parent)`
+    /// if reachable (`parent == usize::MAX` for a root). Cycles (mutual
+    /// recursion) terminate because visited nodes are never re-enqueued.
+    pub fn reachable(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for r in sorted_roots {
+            if parent[r].is_none() {
+                parent[r] = Some(usize::MAX);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() && !self.fns[v].is_test {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The discovery chain of `idx` back to its BFS root, as qualified
+    /// names root-first (capped so messages stay readable).
+    pub fn chain(&self, parent: &[Option<usize>], idx: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = idx;
+        for _ in 0..64 {
+            rev.push(self.fns[cur].qualified());
+            match parent[cur] {
+                Some(p) if p != usize::MAX => cur = p,
+                _ => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (rel, src) in files {
+            fns.extend(parse_file(rel, src, false));
+        }
+        CallGraph::build(fns)
+    }
+
+    fn idx(g: &CallGraph, q: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.qualified() == q)
+            .unwrap_or_else(|| panic!("no fn {q}"))
+    }
+
+    #[test]
+    fn mutual_recursion_terminates_and_reaches_both() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn ping() { pong(); }\nfn pong() { ping(); }\nfn main_like() { ping(); }\n",
+        )]);
+        let roots = g.roots(&["main_like"]);
+        let parent = g.reachable(&roots);
+        assert!(parent[idx(&g, "ping")].is_some());
+        assert!(parent[idx(&g, "pong")].is_some());
+    }
+
+    #[test]
+    fn cross_crate_method_edges() {
+        let g = graph_of(&[
+            (
+                "crates/sim/src/simulator.rs",
+                "impl Simulator { fn run(&mut self) { self.agent.on_packet(1); } }\n",
+            ),
+            (
+                "crates/routing/src/agent.rs",
+                "impl FloodAgent { fn on_packet(&mut self, x: u32) { self.table[0]; } }\n",
+            ),
+        ]);
+        let parent = g.reachable(&g.roots(&["Simulator::run"]));
+        assert!(
+            parent[idx(&g, "FloodAgent::on_packet")].is_some(),
+            "conservative dispatch must cross crates"
+        );
+    }
+
+    #[test]
+    fn shadowed_free_fn_beats_method_of_same_name() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn score() {}\n\
+             impl Model { fn score(&self) { dangerous(); } }\n\
+             fn dangerous() { Some(1).unwrap(); }\n\
+             fn root() { score(); }\n",
+        )]);
+        let parent = g.reachable(&g.roots(&["root"]));
+        // The bare call resolves to the free fn, not Model::score.
+        assert!(parent[idx(&g, "score")].is_some());
+        assert!(parent[idx(&g, "Model::score")].is_none());
+        assert!(parent[idx(&g, "dangerous")].is_none());
+    }
+
+    #[test]
+    fn self_calls_prefer_the_enclosing_impl() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+             impl B { fn step(&self) { Some(1).unwrap(); } }\n",
+        )]);
+        let parent = g.reachable(&g.roots(&["A::go"]));
+        assert!(parent[idx(&g, "A::step")].is_some());
+        assert!(parent[idx(&g, "B::step")].is_none());
+    }
+
+    #[test]
+    fn free_calls_prefer_same_module_then_same_crate() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn root() { helper(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() { loop {} }\n"),
+        ]);
+        let parent = g.reachable(&g.roots(&["root"]));
+        let a_helper = g
+            .fns
+            .iter()
+            .position(|f| f.file.starts_with("crates/a/") && f.name == "helper")
+            .unwrap();
+        let b_helper = g
+            .fns
+            .iter()
+            .position(|f| f.file.starts_with("crates/b/") && f.name == "helper")
+            .unwrap();
+        assert!(parent[a_helper].is_some());
+        assert!(parent[b_helper].is_none());
+    }
+
+    #[test]
+    fn test_fns_are_not_resolution_targets() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn root() { helper(); }\n#[cfg(test)]\nmod tests { fn helper() {} }\n",
+        )]);
+        let parent = g.reachable(&g.roots(&["root"]));
+        let t = idx(&g, "tests::helper");
+        assert!(parent[t].is_none());
+    }
+
+    #[test]
+    fn chains_walk_back_to_the_root() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let parent = g.reachable(&g.roots(&["a"]));
+        assert_eq!(g.chain(&parent, idx(&g, "c")), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_to_workspace_methods() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "impl Table { fn new() -> Table { Table } }\nfn root() { Table::new(); }\n",
+        )]);
+        let parent = g.reachable(&g.roots(&["root"]));
+        assert!(parent[idx(&g, "Table::new")].is_some());
+    }
+}

@@ -1,0 +1,193 @@
+//! The interprocedural rules D006–D008, evaluated over the workspace
+//! [`crate::graph::CallGraph`].
+//!
+//! * **D006 — panic reachability.** No `panic!`-family macro, `unwrap`/
+//!   `expect`, or slice/array indexing may be transitively reachable from
+//!   the simulator's per-event dispatch (`Simulator::run` /
+//!   `Simulator::run_until`) or from the zero-alloc prediction entry
+//!   point (`predict_row`). A panic on either path aborts a training or
+//!   calibration run mid-stream — the silent corruption the paper's
+//!   threshold selection cannot tolerate.
+//! * **D007 — unbounded growth.** A type whose event-path methods grow a
+//!   `self` field (`insert`/`push`/…) must evict from that same field
+//!   somewhere in the type (`remove`/`retain`/`truncate`/…), mirroring
+//!   the FloodAgent 60 s / 4096-entry bound; otherwise per-event state
+//!   grows without limit over a long run.
+//! * **D008 — allocation in the hot predict path.** `Vec::new`,
+//!   `to_vec`, `clone`, `format!`, `collect`, … must not be reachable
+//!   from the per-row scoring path (`predict_row`, `class_probs_into`,
+//!   `score_all`, `score_snapshot`, …): that path is advertised
+//!   zero-alloc and the ensemble calls it `L` times per event.
+//!
+//! Suppression: `// audit: allow(D006, reason = "...")` at the site (or
+//! the line above). For panic sites, an existing `allow(D004, ...)`
+//! justification also suppresses D006 — both rules police the same
+//! contract and one written reason is enough.
+
+use crate::graph::CallGraph;
+use crate::{Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Qualified roots of the event-dispatch path.
+pub const EVENT_ROOTS: [&str; 2] = ["Simulator::run", "Simulator::run_until"];
+
+/// Bare-name roots of the zero-alloc predict/score path.
+pub const PREDICT_ROOTS: [&str; 7] = [
+    "predict_row",
+    "prob_of_row",
+    "class_probs_into",
+    "score_all",
+    "score_indices",
+    "one_model_score",
+    "score_snapshot",
+];
+
+/// Per-file context the interprocedural pass needs back from the lexical
+/// pass: the raw source lines (for snippets) and a suppression check.
+pub struct FileCtx {
+    /// Raw source lines of the file.
+    pub lines: Vec<String>,
+    /// `(rule, line)` pairs (0-based lines) with a justified allow.
+    pub allowed: Vec<(Rule, usize)>,
+}
+
+impl FileCtx {
+    fn is_allowed(&self, rule: Rule, line0: usize) -> bool {
+        self.allowed.iter().any(|&(r, l)| r == rule && l == line0)
+    }
+
+    fn snippet(&self, line1: usize) -> String {
+        self.lines
+            .get(line1.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Renders a call chain for a finding note, eliding the middle of long
+/// chains so messages stay readable.
+fn render_chain(chain: &[String]) -> String {
+    if chain.len() <= 6 {
+        chain.join(" → ")
+    } else {
+        let head = chain[..3].join(" → ");
+        let tail = chain[chain.len() - 2..].join(" → ");
+        format!("{head} → … → {tail}")
+    }
+}
+
+/// Runs D006–D008 over the graph. `files` maps workspace-relative paths
+/// to their lexical context.
+pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // --- D006: panic reachability --------------------------------------
+    let panic_roots: Vec<&str> = EVENT_ROOTS
+        .iter()
+        .copied()
+        .chain(std::iter::once("predict_row"))
+        .collect();
+    let parent = graph.reachable(&graph.roots(&panic_roots));
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || parent[i].is_none() {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        let chain = render_chain(&graph.chain(&parent, i));
+        for site in &f.panics {
+            let line0 = site.line - 1;
+            // A justified D004 (hot-path panic contract) allow covers the
+            // same site for D006.
+            if ctx.is_allowed(Rule::D006, line0) || ctx.is_allowed(Rule::D004, line0) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D006,
+                file: f.file.clone(),
+                line: site.line,
+                snippet: ctx.snippet(site.line),
+                note: Some(format!("{} reachable via {chain}", site.what)),
+                severity: Rule::D006.severity(),
+            });
+        }
+    }
+
+    // --- D007: unbounded growth on the event path ----------------------
+    let event_parent = graph.reachable(&graph.roots(&EVENT_ROOTS));
+    // Eviction index: (owner type, field) pairs evicted anywhere.
+    let mut evicted: Vec<(&str, &str)> = Vec::new();
+    for f in &graph.fns {
+        if let Some(owner) = &f.owner {
+            for e in &f.evicts {
+                evicted.push((owner.as_str(), e.field.as_str()));
+            }
+        }
+    }
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || event_parent[i].is_none() {
+            continue;
+        }
+        let Some(owner) = &f.owner else { continue };
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        let chain = render_chain(&graph.chain(&event_parent, i));
+        for g in &f.grows {
+            if evicted
+                .iter()
+                .any(|&(o, fd)| o == owner.as_str() && fd == g.field)
+            {
+                continue;
+            }
+            let line0 = g.line - 1;
+            if ctx.is_allowed(Rule::D007, line0) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D007,
+                file: f.file.clone(),
+                line: g.line,
+                snippet: ctx.snippet(g.line),
+                note: Some(format!(
+                    "{owner}.{field} grows via {method}() on the event path ({chain}) but no method of {owner} ever evicts from it",
+                    field = g.field,
+                    method = g.method,
+                )),
+                severity: Rule::D007.severity(),
+            });
+        }
+    }
+
+    // --- D008: allocation in the predict path --------------------------
+    let predict_parent = graph.reachable(&graph.roots(&PREDICT_ROOTS));
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || predict_parent[i].is_none() {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        let chain = render_chain(&graph.chain(&predict_parent, i));
+        for site in &f.allocs {
+            let line0 = site.line - 1;
+            if ctx.is_allowed(Rule::D008, line0) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D008,
+                file: f.file.clone(),
+                line: site.line,
+                snippet: ctx.snippet(site.line),
+                note: Some(format!(
+                    "{} allocates on the zero-alloc predict path, reachable via {chain}",
+                    site.what
+                )),
+                severity: Rule::D008.severity(),
+            });
+        }
+    }
+
+    findings
+}

@@ -1,26 +1,33 @@
 //! # cfa-audit
 //!
-//! A zero-dependency determinism lint engine for the manet-cfa workspace.
-//!
-//! The repo's headline guarantees — PR 1's "bit-identical at any thread
-//! count" ensemble and PR 2's "batch == stream bit-for-bit" equivalence —
-//! rest on determinism discipline that the compiler does not enforce: one
-//! careless iteration over a `HashMap`, one wall-clock read, one float
-//! equality, and trace bytes silently stop being reproducible. `cfa-audit`
-//! enforces that discipline statically with a lightweight line/token
-//! scanner over the workspace's `.rs` files (no `syn`: the crate registry
-//! is unreachable from the build hosts, so the analyzer is deliberately
-//! dependency-free).
+//! A zero-dependency, two-layer static analyzer for the manet-cfa
+//! workspace: a **lexical** determinism lint (PR 3) and an
+//! **interprocedural** reachability layer over a workspace call graph
+//! (this PR). The repo's headline guarantees — PR 1's "bit-identical at
+//! any thread count" ensemble, PR 2's "batch == stream bit-for-bit"
+//! equivalence — rest on discipline the compiler does not enforce: one
+//! careless `HashMap` iteration, one wall-clock read, one reachable panic
+//! in the event loop, one per-event allocation in the "zero-alloc"
+//! predict path, and the reproducibility story silently rots. `cfa-audit`
+//! enforces it statically, with no `syn` (the crate registry is
+//! unreachable from the build hosts, so the analyzer is deliberately
+//! dependency-free): a hand-rolled [`lexer`] is the shared front end, an
+//! item [`parser`] extracts functions and call expressions, and a
+//! [`graph::CallGraph`] resolves them workspace-wide (name-based, with
+//! module/impl scoping, conservative on trait dispatch).
 //!
 //! ## Rules
 //!
-//! | ID   | What it flags | Where |
-//! |------|---------------|-------|
-//! | D001 | unordered iteration over `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`, `for _ in &map`, …) | deterministic crates (sim, routing, traffic, attacks, features, core) and the root crate |
-//! | D002 | wall clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `RandomState`) | everywhere except `crates/bench` |
-//! | D003 | `f64`/`f32` `==`/`!=` comparisons (use `to_bits()` or an epsilon) | non-test code |
-//! | D004 | `unwrap()`/`expect()` in library hot paths | non-test code of sim, routing, features |
-//! | D005 | bare `#[allow(...)]` without a justification comment | everywhere |
+//! | ID   | Layer | What it flags | Where |
+//! |------|-------|---------------|-------|
+//! | D001 | lexical | unordered iteration over `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`, `for _ in &map`, …) | deterministic crates (sim, routing, traffic, attacks, features, core) and the root crate |
+//! | D002 | lexical | wall clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `RandomState`) | everywhere except `crates/bench` |
+//! | D003 | lexical | `f64`/`f32` `==`/`!=` comparisons (use `to_bits()` or an epsilon) | non-test code |
+//! | D004 | lexical | `unwrap()`/`expect()` in library hot paths | non-test code of sim, routing, features |
+//! | D005 | lexical | bare `#[allow(...)]` without a justification comment | everywhere |
+//! | D006 | interprocedural | `panic!`/`unwrap`/`expect`/slice indexing transitively reachable from `Simulator::run`'s event dispatch or from `predict_row` | whole workspace |
+//! | D007 | interprocedural | a `self` field grown (`insert`/`push`/…) on the event path with no eviction/cap anywhere in the owning type | whole workspace |
+//! | D008 | interprocedural | allocation (`Vec::new`, `to_vec`, `clone`, `format!`, `collect`, …) reachable from the zero-alloc predict/score path | whole workspace |
 //!
 //! ## Escape hatch
 //!
@@ -32,7 +39,29 @@
 //! ```
 //!
 //! The `reason` is mandatory — an allow without one is itself reported.
+//! For panic sites, a justified `allow(D004, …)` also covers D006: both
+//! rules police the same panic contract, one written reason suffices.
+//!
+//! ## Baseline
+//!
+//! [`Baseline`] grandfathers pre-existing findings
+//! (`crates/audit/baseline.txt`): new code is held to deny-level while
+//! old findings burn down. `cfa-audit --update-baseline` regenerates the
+//! file; CI fails on any non-baseline finding. JSON and SARIF reports
+//! ([`to_json`], [`to_sarif`]) are byte-deterministic for identical
+//! trees.
 
+pub mod baseline;
+pub mod emit;
+pub mod graph;
+pub mod interproc;
+pub mod lexer;
+pub mod parser;
+
+pub use baseline::{Baseline, BASELINE_REL_PATH};
+pub use emit::{to_json, to_sarif};
+
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -49,11 +78,38 @@ pub enum Rule {
     D004,
     /// `#[allow(...)]` without a justification comment.
     D005,
+    /// Panic reachable from event dispatch or the predict path.
+    D006,
+    /// Unbounded collection growth on the event path.
+    D007,
+    /// Allocation reachable from the zero-alloc predict path.
+    D008,
+}
+
+/// How severe a rule's findings are: [`Severity::Error`] findings are
+/// correctness/reproducibility hazards, [`Severity::Warning`] findings
+/// are performance-contract violations. Both gate CI when not baselined;
+/// the tier selects the SARIF level CI annotates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Correctness or reproducibility hazard.
+    Error,
+    /// Performance-contract violation.
+    Warning,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005];
+    pub const ALL: [Rule; 8] = [
+        Rule::D001,
+        Rule::D002,
+        Rule::D003,
+        Rule::D004,
+        Rule::D005,
+        Rule::D006,
+        Rule::D007,
+        Rule::D008,
+    ];
 
     /// The rule's stable identifier.
     pub fn id(self) -> &'static str {
@@ -63,6 +119,9 @@ impl Rule {
             Rule::D003 => "D003",
             Rule::D004 => "D004",
             Rule::D005 => "D005",
+            Rule::D006 => "D006",
+            Rule::D007 => "D007",
+            Rule::D008 => "D008",
         }
     }
 
@@ -79,6 +138,11 @@ impl Rule {
             Rule::D003 => "f64/f32 == or != comparison outside tests",
             Rule::D004 => "unwrap()/expect() in sim/routing/features library code",
             Rule::D005 => "#[allow(...)] without a justification comment",
+            Rule::D006 => "panic site reachable from Simulator::run event dispatch or predict_row",
+            Rule::D007 => {
+                "collection grown on the event path with no eviction anywhere in its type"
+            }
+            Rule::D008 => "allocation reachable from the zero-alloc predict/score path",
         }
     }
 
@@ -90,6 +154,17 @@ impl Rule {
             Rule::D003 => "compare with f64::to_bits()/total_cmp for exact identity, or an explicit epsilon for tolerance",
             Rule::D004 => "restructure with let-else/match so malformed input degrades gracefully; a documented panic contract needs `// audit: allow(D004, reason = \"...\")`",
             Rule::D005 => "add a same-line or preceding-line comment explaining why the lint is suppressed",
+            Rule::D006 => "degrade gracefully with let-else/get(); an invariant the caller upholds needs `// audit: allow(D006, reason = \"...\")` (a justified allow(D004) also covers the site)",
+            Rule::D007 => "bound the collection like FloodAgent's RREQ memory (time horizon + hard cap) or evict in the same type; a by-design full-retention sink needs `// audit: allow(D007, reason = \"...\")`",
+            Rule::D008 => "pre-size and reuse caller-owned buffers (scratch pattern); a cold-path or setup allocation needs `// audit: allow(D008, reason = \"...\")`",
+        }
+    }
+
+    /// The rule's severity tier.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::D008 => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 }
@@ -101,7 +176,7 @@ impl fmt::Display for Rule {
 }
 
 /// One rule violation at a specific source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// Which rule fired.
     pub rule: Rule,
@@ -111,8 +186,10 @@ pub struct Finding {
     pub line: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
-    /// Extra context (e.g. "allow without reason").
+    /// Extra context (e.g. the call chain that makes a panic reachable).
     pub note: Option<String>,
+    /// The rule's severity tier.
+    pub severity: Severity,
 }
 
 impl fmt::Display for Finding {
@@ -148,7 +225,7 @@ fn is_under(rel: &str, roots: &[&str]) -> bool {
 }
 
 /// Whether a whole file is test/bench/example collateral (exempt from the
-/// library-code rules D001/D003/D004).
+/// library-code rules D001/D003/D004 and from the call graph).
 fn is_test_path(rel: &str) -> bool {
     rel.starts_with("tests/")
         || rel.contains("/tests/")
@@ -166,124 +243,6 @@ struct Allow {
     /// True if the annotation's line had no code, so it covers the next
     /// code line as well.
     standalone: bool,
-}
-
-/// Lexer state carried across lines: inside a block comment, or inside a
-/// multi-line string literal (`close` is the terminator; `cooked` strings
-/// process backslash escapes, raw ones don't).
-#[derive(Default)]
-struct SplitState {
-    in_block_comment: bool,
-    in_string: Option<(String, bool)>,
-}
-
-/// Strips string/char literals and comments from one line, resuming block
-/// comments and multi-line strings across lines. Returns
-/// `(code, comment_text)`.
-fn split_code_and_comment(line: &str, state: &mut SplitState) -> (String, String) {
-    let bytes = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut comment = String::new();
-    let mut i = 0;
-    // Resume a string literal left open on a previous line.
-    if let Some((close, cooked)) = state.in_string.take() {
-        loop {
-            if i >= bytes.len() {
-                state.in_string = Some((close, cooked));
-                return (code, comment);
-            }
-            if cooked && bytes[i] == b'\\' {
-                i += 2;
-                continue;
-            }
-            if line[i..].starts_with(close.as_str()) {
-                i += close.len();
-                code.push('"');
-                break;
-            }
-            i += 1;
-        }
-    }
-    while i < bytes.len() {
-        if state.in_block_comment {
-            if line[i..].starts_with("*/") {
-                state.in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        let rest = &line[i..];
-        if let Some(text) = rest.strip_prefix("//") {
-            comment.push_str(text);
-            break;
-        }
-        if rest.starts_with("/*") {
-            state.in_block_comment = true;
-            i += 2;
-            continue;
-        }
-        if rest.starts_with("r\"") || rest.starts_with("r#\"") {
-            let (open, close) = if rest.starts_with("r#\"") {
-                (3, "\"#")
-            } else {
-                (2, "\"")
-            };
-            match rest[open..].find(close) {
-                Some(end) => {
-                    code.push('"');
-                    i += open + end + close.len();
-                }
-                None => {
-                    state.in_string = Some((close.to_string(), false));
-                    return (code, comment);
-                }
-            }
-            continue;
-        }
-        if bytes[i] == b'"' {
-            // Cooked string with escapes; may continue onto further lines.
-            i += 1;
-            loop {
-                if i >= bytes.len() {
-                    state.in_string = Some(("\"".to_string(), true));
-                    return (code, comment);
-                }
-                if bytes[i] == b'\\' {
-                    i += 2;
-                } else if bytes[i] == b'"' {
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
-                }
-            }
-            code.push('"');
-            continue;
-        }
-        if bytes[i] == b'\'' {
-            // Char literal vs lifetime: a literal closes within 3 bytes.
-            let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
-                line[i + 2..].find('\'').map(|p| p + 3)
-            } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                Some(3)
-            } else {
-                None
-            };
-            if let Some(l) = lit_len {
-                code.push_str("' '");
-                i += l;
-            } else {
-                code.push('\'');
-                i += 1;
-            }
-            continue;
-        }
-        code.push(bytes[i] as char);
-        i += 1;
-    }
-    (code, comment)
 }
 
 /// Parses an `audit: allow(Dxxx, reason = "...")` annotation out of a
@@ -500,9 +459,6 @@ fn d003_hit(code: &str, float_names: &[String]) -> bool {
         let mut search = 0;
         while let Some(pos) = code[search..].find(op) {
             let at = search + pos;
-            // Skip `!==`-like and `<=`/`>=`-adjacent artifacts and pattern
-            // arrows; `==`/`!=` surrounded by operator chars isn't a float
-            // comparison either way.
             let lhs = code[..at].trim_end();
             let rhs = code[at + 2..].trim_start();
             let lhs_tok = lhs
@@ -530,24 +486,37 @@ fn d003_hit(code: &str, float_names: &[String]) -> bool {
     false
 }
 
-/// Scans one file's source text. `rel` is the workspace-relative path with
-/// forward slashes; it selects which rules apply.
+/// The lexical analysis of one file: findings plus the context the
+/// interprocedural layer reuses (allows, raw lines).
+struct FileScan {
+    findings: Vec<Finding>,
+    /// `(rule, 0-based line)` pairs carrying a justified allow.
+    allowed_lines: Vec<(Rule, usize)>,
+}
+
+/// Scans one file's source text with the lexical rules (D001–D005).
+/// `rel` is the workspace-relative path with forward slashes; it selects
+/// which rules apply.
 pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    scan_source_inner(rel, source).findings
+}
+
+fn scan_source_inner(rel: &str, source: &str) -> FileScan {
     let mut findings = Vec::new();
     let in_det_crate = is_under(rel, &DETERMINISTIC_ROOTS);
     let in_hot_crate = is_under(rel, &HOT_PATH_ROOTS);
     let in_bench = rel.starts_with("crates/bench/");
     let file_is_test = is_test_path(rel);
 
-    // First pass: split every line into code and comment, find the
-    // `#[cfg(test)]` tail, and collect allow annotations and bindings.
-    let mut code_lines: Vec<String> = Vec::new();
-    let mut comments: Vec<String> = Vec::new();
+    // Front end: the real lexer splits every line into code and comment
+    // channels (raw strings, nested block comments, lifetimes and char
+    // literals all handled by `lexer::lex`).
+    let masked = lexer::mask_lines(source);
+    let mut code_lines: Vec<String> = Vec::with_capacity(masked.len());
+    let mut comments: Vec<String> = Vec::with_capacity(masked.len());
     let mut allows: Vec<Allow> = Vec::new();
     let mut test_tail_start = usize::MAX;
-    let mut state = SplitState::default();
-    for (idx, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_and_comment(raw, &mut state);
+    for (idx, (code, comment)) in masked.into_iter().enumerate() {
         if test_tail_start == usize::MAX && code.contains("#[cfg(test)]") {
             test_tail_start = idx;
         }
@@ -561,12 +530,18 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     let hash_names = collect_hash_bindings(&code_lines);
     let float_names = collect_float_bindings(&code_lines);
 
+    // Expand justified allows into per-line suppression slots.
+    let mut allowed_lines: Vec<(Rule, usize)> = Vec::new();
+    for a in &allows {
+        if let (Some(rule), true) = (a.rule, a.has_reason) {
+            allowed_lines.push((rule, a.line));
+            if a.standalone {
+                allowed_lines.push((rule, a.line + 1));
+            }
+        }
+    }
     let allowed = |rule: Rule, line: usize| -> bool {
-        allows.iter().any(|a| {
-            a.rule == Some(rule)
-                && a.has_reason
-                && (a.line == line || (a.standalone && a.line + 1 == line))
-        })
+        allowed_lines.iter().any(|&(r, l)| r == rule && l == line)
     };
 
     // Malformed allows are findings in their own right: the escape hatch
@@ -586,6 +561,7 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             line: a.line + 1,
             snippet: source.lines().nth(a.line).unwrap_or("").trim().to_string(),
             note: Some(note.to_string()),
+            severity: rule.severity(),
         });
     }
 
@@ -600,6 +576,7 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
                     line: idx + 1,
                     snippet: raw_snippet(),
                     note: None,
+                    severity: rule.severity(),
                 });
             }
         };
@@ -629,7 +606,10 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             }
         }
     }
-    findings
+    FileScan {
+        findings,
+        allowed_lines,
+    }
 }
 
 /// Recursively collects the `.rs` files under `root`, skipping build
@@ -655,12 +635,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scans every `.rs` file under `root` (a workspace checkout) and returns
-/// all findings, ordered by file then line.
+/// Scans every `.rs` file under `root` (a workspace checkout) with both
+/// layers — the lexical rules per file, then the interprocedural rules
+/// over the workspace call graph — and returns all findings, ordered by
+/// file, line, then rule.
 pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     let mut findings = Vec::new();
+    let mut fns: Vec<parser::FnDef> = Vec::new();
+    let mut contexts: BTreeMap<String, interproc::FileCtx> = BTreeMap::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -668,8 +652,27 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(&path)?;
-        findings.extend(scan_source(&rel, &source));
+        let scan = scan_source_inner(&rel, &source);
+        findings.extend(scan.findings);
+        fns.extend(parser::parse_file(&rel, &source, is_test_path(&rel)));
+        contexts.insert(
+            rel,
+            interproc::FileCtx {
+                lines: source.lines().map(str::to_string).collect(),
+                allowed: scan.allowed_lines,
+            },
+        );
     }
+    let graph = graph::CallGraph::build(fns);
+    findings.extend(interproc::check(&graph, &contexts));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.snippet.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.snippet.as_str(),
+        ))
+    });
     Ok(findings)
 }
 
@@ -845,11 +848,33 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_and_nested_comments_do_not_trigger_rules() {
+        // Regression for the PR 3 scanner: the raw string's `//` is not a
+        // comment, its `.unwrap()` is not code, and the nested block
+        // comment does not end at the first `*/`.
+        let src = "fn f() -> &'static str { r#\"no // comment, v.unwrap() text\"# }\n\
+                   /* outer /* v.expect(\"x\") */ still comment .unwrap() */\n\
+                   fn g<'a>(x: &'a [u32]) -> &'a [u32] { x }\n";
+        assert!(rules("crates/routing/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetime_heavy_signatures_do_not_confuse_the_lexer() {
+        // `'a` used to open a phantom char literal and swallow code.
+        let src = "fn f<'a>(v: &'a mut Vec<u32>) { v.last().unwrap(); }\n";
+        assert_eq!(
+            rules("crates/routing/src/fixture.rs", src),
+            vec![Rule::D004]
+        );
+    }
+
+    #[test]
     fn findings_carry_location_and_snippet() {
         let src = "fn f(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\n";
         let got = scan_source("crates/sim/src/fixture.rs", src);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].line, 2);
         assert_eq!(got[0].snippet, "*v.last().unwrap()");
+        assert_eq!(got[0].severity, Severity::Error);
     }
 }

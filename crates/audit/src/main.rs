@@ -3,18 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p cfa-audit            # scan the workspace checkout
-//! cargo run -p cfa-audit -- <path>  # scan another tree (e.g. a fixture)
-//! cargo run -p cfa-audit -- --rules # print the rule table
+//! cargo run -p cfa-audit                        # scan the workspace, text report
+//! cargo run -p cfa-audit -- <path>              # scan another tree (e.g. a fixture)
+//! cargo run -p cfa-audit -- --format sarif      # SARIF 2.1.0 to stdout
+//! cargo run -p cfa-audit -- --format json       # native JSON report
+//! cargo run -p cfa-audit -- --update-baseline   # rewrite crates/audit/baseline.txt
+//! cargo run -p cfa-audit -- --no-baseline       # strict: ignore the baseline
+//! cargo run -p cfa-audit -- --rules             # print the rule table
 //! ```
 //!
-//! Exits non-zero if any finding survives its allow annotations, so CI can
-//! gate on it.
+//! Findings are checked against the committed baseline
+//! (`crates/audit/baseline.txt` under the scanned root, or `--baseline
+//! <path>`): grandfathered findings are reported at note level, anything
+//! new fails the run. Exits non-zero iff at least one non-baselined
+//! finding survives its allow annotations, so CI can gate on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cfa_audit::{scan_tree, Rule};
+use cfa_audit::{scan_tree, to_json, to_sarif, Baseline, Rule, BASELINE_REL_PATH};
 
 fn workspace_root() -> PathBuf {
     // crates/audit/ -> workspace root.
@@ -24,19 +31,59 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("."))
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cfa-audit [<root>] [--format text|json|sarif] [--baseline <path>] \
+         [--no-baseline] [--update-baseline] [--rules]"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut update_baseline = false;
+
     let mut args = std::env::args().skip(1);
-    let root = match args.next() {
-        Some(flag) if flag == "--rules" => {
-            for rule in Rule::ALL {
-                println!("{rule}  {}", rule.summary());
-                println!("      fix: {}", rule.hint());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rules" => {
+                for rule in Rule::ALL {
+                    println!("{rule}  {}", rule.summary());
+                    println!("      fix: {}", rule.hint());
+                }
+                return ExitCode::SUCCESS;
             }
-            return ExitCode::SUCCESS;
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--update-baseline" => update_baseline = true,
+            flag if flag.starts_with("--") => return usage(),
+            path => {
+                if root.replace(PathBuf::from(path)).is_some() {
+                    return usage();
+                }
+            }
         }
-        Some(path) => PathBuf::from(path),
-        None => workspace_root(),
-    };
+    }
+    let root = root.unwrap_or_else(workspace_root);
 
     let findings = match scan_tree(&root) {
         Ok(f) => f,
@@ -46,19 +93,59 @@ fn main() -> ExitCode {
         }
     };
 
-    if findings.is_empty() {
-        println!("cfa-audit: clean ({} rules, no findings)", Rule::ALL.len());
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_REL_PATH));
+    if update_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("cfa-audit: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "cfa-audit: baseline updated — {} finding{} grandfathered at {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            baseline_path.display()
+        );
         return ExitCode::SUCCESS;
     }
 
-    for f in &findings {
-        println!("{f}");
-        println!("    fix: {}", f.rule.hint());
+    let baseline = if no_baseline {
+        Baseline::default()
+    } else {
+        Baseline::load(&baseline_path)
+    };
+    let baselined = baseline.classify(&findings);
+    let new = baselined.iter().filter(|&&b| !b).count();
+
+    match format {
+        Format::Json => print!("{}", to_json(&findings, &baselined)),
+        Format::Sarif => print!("{}", to_sarif(&findings, &baselined)),
+        Format::Text => {
+            if findings.is_empty() {
+                println!("cfa-audit: clean ({} rules, no findings)", Rule::ALL.len());
+            } else {
+                for (f, &is_base) in findings.iter().zip(&baselined) {
+                    if is_base {
+                        println!("{f} [baselined]");
+                    } else {
+                        println!("{f}");
+                        println!("    fix: {}", f.rule.hint());
+                    }
+                }
+                println!(
+                    "cfa-audit: {} finding{} ({} new, {} baselined) — see `cargo run -p cfa-audit -- --rules`",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    new,
+                    findings.len() - new,
+                );
+            }
+        }
     }
-    println!(
-        "cfa-audit: {} finding{} — see `cargo run -p cfa-audit -- --rules`",
-        findings.len(),
-        if findings.len() == 1 { "" } else { "s" }
-    );
-    ExitCode::FAILURE
+
+    if new == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -130,6 +130,17 @@ impl<M: Classifier> AnomalyDetector<M> {
         self.model.score(row, self.method)
     }
 
+    /// [`score`](AnomalyDetector::score) with a caller-owned scratch
+    /// buffer — the allocation-free form repeated scorers (the online
+    /// monitor's per-snapshot loop) call instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    pub fn score_with(&self, row: &[u8], scratch: &mut Vec<f64>) -> f64 {
+        self.model.score_with(row, self.method, None, scratch)
+    }
+
     /// Classifies a full-width event vector.
     ///
     /// # Panics
@@ -151,7 +162,19 @@ impl<M: Classifier> AnomalyDetector<M> {
     ///
     /// Panics if `row` has the wrong width.
     pub fn score_snapshot(&self, row: &[u8]) -> SnapshotVerdict {
-        let score = self.score(row);
+        // audit: allow(D008, reason = "one-shot convenience wrapper; streaming callers reuse a buffer via score_snapshot_with")
+        let mut scratch = Vec::new();
+        self.score_snapshot_with(row, &mut scratch)
+    }
+
+    /// [`score_snapshot`](AnomalyDetector::score_snapshot) with a
+    /// caller-owned scratch buffer for allocation-free streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    pub fn score_snapshot_with(&self, row: &[u8], scratch: &mut Vec<f64>) -> SnapshotVerdict {
+        let score = self.score_with(row, scratch);
         SnapshotVerdict {
             score,
             verdict: if score >= self.threshold {

@@ -128,8 +128,13 @@ impl SubModel {
 
     /// Looks up the rule for an event's non-labelled feature values.
     pub fn rule_for(&self, event: &Event) -> SubModelRule {
-        let others: Vec<usize> = (0..3).filter(|&i| i != self.labeled).collect();
-        let inputs = [event[others[0]], event[others[1]]];
+        // The two non-labelled positions, without allocating: this runs
+        // once per sub-model per scored event.
+        let inputs = match self.labeled {
+            0 => [event[1], event[2]],
+            1 => [event[0], event[2]],
+            _ => [event[0], event[1]],
+        };
         *self
             .rules
             .iter()

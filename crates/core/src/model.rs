@@ -117,14 +117,35 @@ impl<M: Classifier> CrossFeatureModel<M> {
     ///
     /// Panics on length mismatch, an empty subset, or out-of-range indices.
     pub fn score_subset(&self, row: &[u8], method: ScoreMethod, subset: Option<&[usize]>) -> f64 {
-        assert_eq!(row.len(), self.n_features, "event width mismatch");
+        // One-shot convenience entry: allocates its own scratch. Repeated
+        // scorers (the online monitor, the batch matrix scorers) pass a
+        // reused buffer through `score_with` instead.
+        // audit: allow(D008, reason = "one-shot convenience wrapper; hot callers reuse a buffer via score_with")
         let mut scratch = Vec::new();
+        self.score_with(row, method, subset, &mut scratch)
+    }
+
+    /// [`score_subset`](CrossFeatureModel::score_subset) with a
+    /// caller-owned class-probability buffer, keeping repeated scoring
+    /// allocation-free (`scratch` is cleared and reused internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, an empty subset, or out-of-range indices.
+    pub fn score_with(
+        &self,
+        row: &[u8],
+        method: ScoreMethod,
+        subset: Option<&[usize]>,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        assert_eq!(row.len(), self.n_features, "event width mismatch");
         match subset {
             Some(s) => {
                 assert!(!s.is_empty(), "sub-model subset must be non-empty");
-                self.score_indices(row, method, s, &mut scratch)
+                self.score_indices(row, method, s, scratch)
             }
-            None => self.score_all(row, method, &mut scratch),
+            None => self.score_all(row, method, scratch),
         }
     }
 

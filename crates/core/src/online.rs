@@ -83,6 +83,8 @@ pub struct OnlineMonitor<'a, A: Agent, M> {
     smoothing: usize,
     taps: Vec<Tap>,
     row_buf: Vec<u8>,
+    /// Class-probability scratch reused across every scored snapshot.
+    score_buf: Vec<f64>,
     alarms: Vec<Alarm>,
 }
 
@@ -133,6 +135,7 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
             smoothing: 1,
             taps,
             row_buf: Vec::new(),
+            score_buf: Vec::new(),
             alarms: Vec::new(),
         }
     }
@@ -184,7 +187,7 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
         for row in rows {
             self.discretizer
                 .transform_row_into(&row.values, &mut self.row_buf);
-            let raw = self.detector.score(&self.row_buf);
+            let raw = self.detector.score_with(&self.row_buf, &mut self.score_buf);
             tap.recent.push_back(raw);
             if tap.recent.len() > self.smoothing {
                 tap.recent.pop_front();

@@ -79,6 +79,7 @@ impl RouteTable {
         let expires = now + self.ttl;
         match self.entries.get_mut(&dest) {
             None => {
+                // audit: allow(D007, reason = "keyed by destination node id; bounded by the scenario's node count")
                 self.entries.insert(
                     dest,
                     RouteEntry {

@@ -285,9 +285,12 @@ where
     /// already present (the slot keeps its original insertion position).
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         match self.index.get(&key) {
+            // audit: allow(D006, reason = "index values always point into slots: both grow in lockstep below")
             Some(&slot) => Some(std::mem::replace(&mut self.slots[slot].1, value)),
             None => {
+                // audit: allow(D007, reason = "append-only registry by design; owners key it by bounded ids (flows, nodes)")
                 self.index.insert(key.clone(), self.slots.len());
+                // audit: allow(D007, reason = "append-only registry by design; owners key it by bounded ids (flows, nodes)")
                 self.slots.push((key, value));
                 None
             }
@@ -296,12 +299,14 @@ where
 
     /// Looks up a value by key in O(1).
     pub fn get(&self, key: &K) -> Option<&V> {
+        // audit: allow(D006, reason = "index values always point into slots: both grow in lockstep in insert")
         self.index.get(key).map(|&slot| &self.slots[slot].1)
     }
 
     /// Looks up a value by key in O(1), mutably.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         match self.index.get(key) {
+            // audit: allow(D006, reason = "index values always point into slots: both grow in lockstep in insert")
             Some(&slot) => Some(&mut self.slots[slot].1),
             None => None,
         }

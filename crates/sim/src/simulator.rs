@@ -196,6 +196,7 @@ impl<A: Agent> Simulator<A> {
     /// Position of `node` at the current time.
     pub fn position(&mut self, node: NodeId) -> Point {
         let now = self.now;
+        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index nodes")
         let cell = &mut self.nodes[node.index()];
         cell.mobility.advance_to(now);
         cell.mobility.position(now)
@@ -285,6 +286,7 @@ impl<A: Agent> Simulator<A> {
         // FIFO processing for deterministic, comprehensible ordering.
         let mut i = 0;
         while i < pending.len() {
+            // audit: allow(D006, reason = "i < pending.len() is the loop guard on the line above")
             let item = std::mem::replace(&mut pending[i], Pending::AppStart(usize::MAX));
             i += 1;
             match item {
@@ -348,6 +350,7 @@ impl<A: Agent> Simulator<A> {
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Header>),
     ) {
         let now = self.now;
+        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index nodes")
         let cell = &mut self.nodes[node.index()];
         cell.mobility.advance_to(now);
         let pos = cell.mobility.position(now);
@@ -392,6 +395,7 @@ impl<A: Agent> Simulator<A> {
         f: impl FnOnce(&mut dyn App, &mut AppCtx<'_>),
     ) {
         let now = self.now;
+        // audit: allow(D006, reason = "app indices come from the queue which only holds registered apps")
         let cell = &mut self.apps[idx];
         let node = cell.app.node();
         let mut ctx = AppCtx::new(now, &mut cell.rng);
@@ -431,6 +435,7 @@ impl<A: Agent> Simulator<A> {
             if nid == sender {
                 continue;
             }
+            // audit: allow(D006, reason = "i < self.nodes.len() is the loop bound two lines up")
             let cell = &mut self.nodes[i];
             cell.mobility.advance_to(now);
             let p = cell.mobility.position(now);
@@ -441,6 +446,7 @@ impl<A: Agent> Simulator<A> {
         match dest {
             TxDest::Broadcast => {
                 for nid in in_range {
+                    // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from self.nodes above")
                     let rx_pos = self.nodes[nid.index()].mobility.position(now);
                     match self.radio.receive(now, rx_pos) {
                         Reception::Ok => {
@@ -464,6 +470,7 @@ impl<A: Agent> Simulator<A> {
                     // addressed outcome).
                     if self.cfg.promiscuous {
                         for &nid in in_range.iter().filter(|&&n| n != next_hop) {
+                            // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from self.nodes above")
                             let rx_pos = self.nodes[nid.index()].mobility.position(now);
                             if self.radio.receive(now, rx_pos) == Reception::Ok {
                                 self.queue.push(
@@ -477,6 +484,7 @@ impl<A: Agent> Simulator<A> {
                             }
                         }
                     }
+                    // audit: allow(D006, reason = "in_range membership was just checked; NodeIds index self.nodes")
                     let rx_pos = self.nodes[next_hop.index()].mobility.position(now);
                     match self.radio.receive(now, rx_pos) {
                         Reception::Ok => {
