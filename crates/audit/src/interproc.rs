@@ -32,7 +32,9 @@ use std::collections::BTreeMap;
 pub const EVENT_ROOTS: [&str; 2] = ["Simulator::run", "Simulator::run_until"];
 
 /// Bare-name roots of the zero-alloc predict/score path.
-pub const PREDICT_ROOTS: [&str; 7] = [
+/// `score_rows_into` is the serving hot loop in `cfa-serve` — a network
+/// request must not allocate per row any more than a simulation event.
+pub const PREDICT_ROOTS: [&str; 8] = [
     "predict_row",
     "prob_of_row",
     "class_probs_into",
@@ -40,6 +42,7 @@ pub const PREDICT_ROOTS: [&str; 7] = [
     "score_indices",
     "one_model_score",
     "score_snapshot",
+    "score_rows_into",
 ];
 
 /// Per-file context the interprocedural pass needs back from the lexical
@@ -82,10 +85,14 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     let mut findings = Vec::new();
 
     // --- D006: panic reachability --------------------------------------
+    // `handle_conn` is cfa-serve's per-connection request handler: a
+    // malformed network frame must never panic a worker, so the whole
+    // request-handling path is held to the same standard as the
+    // simulator's event path.
     let panic_roots: Vec<&str> = EVENT_ROOTS
         .iter()
         .copied()
-        .chain(std::iter::once("predict_row"))
+        .chain(["predict_row", "handle_conn"])
         .collect();
     let parent = graph.reachable(&graph.roots(&panic_roots));
     for (i, f) in graph.fns.iter().enumerate() {

@@ -207,13 +207,14 @@ impl fmt::Display for Finding {
 }
 
 /// Which crates must stay iteration-order deterministic (rule D001).
-const DETERMINISTIC_ROOTS: [&str; 7] = [
+const DETERMINISTIC_ROOTS: [&str; 8] = [
     "crates/sim/",
     "crates/routing/",
     "crates/traffic/",
     "crates/attacks/",
     "crates/features/",
     "crates/core/",
+    "crates/serve/",
     "src/",
 ];
 

@@ -82,6 +82,36 @@ fn fixture_interprocedural_findings_carry_call_chains() {
 }
 
 #[test]
+fn fixture_serve_request_path_roots_are_live() {
+    // The serving roots added with cfa-serve: `handle_conn` seeds D006
+    // reachability and `score_rows_into` seeds D008 reachability, so a
+    // panic or allocation on the network request path cannot go blind.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d006 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D006 && f.file.ends_with("serve/src/handler.rs"))
+        .expect("serve fixture D006");
+    assert!(
+        d006.note.as_deref().unwrap_or("").contains("handle_conn"),
+        "serve D006 note must root at handle_conn, got: {:?}",
+        d006.note
+    );
+    let d008 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D008 && f.file.ends_with("serve/src/handler.rs"))
+        .expect("serve fixture D008");
+    assert!(
+        d008.note
+            .as_deref()
+            .unwrap_or("")
+            .contains("score_rows_into"),
+        "serve D008 note must root at score_rows_into, got: {:?}",
+        d008.note
+    );
+}
+
+#[test]
 fn fixture_findings_are_ordered_and_located() {
     let root = audit_crate_dir().join("fixtures/seeded");
     let findings = scan_tree(&root).unwrap();

@@ -50,6 +50,7 @@ pub mod example2node;
 pub mod model;
 pub mod online;
 pub mod parallel;
+pub mod persist;
 pub mod reduction;
 pub mod threshold;
 
@@ -58,7 +59,8 @@ pub use eval::{PrPoint, ScoredEvent};
 pub use model::{CrossFeatureModel, ScoreMethod};
 pub use online::{Alarm, MonitorReport, NodeScoreSeries, OnlineMonitor, MONITOR_STEP_SECS};
 pub use parallel::Parallelism;
+pub use persist::{ModelArtifact, FORMAT_VERSION, MAGIC, MAX_PAYLOAD_BYTES};
 pub use reduction::{
     select_informative, submodel_predictability, submodel_predictability_with, SubModelStats,
 };
-pub use threshold::select_threshold;
+pub use threshold::{fit_threshold, select_threshold, FittedThreshold};

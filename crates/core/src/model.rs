@@ -169,6 +169,7 @@ impl<M: Classifier> CrossFeatureModel<M> {
     ) -> f64 {
         let mut total = 0.0;
         for &i in indices {
+            // audit: allow(D006, reason = "indices come from select_informative over this very ensemble, so every i < sub_models.len()")
             total += self.one_model_score(&self.sub_models[i], row, i, method, scratch);
         }
         total / indices.len() as f64
@@ -187,6 +188,7 @@ impl<M: Classifier> CrossFeatureModel<M> {
         method: ScoreMethod,
         scratch: &mut Vec<f64>,
     ) -> f64 {
+        // audit: allow(D006, reason = "i enumerates sub_models and row width == n_features is asserted at every public entry")
         let truth = row[i];
         match method {
             ScoreMethod::MatchCount => f64::from(model.predict_row(row, i, scratch) == truth),

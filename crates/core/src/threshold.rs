@@ -6,6 +6,32 @@
 //! rate)."* — i.e. the threshold is the `false_alarm_rate` quantile of the
 //! normal-score distribution.
 
+/// A decision threshold together with the target false-alarm rate it was
+/// selected for — the pair the persistence layer records so a re-loaded
+/// detector knows both the operating point and the calibration intent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedThreshold {
+    /// The decision threshold θ (events scoring strictly below are
+    /// flagged).
+    pub threshold: f64,
+    /// The target false-alarm rate the threshold was the quantile of.
+    pub false_alarm_rate: f64,
+}
+
+/// [`select_threshold`] returning the threshold together with the rate it
+/// was fitted for.
+///
+/// # Panics
+///
+/// Panics if `normal_scores` is empty or `false_alarm_rate` is outside
+/// `[0, 1)`.
+pub fn fit_threshold(normal_scores: &[f64], false_alarm_rate: f64) -> FittedThreshold {
+    FittedThreshold {
+        threshold: select_threshold(normal_scores, false_alarm_rate),
+        false_alarm_rate,
+    }
+}
+
 /// Selects a decision threshold from scores of normal events such that at
 /// most `false_alarm_rate` of them fall strictly below it.
 ///

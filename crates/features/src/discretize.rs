@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Per-column equal-frequency bucketiser.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EqualFrequencyDiscretizer {
     /// Ascending cut points per column; value `v` maps to the number of
     /// cut points `< v`… i.e. `cuts.partition_point(|c| c <= v)`.
@@ -84,6 +84,7 @@ impl EqualFrequencyDiscretizer {
     ///
     /// Panics if `col` is out of range.
     pub fn bucket(&self, col: usize, value: f64) -> u8 {
+        // audit: allow(D006, reason = "col < cuts.len() is asserted by transform_row_into/transform before per-value calls")
         self.cuts[col].partition_point(|&c| c <= value) as u8
     }
 
@@ -96,6 +97,7 @@ impl EqualFrequencyDiscretizer {
     pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<u8>) {
         assert_eq!(row.len(), self.cuts.len(), "row width != fitted columns");
         out.clear();
+        // audit: allow(D006, reason = "c ranges over 0..row.len(), in bounds by construction")
         out.extend((0..row.len()).map(|c| self.bucket(c, row[c])));
     }
 
@@ -116,6 +118,45 @@ impl EqualFrequencyDiscretizer {
             Vec::new() // width mismatch: let from_columns report it
         };
         NominalTable::from_columns(matrix.names.clone(), self.cards(), cols)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+use cfa_ml::persist::{write_vec_f64, Persist, PersistError, Reader, Writer};
+
+impl Persist for EqualFrequencyDiscretizer {
+    fn write_into(&self, w: &mut Writer) {
+        // audit: allow(D004, reason = "n_buckets comes from fit(), which caps it at the sample count; a >4-billion-bucket discretizer cannot be constructed")
+        w.u32(u32::try_from(self.n_buckets).expect("bucket count fits u32"));
+        w.seq_len(self.cuts.len());
+        for col_cuts in &self.cuts {
+            write_vec_f64(w, col_cuts);
+        }
+    }
+
+    fn read_from(r: &mut Reader) -> Result<Self, PersistError> {
+        let n_buckets = r.u32()? as usize;
+        if n_buckets < 2 {
+            return Err(PersistError::Malformed("bucket count must be at least 2"));
+        }
+        let n_cols = r.seq_len(4)?;
+        let mut cuts = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col_cuts = r.vec_f64()?;
+            if col_cuts.len() >= n_buckets {
+                return Err(PersistError::Malformed("more cut points than buckets"));
+            }
+            // bucket() binary-searches, so cut points must be strictly
+            // ascending and comparable.
+            if col_cuts.iter().any(|c| c.is_nan()) || col_cuts.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(PersistError::Malformed("cut points not strictly ascending"));
+            }
+            cuts.push(col_cuts);
+        }
+        Ok(EqualFrequencyDiscretizer { cuts, n_buckets })
     }
 }
 

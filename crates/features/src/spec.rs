@@ -120,7 +120,7 @@ pub struct TrafficFeature {
 }
 
 /// The full, ordered feature layout.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSpec {
     names: Vec<String>,
     traffic: Vec<TrafficFeature>,
@@ -208,6 +208,69 @@ impl FeatureSpec {
     /// Whether the spec is empty (never, for the canonical layout).
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+use cfa_ml::persist::{Persist, PersistError, Reader, Writer};
+
+impl Persist for FeatureSpec {
+    fn write_into(&self, w: &mut Writer) {
+        w.seq_len(self.names.len());
+        for name in &self.names {
+            w.str(name);
+        }
+        w.seq_len(self.traffic.len());
+        for f in &self.traffic {
+            w.u8(f.ptype.index() as u8);
+            w.u8(f.dir.index() as u8);
+            w.f64(f.period);
+            let stat = StatMeasure::ALL
+                .iter()
+                .position(|&s| s == f.stat)
+                .unwrap_or(0);
+            w.u8(stat as u8);
+        }
+    }
+
+    fn read_from(r: &mut Reader) -> Result<Self, PersistError> {
+        let n_names = r.seq_len(4)?;
+        let mut names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            names.push(r.str()?);
+        }
+        let n_traffic = r.seq_len(11)?;
+        if n_traffic > n_names {
+            return Err(PersistError::Malformed(
+                "more traffic features than feature names",
+            ));
+        }
+        let mut traffic = Vec::with_capacity(n_traffic);
+        for _ in 0..n_traffic {
+            let ptype = *PacketTypeDim::ALL
+                .get(r.u8()? as usize)
+                .ok_or(PersistError::Malformed("packet-type index out of range"))?;
+            let dir = *Direction::ALL
+                .get(r.u8()? as usize)
+                .ok_or(PersistError::Malformed("direction index out of range"))?;
+            let period = r.f64()?;
+            if !period.is_finite() || period <= 0.0 {
+                return Err(PersistError::Malformed("sampling period not positive"));
+            }
+            let stat = *StatMeasure::ALL
+                .get(r.u8()? as usize)
+                .ok_or(PersistError::Malformed("stat-measure index out of range"))?;
+            traffic.push(TrafficFeature {
+                ptype,
+                dir,
+                period,
+                stat,
+            });
+        }
+        Ok(FeatureSpec { names, traffic })
     }
 }
 

@@ -1,0 +1,88 @@
+//! Property-based persistence tests for the feature layer: arbitrary
+//! fitted discretizers and the canonical feature spec survive save→load
+//! bit-identically.
+
+use cfa_ml::persist::Persist;
+use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix, FeatureSpec};
+use proptest::prelude::*;
+
+/// Strategy: a random continuous feature matrix with 1–6 columns and
+/// 8–80 rows of values in mixed magnitudes (including repeats, so cut
+/// collapsing paths are exercised).
+fn matrix_strategy() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..=6).prop_flat_map(|n_cols| {
+        proptest::collection::vec(proptest::collection::vec(0u16..200, n_cols), 8..80).prop_map(
+            move |rows| FeatureMatrix {
+                names: (0..n_cols).map(|i| format!("f{i}")).collect(),
+                times: (0..rows.len()).map(|i| i as f64).collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|v| f64::from(v) / 8.0).collect())
+                    .collect(),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_discretizers_survive_round_trip(
+        matrix in matrix_strategy(),
+        n_buckets in 2usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let disc = EqualFrequencyDiscretizer::fit(&matrix, n_buckets, Some(32), seed);
+        let bytes = disc.to_bytes();
+        let loaded = EqualFrequencyDiscretizer::from_bytes(&bytes)
+            .expect("round trip must decode");
+        prop_assert_eq!(&disc, &loaded);
+        prop_assert_eq!(bytes, loaded.to_bytes(), "encoding must be deterministic");
+        // Bucket mapping — the behaviour that matters — must be identical
+        // for every training value and for out-of-range probes.
+        for row in &matrix.rows {
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert_eq!(disc.bucket(c, v), loaded.bucket(c, v));
+                prop_assert_eq!(disc.bucket(c, -1e18), loaded.bucket(c, -1e18));
+                prop_assert_eq!(disc.bucket(c, 1e18), loaded.bucket(c, 1e18));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_discretizer_bytes_are_typed_errors(
+        matrix in matrix_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let disc = EqualFrequencyDiscretizer::fit(&matrix, 5, None, 0);
+        let bytes = disc.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(EqualFrequencyDiscretizer::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn canonical_feature_spec_round_trips_bit_identically() {
+    let spec = FeatureSpec::new();
+    let bytes = spec.to_bytes();
+    let loaded = FeatureSpec::from_bytes(&bytes).expect("canonical spec must decode");
+    assert_eq!(spec, loaded);
+    assert_eq!(loaded.len(), 140);
+    assert_eq!(
+        bytes,
+        loaded.to_bytes(),
+        "spec encoding must be byte-deterministic"
+    );
+    // Periods are f64 bit patterns: serialize → deserialize must preserve
+    // them exactly.
+    for (a, b) in spec
+        .traffic_features()
+        .iter()
+        .zip(loaded.traffic_features())
+    {
+        assert_eq!(a.period.to_bits(), b.period.to_bits());
+    }
+}

@@ -40,7 +40,7 @@ impl Default for C45 {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Node {
     Leaf {
         counts: Vec<u32>,
@@ -55,7 +55,7 @@ enum Node {
 }
 
 /// A fitted C4.5 decision tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct C45Model {
     nodes: Vec<Node>,
     root: usize,
@@ -353,6 +353,123 @@ impl Classifier for C45Model {
         let k = self.n_classes as f64;
         out.clear();
         out.extend(counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + k)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+use crate::persist::{read_vec_usize, write_vec_usize, Persist, PersistError, Reader, Writer};
+
+const NODE_LEAF: u8 = 0;
+const NODE_SPLIT: u8 = 1;
+/// On-wire sentinel for an empty branch (`usize::MAX` in memory).
+const NO_CHILD: u32 = u32::MAX;
+
+impl Persist for C45Model {
+    fn write_into(&self, w: &mut Writer) {
+        w.u32(u32::try_from(self.n_classes).expect("class count fits u32"));
+        w.u32(u32::try_from(self.root).expect("node index fits u32"));
+        write_vec_usize(w, &self.attr_cards);
+        w.seq_len(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { counts } => {
+                    w.u8(NODE_LEAF);
+                    crate::persist::write_vec_u32(w, counts);
+                }
+                Node::Split {
+                    attr,
+                    children,
+                    counts,
+                } => {
+                    w.u8(NODE_SPLIT);
+                    w.u32(u32::try_from(*attr).expect("attr index fits u32"));
+                    w.seq_len(children.len());
+                    for &c in children {
+                        w.u32(if c == usize::MAX {
+                            NO_CHILD
+                        } else {
+                            u32::try_from(c).expect("node index fits u32")
+                        });
+                    }
+                    crate::persist::write_vec_u32(w, counts);
+                }
+            }
+        }
+    }
+
+    fn read_from(r: &mut Reader) -> Result<Self, PersistError> {
+        let n_classes = r.u32()? as usize;
+        if n_classes == 0 || n_classes > 256 {
+            return Err(PersistError::Malformed("C4.5 class count out of range"));
+        }
+        let root = r.u32()? as usize;
+        let attr_cards = read_vec_usize(r)?;
+        let n_nodes = r.seq_len(1)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let node = match r.u8()? {
+                NODE_LEAF => {
+                    let counts = r.vec_u32()?;
+                    if counts.len() != n_classes {
+                        return Err(PersistError::Malformed("C4.5 leaf counts width mismatch"));
+                    }
+                    Node::Leaf { counts }
+                }
+                NODE_SPLIT => {
+                    let attr = r.u32()? as usize;
+                    if attr >= attr_cards.len() {
+                        return Err(PersistError::Malformed("C4.5 split attr out of range"));
+                    }
+                    let children: Vec<usize> = r
+                        .vec_u32()?
+                        .into_iter()
+                        .map(|c| {
+                            if c == NO_CHILD {
+                                usize::MAX
+                            } else {
+                                c as usize
+                            }
+                        })
+                        .collect();
+                    if children.len() != attr_cards[attr] {
+                        return Err(PersistError::Malformed("C4.5 branch count != attr card"));
+                    }
+                    let counts = r.vec_u32()?;
+                    if counts.len() != n_classes {
+                        return Err(PersistError::Malformed("C4.5 split counts width mismatch"));
+                    }
+                    Node::Split {
+                        attr,
+                        children,
+                        counts,
+                    }
+                }
+                _ => return Err(PersistError::Malformed("unknown C4.5 node tag")),
+            };
+            nodes.push(node);
+        }
+        if root >= nodes.len() {
+            return Err(PersistError::Malformed("C4.5 root index out of range"));
+        }
+        for node in &nodes {
+            if let Node::Split { children, .. } = node {
+                if children
+                    .iter()
+                    .any(|&c| c != usize::MAX && c >= nodes.len())
+                {
+                    return Err(PersistError::Malformed("C4.5 child index out of range"));
+                }
+            }
+        }
+        Ok(C45Model {
+            nodes,
+            root,
+            n_classes,
+            attr_cards,
+        })
     }
 }
 

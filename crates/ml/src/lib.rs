@@ -59,11 +59,13 @@ pub mod c45;
 pub mod dataset;
 pub mod metrics;
 pub mod naive_bayes;
+pub mod persist;
 pub mod ripper;
 
 pub use c45::C45;
 pub use dataset::{DatasetError, NominalTable};
 pub use naive_bayes::NaiveBayes;
+pub use persist::{AnyLearner, AnyModel, Persist, PersistError};
 pub use ripper::Ripper;
 
 /// Sentinel class-column index meaning "this row is a bare attribute

@@ -24,7 +24,7 @@ impl Default for NaiveBayes {
 }
 
 /// A fitted naive Bayes model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveBayesModel {
     n_classes: usize,
     /// Log prior per class.
@@ -124,6 +124,62 @@ impl Classifier for NaiveBayesModel {
         for p in out.iter_mut() {
             *p /= sum;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+use crate::persist::{
+    read_vec_usize, write_vec_f64, write_vec_usize, Persist, PersistError, Reader, Writer,
+};
+
+impl Persist for NaiveBayesModel {
+    fn write_into(&self, w: &mut Writer) {
+        w.u32(u32::try_from(self.n_classes).expect("class count fits u32"));
+        write_vec_f64(w, &self.log_prior);
+        write_vec_usize(w, &self.attr_cards);
+        w.seq_len(self.log_cond.len());
+        for table in &self.log_cond {
+            write_vec_f64(w, table);
+        }
+    }
+
+    fn read_from(r: &mut Reader) -> Result<Self, PersistError> {
+        let n_classes = r.u32()? as usize;
+        if n_classes == 0 || n_classes > 256 {
+            return Err(PersistError::Malformed(
+                "naive Bayes class count out of range",
+            ));
+        }
+        let log_prior = r.vec_f64()?;
+        if log_prior.len() != n_classes {
+            return Err(PersistError::Malformed("naive Bayes prior width mismatch"));
+        }
+        let attr_cards = read_vec_usize(r)?;
+        let n_attrs = r.seq_len(4)?;
+        if n_attrs != attr_cards.len() {
+            return Err(PersistError::Malformed(
+                "naive Bayes conditional table count != attr count",
+            ));
+        }
+        let mut log_cond = Vec::with_capacity(n_attrs);
+        for card in &attr_cards {
+            let table = r.vec_f64()?;
+            if table.len() != n_classes * card {
+                return Err(PersistError::Malformed(
+                    "naive Bayes conditional table size mismatch",
+                ));
+            }
+            log_cond.push(table);
+        }
+        Ok(NaiveBayesModel {
+            n_classes,
+            log_prior,
+            log_cond,
+            attr_cards,
+        })
     }
 }
 

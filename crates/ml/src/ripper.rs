@@ -18,7 +18,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// One conjunctive rule: `attr == value ∧ …  →  class`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// Conjunction of `(attribute index, required value)` tests.
     pub conds: Vec<(usize, u8)>,
@@ -73,7 +73,7 @@ impl Default for Ripper {
 }
 
 /// A fitted ordered rule list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RipperModel {
     rules: Vec<Rule>,
     default_counts: Vec<u32>,
@@ -398,6 +398,76 @@ impl Classifier for RipperModel {
             .max_by_key(|&(_, &c)| c)
             .map(|(i, _)| i as u8)
             .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+use crate::persist::{write_vec_u32, Persist, PersistError, Reader, Writer};
+
+impl Persist for RipperModel {
+    fn write_into(&self, w: &mut Writer) {
+        w.u32(u32::try_from(self.n_classes).expect("class count fits u32"));
+        w.u32(u32::try_from(self.n_attrs).expect("attr count fits u32"));
+        write_vec_u32(w, &self.default_counts);
+        w.seq_len(self.rules.len());
+        for rule in &self.rules {
+            w.seq_len(rule.conds.len());
+            for &(attr, val) in &rule.conds {
+                w.u32(u32::try_from(attr).expect("attr index fits u32"));
+                w.u8(val);
+            }
+            w.u8(rule.class);
+            write_vec_u32(w, &rule.counts);
+        }
+    }
+
+    fn read_from(r: &mut Reader) -> Result<Self, PersistError> {
+        let n_classes = r.u32()? as usize;
+        if n_classes == 0 || n_classes > 256 {
+            return Err(PersistError::Malformed("RIPPER class count out of range"));
+        }
+        let n_attrs = r.u32()? as usize;
+        let default_counts = r.vec_u32()?;
+        if default_counts.len() != n_classes {
+            return Err(PersistError::Malformed(
+                "RIPPER default counts width mismatch",
+            ));
+        }
+        let n_rules = r.seq_len(1)?;
+        let mut rules = Vec::with_capacity(n_rules);
+        for _ in 0..n_rules {
+            let n_conds = r.seq_len(5)?;
+            let mut conds = Vec::with_capacity(n_conds);
+            for _ in 0..n_conds {
+                let attr = r.u32()? as usize;
+                if attr >= n_attrs {
+                    return Err(PersistError::Malformed("RIPPER cond attr out of range"));
+                }
+                conds.push((attr, r.u8()?));
+            }
+            let class = r.u8()?;
+            if usize::from(class) >= n_classes {
+                return Err(PersistError::Malformed("RIPPER rule class out of range"));
+            }
+            let counts = r.vec_u32()?;
+            if counts.len() != n_classes {
+                return Err(PersistError::Malformed("RIPPER rule counts width mismatch"));
+            }
+            rules.push(Rule {
+                conds,
+                class,
+                counts,
+            });
+        }
+        Ok(RipperModel {
+            rules,
+            default_counts,
+            n_classes,
+            n_attrs,
+        })
     }
 }
 

@@ -1,0 +1,118 @@
+//! Property-based persistence tests: arbitrary trained models survive a
+//! save→load round trip bit-identically, and arbitrary corruption of the
+//! encoded bytes produces typed errors — never a panic.
+
+use cfa_ml::persist::{Persist, PersistError};
+use cfa_ml::{AnyLearner, AnyModel, Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
+use proptest::prelude::*;
+
+/// Strategy: a random nominal table with 2–5 columns of cardinality 2–4
+/// and 6–50 rows, plus a designated class column.
+fn table_strategy() -> impl Strategy<Value = (NominalTable, usize)> {
+    (2usize..=5, 2usize..=4).prop_flat_map(|(n_cols, card)| {
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(0u8..card as u8, n_cols), 6..50);
+        (rows, 0..n_cols).prop_map(move |(rows, class_col)| {
+            let names = (0..n_cols).map(|i| format!("f{i}")).collect();
+            let cards = vec![card; n_cols];
+            (
+                NominalTable::new(names, cards, rows).expect("generated within domain"),
+                class_col,
+            )
+        })
+    })
+}
+
+fn learner_for(tag: u8) -> AnyLearner {
+    match tag % 3 {
+        0 => AnyLearner::C45(C45::default()),
+        1 => AnyLearner::Ripper(Ripper::default()),
+        _ => AnyLearner::Bayes(NaiveBayes::default()),
+    }
+}
+
+/// Round-trips a model and checks structural equality plus bitwise score
+/// equality on every training row.
+fn assert_round_trip(model: &AnyModel, table: &NominalTable, class_col: usize) {
+    let bytes = model.to_bytes();
+    let loaded = AnyModel::from_bytes(&bytes).expect("round trip must decode");
+    assert_eq!(*model, loaded, "round-tripped model must be equal");
+    // Scores must be reproduced to the exact bit pattern.
+    let mut row = Vec::new();
+    let mut scratch_a = Vec::new();
+    let mut scratch_b = Vec::new();
+    for r in 0..table.n_rows().min(16) {
+        table.copy_row_into(r, &mut row);
+        let truth = row[class_col];
+        let a = model.prob_of_row(&row, class_col, truth, &mut scratch_a);
+        let b = loaded.prob_of_row(&row, class_col, truth, &mut scratch_b);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "probabilities must be bit-identical"
+        );
+        assert_eq!(
+            model.predict_row(&row, class_col, &mut scratch_a),
+            loaded.predict_row(&row, class_col, &mut scratch_b),
+            "predictions must agree"
+        );
+    }
+    // Serialization itself must be byte-deterministic.
+    assert_eq!(bytes, loaded.to_bytes(), "encoding must be deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_trained_models_survive_round_trip(
+        (table, class_col) in table_strategy(),
+        learner_tag in 0u8..3,
+    ) {
+        let model = learner_for(learner_tag).fit(&table, class_col);
+        assert_round_trip(&model, &table, class_col);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error(
+        (table, class_col) in table_strategy(),
+        learner_tag in 0u8..3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let model = learner_for(learner_tag).fit(&table, class_col);
+        let bytes = model.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            // Every strict prefix must fail decodably, not panic.
+            prop_assert!(AnyModel::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        (table, class_col) in table_strategy(),
+        learner_tag in 0u8..3,
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let model = learner_for(learner_tag).fit(&table, class_col);
+        let mut bytes = model.to_bytes();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= xor;
+        // A flipped byte may still decode (e.g. an f64 payload bit) — the
+        // property is the absence of panics and of undecoded trailing
+        // garbage, which from_bytes already enforces.
+        match AnyModel::from_bytes(&bytes) {
+            Ok(decoded) => {
+                // Whatever decoded must re-encode to the same bytes.
+                prop_assert_eq!(decoded.to_bytes(), bytes);
+            }
+            Err(
+                PersistError::Malformed(_)
+                | PersistError::Truncated { .. }
+                | PersistError::TooLarge { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! A small blocking client for the `cfa-serve` protocol, used by the
+//! bench tool, the end-to-end tests, and the CI smoke job.
+
+use crate::protocol::{
+    f64_le, put_f64, put_u32, u32_le, MAX_FRAME_BYTES, OP_PING, OP_SCORE, OP_SHUTDOWN, STATUS_OK,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything that can go wrong talking to a server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server answered with a non-OK status byte.
+    Status(u8),
+    /// The response frame did not parse.
+    Malformed(&'static str),
+    /// The response declared a frame larger than [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Status(s) => write!(f, "server answered status {s}"),
+            ClientError::Malformed(what) => write!(f, "malformed response: {what}"),
+            ClientError::TooLarge(n) => write!(f, "response frame of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One scored row as returned by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredRow {
+    /// The ensemble score, bit-identical to in-process scoring.
+    pub score: f64,
+    /// Whether the server flagged the row as anomalous.
+    pub alarm: bool,
+}
+
+/// A blocking connection to a `cfa-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and applies `timeout` to both reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on connect/configure failure.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Each request is one small frame; waiting for ACK clocking under
+        // Nagle would dominate the measured latency.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request frame and reads the response payload (status byte
+    /// first) into `self.buf`.
+    fn round_trip(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(payload);
+        self.stream.write_all(&frame)?;
+
+        let mut len4 = [0u8; 4];
+        self.stream.read_exact(&mut len4)?;
+        let len = u32::from_le_bytes(len4);
+        if len as usize > MAX_FRAME_BYTES {
+            return Err(ClientError::TooLarge(len));
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize, 0);
+        self.stream.read_exact(&mut self.buf)?;
+        Ok(())
+    }
+
+    /// Checks the response status in `self.buf` and returns the body.
+    fn expect_ok(&self) -> Result<&[u8], ClientError> {
+        match self.buf.split_first() {
+            Some((&STATUS_OK, body)) => Ok(body),
+            Some((&status, _)) => Err(ClientError::Status(status)),
+            None => Err(ClientError::Malformed("empty response frame")),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] for any non-OK answer, or a transport error.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&[OP_PING])?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Scores a batch of continuous rows (`rows.len()` must be a multiple
+    /// of `n_cols`). Returns one [`ScoredRow`] per input row.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] when the server rejects the batch
+    /// (busy, bad width, oversized…), or a transport/parse error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of a nonzero `n_cols`.
+    pub fn score_batch(
+        &mut self,
+        rows: &[f64],
+        n_cols: usize,
+    ) -> Result<Vec<ScoredRow>, ClientError> {
+        assert!(n_cols > 0, "n_cols must be positive");
+        assert_eq!(rows.len() % n_cols, 0, "rows must be n_rows × n_cols");
+        let n_rows = rows.len() / n_cols;
+        let mut payload = Vec::with_capacity(9 + rows.len() * 8);
+        payload.push(OP_SCORE);
+        put_u32(&mut payload, n_rows as u32);
+        put_u32(&mut payload, n_cols as u32);
+        for &v in rows {
+            put_f64(&mut payload, v);
+        }
+        self.round_trip(&payload)?;
+        let body = self.expect_ok()?;
+        let got = u32_le(body).ok_or(ClientError::Malformed("score response missing row count"))?;
+        if got as usize != n_rows {
+            return Err(ClientError::Malformed("score response row count mismatch"));
+        }
+        let rows_bytes = body.get(4..).unwrap_or(&[]);
+        if rows_bytes.len() != n_rows * 9 {
+            return Err(ClientError::Malformed("score response body truncated"));
+        }
+        let mut out = Vec::with_capacity(n_rows);
+        for chunk in rows_bytes.chunks_exact(9) {
+            let score = f64_le(chunk).ok_or(ClientError::Malformed("bad score cell"))?;
+            let alarm = match chunk.get(8) {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err(ClientError::Malformed("bad alarm byte")),
+            };
+            out.push(ScoredRow { score, alarm });
+        }
+        Ok(out)
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] for any non-OK answer, or a transport error.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&[OP_SHUTDOWN])?;
+        self.expect_ok().map(|_| ())
+    }
+}

@@ -1,0 +1,26 @@
+//! # cfa-serve
+//!
+//! A batched network scoring service for persisted cross-feature
+//! anomaly-detection models: train a detector on a simulated normal
+//! scenario, save it as a `CFAM` artifact, serve it over TCP, and
+//! benchmark it — the full train → save → serve → query lifecycle of the
+//! ICDCS 2003 cross-feature detector.
+//!
+//! The server is std-only: a [`server::Server`] accepts connections into a
+//! bounded queue drained by a fixed worker pool; each worker scores
+//! request batches through the zero-alloc `score_snapshot_with` path with
+//! its own reusable scratch buffers, so a served score is bit-identical
+//! to in-process scoring. Overload is answered with an explicit BUSY
+//! status instead of unbounded queueing.
+//!
+//! Modules: [`protocol`] (the wire format), [`server`], [`client`],
+//! [`mod@bench`] (the load generator), [`train`] (scenario → artifact).
+
+pub mod bench;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod train;
+
+pub use client::{Client, ClientError, ScoredRow};
+pub use server::{ServeStats, Server, ServerConfig};

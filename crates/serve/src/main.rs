@@ -1,0 +1,212 @@
+//! The `cfa-serve` command line: `train`, `serve`, and `bench`.
+
+use cfa_serve::bench::{run_bench, BenchConfig};
+use cfa_serve::server::{Server, ServerConfig};
+use cfa_serve::train::{load_artifact, train_and_save, TrainConfig};
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::ClassifierKind;
+use manet_cfa::scenario::Protocol;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  cfa-serve train [--out model.cfam] [--protocol dsr|aodv] [--nodes N]
+                  [--duration SECS] [--seed N] [--classifier c45|ripper|nbc]
+                  [--method match|prob]
+  cfa-serve serve --model model.cfam [--addr 127.0.0.1:7878] [--workers N]
+                  [--queue N] [--timeout-secs N]
+  cfa-serve bench --model model.cfam [--addr 127.0.0.1:7878] [--requests N]
+                  [--batch N] [--connections N] [--seed N] [--verify]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) if cmd == "train" => cmd_train(rest),
+        Some((cmd, rest)) if cmd == "serve" => cmd_serve(rest),
+        Some((cmd, rest)) if cmd == "bench" => cmd_bench(rest),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Pulls the value following a `--flag`, parsed, or the default.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag}: cannot parse value")),
+    }
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_train(args: &[String]) -> i32 {
+    let cfg = (|| -> Result<TrainConfig, String> {
+        let d = TrainConfig::default();
+        let protocol = match flag_value(args, "--protocol", "dsr".to_owned())?.as_str() {
+            "dsr" => Protocol::Dsr,
+            "aodv" => Protocol::Aodv,
+            other => return Err(format!("unknown protocol {other}")),
+        };
+        let classifier = match flag_value(args, "--classifier", "nbc".to_owned())?.as_str() {
+            "c45" => ClassifierKind::C45,
+            "ripper" => ClassifierKind::Ripper,
+            "nbc" => ClassifierKind::NaiveBayes,
+            other => return Err(format!("unknown classifier {other}")),
+        };
+        let method = match flag_value(args, "--method", "prob".to_owned())?.as_str() {
+            "match" => ScoreMethod::MatchCount,
+            "prob" => ScoreMethod::AvgProbability,
+            other => return Err(format!("unknown method {other}")),
+        };
+        Ok(TrainConfig {
+            out: flag_value(args, "--out", d.out)?,
+            protocol,
+            nodes: flag_value(args, "--nodes", d.nodes)?,
+            duration: flag_value(args, "--duration", d.duration)?,
+            seed: flag_value(args, "--seed", d.seed)?,
+            classifier,
+            method,
+        })
+    })();
+    let cfg = match cfg {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cfa-serve train: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    match train_and_save(&cfg) {
+        Ok((_, summary)) => {
+            println!(
+                "trained {} features, threshold {:.6}; wrote {} bytes to {}",
+                summary.n_features,
+                summary.threshold,
+                summary.artifact_bytes,
+                summary.out.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve train: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let model: PathBuf = match flag_value(args, "--model", PathBuf::new()) {
+        Ok(p) if !p.as_os_str().is_empty() => p,
+        _ => {
+            eprintln!("cfa-serve serve: --model is required\n{USAGE}");
+            return 2;
+        }
+    };
+    let parsed = (|| -> Result<(String, ServerConfig), String> {
+        let d = ServerConfig::default();
+        let timeout = flag_value(args, "--timeout-secs", 5u64)?;
+        Ok((
+            flag_value(args, "--addr", "127.0.0.1:7878".to_owned())?,
+            ServerConfig {
+                workers: flag_value(args, "--workers", d.workers)?,
+                queue_cap: flag_value(args, "--queue", d.queue_cap)?,
+                read_timeout: Duration::from_secs(timeout),
+                write_timeout: Duration::from_secs(timeout),
+            },
+        ))
+    })();
+    let (addr, cfg) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cfa-serve serve: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let trained = match load_artifact(&model) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cfa-serve serve: {e}");
+            return 1;
+        }
+    };
+    let server = match Server::bind(trained.to_artifact(), addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cfa-serve serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => println!("listening on {local}"),
+        Err(_) => println!("listening on {addr}"),
+    }
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "shutdown: accepted {} connections, served {} requests ({} protocol errors, {} busy-rejected)",
+                stats.accepted, stats.requests_ok, stats.protocol_errors, stats.rejected_busy
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve serve: accept loop failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let cfg = (|| -> Result<BenchConfig, String> {
+        let d = BenchConfig::default();
+        let model: PathBuf = flag_value(args, "--model", d.model)?;
+        Ok(BenchConfig {
+            addr: flag_value(args, "--addr", d.addr)?,
+            model,
+            requests: flag_value(args, "--requests", d.requests)?,
+            batch: flag_value(args, "--batch", d.batch)?,
+            connections: flag_value(args, "--connections", d.connections)?,
+            seed: flag_value(args, "--seed", d.seed)?,
+            verify: flag_present(args, "--verify"),
+        })
+    })();
+    let cfg = match cfg {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cfa-serve bench: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    match run_bench(&cfg) {
+        Ok(r) => {
+            println!(
+                "{} requests ok ({} rows) in {:.3} s — {:.0} req/s, {:.0} rows/s",
+                r.requests_ok,
+                r.rows,
+                r.elapsed.as_secs_f64(),
+                r.throughput_rps,
+                r.rows_per_sec
+            );
+            println!(
+                "latency µs: p50 {} / p90 {} / p99 {} / max {}",
+                r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.latency_us.max
+            );
+            println!(
+                "protocol errors: {}; score mismatches: {}",
+                r.protocol_errors, r.mismatches
+            );
+            i32::from(r.protocol_errors > 0 || r.mismatches > 0)
+        }
+        Err(e) => {
+            eprintln!("cfa-serve bench: {e}");
+            1
+        }
+    }
+}

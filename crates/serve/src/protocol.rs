@@ -1,0 +1,101 @@
+//! The `cfa-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame — request or response — is a 4-byte little-endian payload
+//! length followed by that many payload bytes. A request payload is one
+//! opcode byte plus an opcode-specific body; a response payload is one
+//! status byte plus a status-specific body:
+//!
+//! ```text
+//! request  := [u32 len] [u8 op] body
+//!   SCORE (1):    [u32 n_rows] [u32 n_cols] n_rows × n_cols × [f64]
+//!   PING (2):     (empty)
+//!   SHUTDOWN (3): (empty)
+//!
+//! response := [u32 len] [u8 status] body
+//!   OK (0) to SCORE: [u32 n_rows] n_rows × ([f64 score] [u8 alarm])
+//!   OK (0) to PING / SHUTDOWN: (empty)
+//!   BUSY (1), MALFORMED (2), TOO_LARGE (3), BAD_WIDTH (4),
+//!   SHUTTING_DOWN (5): (empty)
+//! ```
+//!
+//! Scores are IEEE-754 bit patterns, so a served score is bit-identical
+//! to the in-process `score_snapshot` result for the same row. All
+//! multi-byte integers are little-endian. Frames above
+//! [`MAX_FRAME_BYTES`] are rejected without being read.
+
+/// Largest frame either side will accept (8 MiB — roughly 7 000 batched
+/// 140-feature rows per request).
+pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Request opcode: score a batch of continuous snapshot rows.
+pub const OP_SCORE: u8 = 1;
+/// Request opcode: liveness check.
+pub const OP_PING: u8 = 2;
+/// Request opcode: ask the server to shut down gracefully.
+pub const OP_SHUTDOWN: u8 = 3;
+
+/// Response status: request served, body follows.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the bounded request queue is full — back off.
+pub const STATUS_BUSY: u8 = 1;
+/// Response status: the frame did not parse.
+pub const STATUS_MALFORMED: u8 = 2;
+/// Response status: the declared frame length exceeds [`MAX_FRAME_BYTES`].
+pub const STATUS_TOO_LARGE: u8 = 3;
+/// Response status: row width differs from the model's feature count.
+pub const STATUS_BAD_WIDTH: u8 = 4;
+/// Response status: the server is draining and accepts no new work.
+pub const STATUS_SHUTTING_DOWN: u8 = 5;
+
+/// Reads a little-endian `u32` from the first four bytes of `b`, if
+/// present. Panic-free by construction (the scoring path must stay clear
+/// of cfa-audit D006).
+pub fn u32_le(b: &[u8]) -> Option<u32> {
+    let mut it = b.iter();
+    let b0 = *it.next()?;
+    let b1 = *it.next()?;
+    let b2 = *it.next()?;
+    let b3 = *it.next()?;
+    Some(u32::from_le_bytes([b0, b1, b2, b3]))
+}
+
+/// Reads a little-endian `f64` bit pattern from the first eight bytes of
+/// `b`, if present. Panic-free by construction.
+pub fn f64_le(b: &[u8]) -> Option<f64> {
+    let mut it = b.iter();
+    let mut v = [0u8; 8];
+    for slot in v.iter_mut() {
+        *slot = *it.next()?;
+    }
+    Some(f64::from_le_bytes(v))
+}
+
+/// Appends a little-endian `u32` to `buf`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f64` bit pattern to `buf`.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_codecs_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_f64(&mut buf, -0.125);
+        assert_eq!(u32_le(&buf), Some(0xDEAD_BEEF));
+        assert_eq!(f64_le(buf.get(4..).unwrap_or(&[])), Some(-0.125));
+    }
+
+    #[test]
+    fn short_buffers_return_none() {
+        assert_eq!(u32_le(&[1, 2, 3]), None);
+        assert_eq!(f64_le(&[0; 7]), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! `cfa-serve train`: simulate a normal scenario, fit the detector, and
+//! write the `CFAM` artifact a server can load.
+
+use manet_cfa::core::ScoreMethod;
+use manet_cfa::pipeline::{ClassifierKind, Pipeline, TrainedPipeline};
+use manet_cfa::scenario::{Protocol, Scenario, Transport};
+use std::path::{Path, PathBuf};
+
+/// What `train` simulates and fits.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Artifact output path.
+    pub out: PathBuf,
+    /// Routing protocol of the training scenario.
+    pub protocol: Protocol,
+    /// Node count of the training scenario.
+    pub nodes: u16,
+    /// Simulated seconds of normal traffic to train on.
+    pub duration: f64,
+    /// Simulation seed (training is fully deterministic given this).
+    pub seed: u64,
+    /// Sub-model learner.
+    pub classifier: ClassifierKind,
+    /// Score combiner.
+    pub method: ScoreMethod,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            out: PathBuf::from("model.cfam"),
+            protocol: Protocol::Dsr,
+            nodes: 20,
+            duration: 300.0,
+            seed: 11,
+            classifier: ClassifierKind::NaiveBayes,
+            method: ScoreMethod::AvgProbability,
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone)]
+pub struct TrainSummary {
+    /// Where the artifact was written.
+    pub out: PathBuf,
+    /// Bytes written.
+    pub artifact_bytes: u64,
+    /// Feature count of the trained ensemble.
+    pub n_features: usize,
+    /// The fitted decision threshold.
+    pub threshold: f64,
+}
+
+/// Trains per `cfg` and writes the artifact. Returns the fitted pipeline
+/// alongside the summary so callers (tests, bench) can score in-process.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure.
+///
+/// # Panics
+///
+/// Panics only on invalid scenario parameters (zero nodes etc.), as the
+/// underlying simulator does.
+pub fn train_and_save(cfg: &TrainConfig) -> Result<(TrainedPipeline, TrainSummary), String> {
+    let scenario = Scenario::paper_default(cfg.protocol, Transport::Cbr)
+        .with_nodes(cfg.nodes)
+        .with_duration(cfg.duration)
+        .with_seed(cfg.seed);
+    let bundles = scenario.run_nodes(&Pipeline::default_train_nodes(cfg.nodes));
+    let pipeline = Pipeline::new(cfg.classifier, cfg.method);
+    let trained = pipeline.fit(&bundles);
+    let bytes = write_artifact(&trained, &cfg.out)?;
+    let summary = TrainSummary {
+        out: cfg.out.clone(),
+        artifact_bytes: bytes,
+        n_features: trained.discretizer().cards().len(),
+        threshold: trained.fitted_threshold().threshold,
+    };
+    Ok((trained, summary))
+}
+
+/// Writes the trained pipeline to `path`, returning the byte count.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure.
+pub fn write_artifact(trained: &TrainedPipeline, path: &Path) -> Result<u64, String> {
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    trained
+        .save(&mut file)
+        .map_err(|e| format!("cannot write artifact: {e}"))?;
+    let meta = file
+        .metadata()
+        .map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+    Ok(meta.len())
+}
+
+/// Loads an artifact from `path` as a scoring-ready pipeline.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure or a corrupt artifact.
+pub fn load_artifact(path: &Path) -> Result<TrainedPipeline, String> {
+    let mut file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    TrainedPipeline::load(&mut file).map_err(|e| format!("corrupt artifact: {e}"))
+}

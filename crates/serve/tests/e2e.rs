@@ -1,0 +1,229 @@
+//! End-to-end tests: a real `Server` on a loopback socket, queried with
+//! the real `Client`, against a persisted-and-reloaded artifact. The
+//! core promise under test: a served score is bit-identical to in-process
+//! `score_snapshot` scoring of the same row.
+
+use cfa_core::{AnomalyDetector, CrossFeatureModel, FittedThreshold, ModelArtifact, ScoreMethod};
+use cfa_ml::{AnyLearner, NaiveBayes};
+use cfa_serve::protocol::{
+    put_u32, OP_PING, OP_SCORE, STATUS_BAD_WIDTH, STATUS_MALFORMED, STATUS_TOO_LARGE,
+};
+use cfa_serve::{Client, ClientError, Server, ServerConfig};
+use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A small trained artifact over three correlated continuous features.
+fn tiny_artifact() -> ModelArtifact {
+    let rows: Vec<Vec<f64>> = (0..80)
+        .map(|i| {
+            let a = f64::from(i % 4);
+            vec![a * 10.0, a * 10.0 + 1.0, f64::from(i % 2)]
+        })
+        .collect();
+    let matrix = FeatureMatrix {
+        names: vec!["a".into(), "b".into(), "c".into()],
+        times: (0..80).map(f64::from).collect(),
+        rows,
+    };
+    let disc = EqualFrequencyDiscretizer::fit(&matrix, 4, None, 7);
+    let table = disc.transform(&matrix).expect("same schema");
+    let model = CrossFeatureModel::train(&AnyLearner::Bayes(NaiveBayes::default()), &table);
+    let detector = AnomalyDetector::with_threshold(model, ScoreMethod::AvgProbability, 0.25);
+    ModelArtifact {
+        spec: None,
+        discretizer: disc,
+        detector,
+        fitted: FittedThreshold {
+            threshold: 0.25,
+            false_alarm_rate: 0.05,
+        },
+        smoothing: 1,
+    }
+}
+
+/// Round-trips the artifact through bytes, returning two independent
+/// copies (one to serve, one as the in-process reference).
+fn two_copies() -> (ModelArtifact, ModelArtifact) {
+    let bytes = {
+        let mut buf = Vec::new();
+        tiny_artifact().save(&mut buf).expect("save to memory");
+        buf
+    };
+    let a = ModelArtifact::load(&mut bytes.as_slice()).expect("load copy a");
+    let b = ModelArtifact::load(&mut bytes.as_slice()).expect("load copy b");
+    (a, b)
+}
+
+fn start_server(cfg: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<cfa_serve::ServeStats>) {
+    let (artifact, _) = two_copies();
+    let server = Server::bind(artifact, "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Sends raw bytes and reads one response payload (status byte + body).
+fn raw_round_trip(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s.write_all(bytes).expect("write");
+    let mut len4 = [0u8; 4];
+    s.read_exact(&mut len4).expect("read len");
+    let mut payload = vec![0u8; u32::from_le_bytes(len4) as usize];
+    s.read_exact(&mut payload).expect("read payload");
+    payload
+}
+
+#[test]
+fn served_scores_are_bit_identical_to_in_process_scoring() {
+    let (_, reference) = two_copies();
+    let (addr, handle) = start_server(ServerConfig::default());
+
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.ping().expect("ping");
+
+    // Deterministic mix of in-distribution and out-of-distribution rows.
+    let n_cols = 3;
+    let mut rows = Vec::new();
+    for i in 0..50u32 {
+        let a = f64::from(i % 5);
+        rows.extend_from_slice(&[a * 10.0, f64::from(i % 7) * 5.0, f64::from(i % 2)]);
+    }
+    let served = client.score_batch(&rows, n_cols).expect("score");
+    assert_eq!(served.len(), 50);
+
+    let mut row_u8 = Vec::new();
+    let mut probs = Vec::new();
+    for (row, s) in rows.chunks_exact(n_cols).zip(&served) {
+        reference.discretizer.transform_row_into(row, &mut row_u8);
+        let local = reference.detector.score_snapshot_with(&row_u8, &mut probs);
+        assert_eq!(
+            local.score.to_bits(),
+            s.score.to_bits(),
+            "served score must be bit-identical"
+        );
+        assert_eq!(
+            local.verdict == cfa_core::Verdict::Anomaly,
+            s.alarm,
+            "alarm bit must match the in-process verdict"
+        );
+    }
+    // Both anomaly and normal rows should appear in the mix.
+    assert!(served.iter().any(|s| s.alarm));
+    assert!(served.iter().any(|s| !s.alarm));
+
+    // An empty batch is legal and returns zero rows.
+    assert_eq!(
+        client.score_batch(&[], n_cols).expect("empty batch").len(),
+        0
+    );
+
+    client.shutdown_server().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert!(stats.requests_ok >= 4);
+    assert_eq!(stats.rejected_busy, 0);
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_typed_statuses() {
+    let (addr, handle) = start_server(ServerConfig::default());
+
+    // Empty payload → MALFORMED.
+    assert_eq!(raw_round_trip(addr, &[0, 0, 0, 0]), vec![STATUS_MALFORMED]);
+
+    // Declared length above the frame cap → TOO_LARGE, body never read.
+    let mut oversized = Vec::new();
+    put_u32(&mut oversized, u32::MAX);
+    assert_eq!(raw_round_trip(addr, &oversized), vec![STATUS_TOO_LARGE]);
+
+    // Unknown opcode → MALFORMED.
+    let mut unknown = Vec::new();
+    put_u32(&mut unknown, 1);
+    unknown.push(99);
+    assert_eq!(raw_round_trip(addr, &unknown), vec![STATUS_MALFORMED]);
+
+    // PING with a trailing body → MALFORMED.
+    let mut fat_ping = Vec::new();
+    put_u32(&mut fat_ping, 2);
+    fat_ping.extend_from_slice(&[OP_PING, 0]);
+    assert_eq!(raw_round_trip(addr, &fat_ping), vec![STATUS_MALFORMED]);
+
+    // SCORE whose body disagrees with its declared row count → MALFORMED.
+    let mut short_score = Vec::new();
+    put_u32(&mut short_score, 9);
+    short_score.push(OP_SCORE);
+    put_u32(&mut short_score, 5); // claims 5 rows
+    put_u32(&mut short_score, 3); // of 3 cols, but no row bytes follow
+    assert_eq!(raw_round_trip(addr, &short_score), vec![STATUS_MALFORMED]);
+
+    // SCORE with the wrong width → BAD_WIDTH via the typed client error.
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    match client.score_batch(&[1.0, 2.0], 2) {
+        Err(ClientError::Status(s)) => assert_eq!(s, STATUS_BAD_WIDTH),
+        other => panic!("expected BAD_WIDTH status, got {other:?}"),
+    }
+    // The connection survives a rejected request.
+    client.ping().expect("ping after rejection");
+
+    client.shutdown_server().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert!(stats.protocol_errors >= 5);
+}
+
+#[test]
+fn full_queue_answers_busy() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker: a ping round trip guarantees this
+    // connection has been popped from the queue and is being served.
+    let mut held = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    held.ping().expect("ping");
+
+    // Fill the queue's single slot…
+    let mut waiting = TcpStream::connect(addr).expect("connect waiting");
+    waiting
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    // …so the next arrival is rejected with BUSY.
+    let mut rejected = TcpStream::connect(addr).expect("connect rejected");
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut resp = [0u8; 5];
+    rejected.read_exact(&mut resp).expect("busy frame");
+    assert_eq!(resp, [1, 0, 0, 0, cfa_serve::protocol::STATUS_BUSY]);
+
+    // Free the worker; it drains the queued connection, which asks the
+    // server to stop (the shutdown frame is written on the raw stream so
+    // the request is already enqueued — no reconnect race).
+    drop(held);
+    waiting
+        .write_all(&[1, 0, 0, 0, cfa_serve::protocol::OP_SHUTDOWN])
+        .expect("write shutdown");
+    let mut ok = [0u8; 5];
+    waiting.read_exact(&mut ok).expect("shutdown response");
+    assert_eq!(ok, [1, 0, 0, 0, cfa_serve::protocol::STATUS_OK]);
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.rejected_busy, 1);
+}
+
+#[test]
+fn artifact_survives_bytes_round_trip_for_serving() {
+    let original = tiny_artifact();
+    let mut bytes = Vec::new();
+    original.save(&mut bytes).expect("save");
+    let loaded = ModelArtifact::load(&mut bytes.as_slice()).expect("load");
+    assert_eq!(
+        original.detector.model().sub_models(),
+        loaded.detector.model().sub_models()
+    );
+    assert_eq!(original.fitted, loaded.fitted);
+}

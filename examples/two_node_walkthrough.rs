@@ -113,7 +113,7 @@ fn streaming_part() {
     let trained = pipeline.fit(&train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes)));
     println!(
         "  trained NBC ensemble; alarm threshold {:.3} (1% false-alarm budget)",
-        trained.threshold()
+        trained.fitted_threshold().threshold
     );
 
     println!("  streaming a black-holed run (attack sessions from t=150s)...");

@@ -7,11 +7,13 @@ use cfa_core::eval::{
     auc_above_diagonal, average_timeseries, optimal_point, recall_precision_curve,
 };
 use cfa_core::{
-    AnomalyDetector, CrossFeatureModel, MonitorReport, OnlineMonitor, Parallelism, PrPoint,
-    ScoreMethod, ScoredEvent,
+    AnomalyDetector, CrossFeatureModel, FittedThreshold, ModelArtifact, MonitorReport,
+    OnlineMonitor, Parallelism, PrPoint, ScoreMethod, ScoredEvent,
 };
-use cfa_ml::{Classifier, Learner, NaiveBayes, NominalTable, Ripper, C45};
-use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix};
+use cfa_ml::persist::PersistError;
+use cfa_ml::{AnyLearner, AnyModel, Learner, NaiveBayes, NominalTable, Ripper, C45};
+use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix, FeatureSpec};
+use std::io::{Read, Write};
 
 /// Which learner builds the sub-models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,19 +45,21 @@ impl ClassifierKind {
 }
 
 /// A learner that erases the concrete model type, so one pipeline handles
-/// all three classifier families.
+/// all three classifier families. Produces [`AnyModel`]s (a closed enum
+/// rather than a trait object), so every trained ensemble is persistable.
 #[derive(Debug, Clone, Copy)]
 pub struct DynLearner(pub ClassifierKind);
 
 impl Learner for DynLearner {
-    type Model = Box<dyn Classifier>;
+    type Model = AnyModel;
 
-    fn fit(&self, table: &NominalTable, class_col: usize) -> Box<dyn Classifier> {
-        match self.0 {
-            ClassifierKind::C45 => Box::new(C45::default().fit(table, class_col)),
-            ClassifierKind::Ripper => Box::new(Ripper::default().fit(table, class_col)),
-            ClassifierKind::NaiveBayes => Box::new(NaiveBayes::default().fit(table, class_col)),
-        }
+    fn fit(&self, table: &NominalTable, class_col: usize) -> AnyModel {
+        let learner = match self.0 {
+            ClassifierKind::C45 => AnyLearner::C45(C45::default()),
+            ClassifierKind::Ripper => AnyLearner::Ripper(Ripper::default()),
+            ClassifierKind::NaiveBayes => AnyLearner::Bayes(NaiveBayes::default()),
+        };
+        learner.fit(table, class_col)
     }
 }
 
@@ -289,10 +293,11 @@ impl Pipeline {
             &model.scores_with(&train_table, self.method, self.parallelism),
             self.smoothing,
         );
-        let threshold = cfa_core::select_threshold(&train_scores, self.false_alarm_rate);
+        let fitted = cfa_core::fit_threshold(&train_scores, self.false_alarm_rate);
         TrainedPipeline {
             disc,
-            detector: AnomalyDetector::with_threshold(model, self.method, threshold),
+            detector: AnomalyDetector::with_threshold(model, self.method, fitted.threshold),
+            fitted,
             smoothing: self.smoothing,
             parallelism: self.parallelism,
         }
@@ -307,7 +312,7 @@ impl Pipeline {
     /// As [`Pipeline::fit`].
     pub fn evaluate(&self, train: &[TraceBundle], tests: &[TraceBundle]) -> Outcome {
         let trained = self.fit(train);
-        let threshold = trained.threshold();
+        let threshold = trained.fitted_threshold().threshold;
 
         let mut events = Vec::new();
         let mut traces = Vec::new();
@@ -353,15 +358,25 @@ impl Pipeline {
 /// audit streams.
 pub struct TrainedPipeline {
     disc: EqualFrequencyDiscretizer,
-    detector: AnomalyDetector<Box<dyn Classifier>>,
+    detector: AnomalyDetector<AnyModel>,
+    fitted: FittedThreshold,
     smoothing: usize,
     parallelism: Parallelism,
 }
 
 impl TrainedPipeline {
     /// The decision threshold chosen from smoothed training scores.
+    #[deprecated(
+        note = "use `fitted_threshold().threshold`, which also carries the target false-alarm rate"
+    )]
     pub fn threshold(&self) -> f64 {
         self.detector.threshold()
+    }
+
+    /// The fitted threshold together with the target false-alarm rate it
+    /// was selected for — the pair the artifact writer persists.
+    pub fn fitted_threshold(&self) -> FittedThreshold {
+        self.fitted
     }
 
     /// The fitted discretizer.
@@ -370,8 +385,57 @@ impl TrainedPipeline {
     }
 
     /// The trained detector (ensemble + threshold).
-    pub fn detector(&self) -> &AnomalyDetector<Box<dyn Classifier>> {
+    pub fn detector(&self) -> &AnomalyDetector<AnyModel> {
         &self.detector
+    }
+
+    /// Packages the trained state as a persistable [`ModelArtifact`]
+    /// (cloning the ensemble; the pipeline remains usable).
+    pub fn to_artifact(&self) -> ModelArtifact {
+        let models = self.detector.model().sub_models().to_vec();
+        ModelArtifact {
+            spec: Some(FeatureSpec::new()),
+            discretizer: self.disc.clone(),
+            detector: AnomalyDetector::with_threshold(
+                CrossFeatureModel::from_sub_models(models),
+                self.detector.method(),
+                self.detector.threshold(),
+            ),
+            fitted: self.fitted,
+            smoothing: u32::try_from(self.smoothing.max(1)).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Serializes the trained pipeline as a `CFAM` artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the sink fails.
+    pub fn save(&self, out: &mut impl Write) -> Result<(), PersistError> {
+        self.to_artifact().save(out)
+    }
+
+    /// Rebuilds a trained pipeline from a [`ModelArtifact`]. Scores are
+    /// bit-identical to the pipeline that produced the artifact.
+    pub fn from_artifact(artifact: ModelArtifact, parallelism: Parallelism) -> TrainedPipeline {
+        TrainedPipeline {
+            disc: artifact.discretizer,
+            detector: artifact.detector,
+            fitted: artifact.fitted,
+            smoothing: artifact.smoothing as usize,
+            parallelism,
+        }
+    }
+
+    /// Loads a trained pipeline from a `CFAM` artifact stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelArtifact::load`]: every corruption mode is a typed
+    /// [`PersistError`], never a panic.
+    pub fn load(input: &mut impl Read) -> Result<TrainedPipeline, PersistError> {
+        let artifact = ModelArtifact::load(input)?;
+        Ok(Self::from_artifact(artifact, Parallelism::from_env()))
     }
 
     /// Scores a continuous feature matrix: discretize, run the ensemble,

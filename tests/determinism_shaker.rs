@@ -11,7 +11,7 @@
 //! out as a `to_bits` mismatch here.
 
 use manet_cfa::core::ScoreMethod;
-use manet_cfa::pipeline::{ClassifierKind, Pipeline};
+use manet_cfa::pipeline::{ClassifierKind, Pipeline, TrainedPipeline};
 use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
 
 fn attack_scenario(protocol: Protocol) -> (Scenario, Scenario) {
@@ -58,6 +58,57 @@ fn aodv_attack_scenario_scores_bit_identical_across_runs() {
     assert_eq!(
         a, b,
         "AODV pipeline scores are not bit-identical across runs"
+    );
+}
+
+#[test]
+fn scores_survive_a_save_load_round_trip_bit_identically() {
+    // The persistence leg of the shaker: the score matrix of a pipeline
+    // that went through `save` → `load` (the `CFAM` artifact format) must
+    // be `to_bits`-identical to the in-memory pipeline's. Any float
+    // rounding, reordering, or lossy encoding in the artifact shows up
+    // here.
+    let (train, attacked) = attack_scenario(Protocol::Aodv);
+    let train_bundles = train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes));
+    let trained =
+        Pipeline::new(ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability).fit(&train_bundles);
+
+    let mut artifact_bytes = Vec::new();
+    trained
+        .save(&mut artifact_bytes)
+        .expect("save to memory cannot fail");
+    let reloaded = TrainedPipeline::load(&mut artifact_bytes.as_slice())
+        .expect("the just-saved artifact must load");
+
+    let bundle = attacked.run();
+    let direct: Vec<u64> = trained
+        .score_matrix(&bundle.matrix)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    let through_disk: Vec<u64> = reloaded
+        .score_matrix(&bundle.matrix)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    assert!(!direct.is_empty());
+    assert_eq!(
+        direct, through_disk,
+        "scores through a persistence round trip are not bit-identical"
+    );
+    assert_eq!(
+        trained.fitted_threshold(),
+        reloaded.fitted_threshold(),
+        "fitted threshold/FAR pair must survive the round trip exactly"
+    );
+
+    // Saving the reloaded pipeline must reproduce the artifact byte for
+    // byte — the format is canonical, not merely round-trippable.
+    let mut second = Vec::new();
+    reloaded.save(&mut second).expect("second save");
+    assert_eq!(
+        artifact_bytes, second,
+        "artifact encoding must be byte-deterministic"
     );
 }
 

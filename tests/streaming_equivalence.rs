@@ -52,7 +52,7 @@ fn assert_stream_matches_batch(pipeline: &Pipeline, train: &Scenario, scenario: 
         .times
         .iter()
         .zip(&batch_scores)
-        .filter(|&(_, &s)| s < trained.threshold())
+        .filter(|&(_, &s)| s < trained.fitted_threshold().threshold)
         .map(|(&t, _)| t)
         .collect();
     let got_alarms: Vec<f64> = report.alarms.iter().map(|a| a.snapshot_time).collect();
