@@ -1,0 +1,32 @@
+//! Seeded violations on the compiled-engine scoring path. This file is
+//! never compiled; it exists to be scanned. The qualified roots
+//! `CompiledEnsemble::score_batch` / `CompiledEnsemble::score_row` must
+//! keep seeding D008 and D006 reachability, so a panic or allocation
+//! introduced on the compiled path cannot go blind.
+
+pub struct CompiledEnsemble {
+    tables: Vec<f64>,
+}
+
+impl CompiledEnsemble {
+    /// Structure-of-arrays batch scoring entry — a qualified D008/D006
+    /// reachability root.
+    pub fn score_batch(&self, rows: &[u8], out: &mut Vec<f64>) {
+        out.clear();
+        for row in rows.chunks(4) {
+            out.push(self.one(row));
+        }
+    }
+
+    /// Per-row scoring entry — a qualified D008/D006 reachability root.
+    pub fn score_row(&self, row: &[u8]) -> f64 {
+        self.one(row)
+    }
+
+    fn one(&self, row: &[u8]) -> f64 {
+        // D008: allocates per row on the compiled scoring path.
+        let widened = row.to_vec();
+        // D006: indexing panics when the row byte overruns the table.
+        widened.len() as f64 + self.tables[row[0] as usize]
+    }
+}

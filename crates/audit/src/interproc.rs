@@ -34,7 +34,13 @@ pub const EVENT_ROOTS: [&str; 2] = ["Simulator::run", "Simulator::run_until"];
 /// Bare-name roots of the zero-alloc predict/score path.
 /// `score_rows_into` is the serving hot loop in `cfa-serve` — a network
 /// request must not allocate per row any more than a simulation event.
-pub const PREDICT_ROOTS: [&str; 8] = [
+/// The compiled engine's entry points (`CompiledEnsemble`'s row and
+/// structure-of-arrays batch scorers, and the detector's batch router)
+/// are held to the same per-row zero-allocation contract as the
+/// interpreted walk; they are qualified so the client-side convenience
+/// `Client::score_batch` (which builds a wire frame per request) stays
+/// out of the hot-path net.
+pub const PREDICT_ROOTS: [&str; 11] = [
     "predict_row",
     "prob_of_row",
     "class_probs_into",
@@ -43,6 +49,9 @@ pub const PREDICT_ROOTS: [&str; 8] = [
     "one_model_score",
     "score_snapshot",
     "score_rows_into",
+    "CompiledEnsemble::score_row",
+    "CompiledEnsemble::score_batch",
+    "score_rows_with",
 ];
 
 /// Per-file context the interprocedural pass needs back from the lexical
@@ -89,10 +98,18 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     // malformed network frame must never panic a worker, so the whole
     // request-handling path is held to the same standard as the
     // simulator's event path.
+    // `score_row`/`score_batch` are the compiled engine's scoring entry
+    // points: a malformed row must fail loudly at the asserted width
+    // check, never via an unjustified panic site deeper in the walk.
     let panic_roots: Vec<&str> = EVENT_ROOTS
         .iter()
         .copied()
-        .chain(["predict_row", "handle_conn"])
+        .chain([
+            "predict_row",
+            "handle_conn",
+            "CompiledEnsemble::score_row",
+            "CompiledEnsemble::score_batch",
+        ])
         .collect();
     let parent = graph.reachable(&graph.roots(&panic_roots));
     for (i, f) in graph.fns.iter().enumerate() {

@@ -72,7 +72,7 @@ fn fixture_interprocedural_findings_carry_call_chains() {
     );
     let d008 = findings
         .iter()
-        .find(|f| f.rule == Rule::D008)
+        .find(|f| f.rule == Rule::D008 && f.file.ends_with("ml/src/model.rs"))
         .expect("fixture D008");
     assert!(
         d008.note.as_deref().unwrap_or("").contains("predict_row"),
@@ -108,6 +108,40 @@ fn fixture_serve_request_path_roots_are_live() {
             .contains("score_rows_into"),
         "serve D008 note must root at score_rows_into, got: {:?}",
         d008.note
+    );
+}
+
+#[test]
+fn fixture_compiled_engine_roots_are_live() {
+    // The compiled-engine roots: `CompiledEnsemble::score_batch` (the
+    // structure-of-arrays batch entry) and `CompiledEnsemble::score_row`
+    // seed D008 and D006 reachability, so an allocation or panic planted
+    // on the compiled scoring path is caught.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d008 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D008 && f.file.ends_with("ml/src/compiled.rs"))
+        .expect("compiled-path fixture D008");
+    assert!(
+        d008.note
+            .as_deref()
+            .unwrap_or("")
+            .contains("CompiledEnsemble::score"),
+        "compiled D008 note must root at a CompiledEnsemble entry, got: {:?}",
+        d008.note
+    );
+    let d006 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D006 && f.file.ends_with("ml/src/compiled.rs"))
+        .expect("compiled-path fixture D006");
+    assert!(
+        d006.note
+            .as_deref()
+            .unwrap_or("")
+            .contains("CompiledEnsemble::score"),
+        "compiled D006 note must root at a CompiledEnsemble entry, got: {:?}",
+        d006.note
     );
 }
 

@@ -3,7 +3,8 @@
 use crate::model::{CrossFeatureModel, ScoreMethod};
 use crate::parallel::Parallelism;
 use crate::threshold::select_threshold;
-use cfa_ml::{Classifier, Learner, NominalTable};
+use cfa_ml::compiled::CompiledEnsemble;
+use cfa_ml::{AnyModel, Classifier, Learner, NominalTable};
 
 /// Classification outcome for one event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,11 @@ pub struct AnomalyDetector<M> {
     model: CrossFeatureModel<M>,
     method: ScoreMethod,
     threshold: f64,
+    /// The flat execution engine, present once
+    /// [`AnomalyDetector::compile`] has run. Scoring entry points route
+    /// through it when set; its output is bit-identical to the
+    /// interpreted ensemble.
+    compiled: Option<CompiledEnsemble>,
 }
 
 impl<M: Classifier> AnomalyDetector<M> {
@@ -89,6 +95,7 @@ impl<M: Classifier> AnomalyDetector<M> {
             model,
             method,
             threshold,
+            compiled: None,
         }
     }
 
@@ -103,6 +110,7 @@ impl<M: Classifier> AnomalyDetector<M> {
             model,
             method,
             threshold,
+            compiled: None,
         }
     }
 
@@ -121,24 +129,61 @@ impl<M: Classifier> AnomalyDetector<M> {
         &self.model
     }
 
+    /// Whether [`AnomalyDetector::compile`] has lowered this detector to
+    /// the flat execution engine.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
     /// Scores a full-width event vector (higher = more normal).
     ///
     /// # Panics
     ///
     /// Panics if `row` has the wrong width.
     pub fn score(&self, row: &[u8]) -> f64 {
-        self.model.score(row, self.method)
+        // audit: allow(D008, reason = "one-shot convenience wrapper; hot callers reuse a buffer via score_with")
+        let mut scratch = Vec::new();
+        self.score_with(row, &mut scratch)
     }
 
     /// [`score`](AnomalyDetector::score) with a caller-owned scratch
     /// buffer — the allocation-free form repeated scorers (the online
-    /// monitor's per-snapshot loop) call instead.
+    /// monitor's per-snapshot loop) call instead. Routes through the
+    /// compiled engine when [`AnomalyDetector::compile`] has run; either
+    /// way the score bits are identical.
     ///
     /// # Panics
     ///
     /// Panics if `row` has the wrong width.
     pub fn score_with(&self, row: &[u8], scratch: &mut Vec<f64>) -> f64 {
-        self.model.score_with(row, self.method, None, scratch)
+        match &self.compiled {
+            Some(engine) => engine.score_row(row, self.method.into(), scratch),
+            None => self.model.score_with(row, self.method, None, scratch),
+        }
+    }
+
+    /// Scores a packed row-major batch (`rows.len()` must be a multiple
+    /// of the ensemble width) into `out`, one score per row. With a
+    /// compiled engine this takes the structure-of-arrays batch path —
+    /// all rows through sub-model *i*, then *i+1* — otherwise it scores
+    /// row by row through the interpreted ensemble; the output bits are
+    /// identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the ensemble width.
+    pub fn score_rows_with(&self, rows: &[u8], out: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+        match &self.compiled {
+            Some(engine) => engine.score_batch(rows, self.method.into(), out, scratch),
+            None => {
+                let width = self.model.n_features();
+                assert_eq!(rows.len() % width, 0, "packed rows width mismatch");
+                out.clear();
+                for row in rows.chunks_exact(width) {
+                    out.push(self.model.score_with(row, self.method, None, scratch));
+                }
+            }
+        }
     }
 
     /// Classifies a full-width event vector.
@@ -183,6 +228,24 @@ impl<M: Classifier> AnomalyDetector<M> {
                 Verdict::Anomaly
             },
         }
+    }
+}
+
+impl AnomalyDetector<AnyModel> {
+    /// Lowers the ensemble into the flat compiled engine; subsequent
+    /// [`AnomalyDetector::score_with`] / [`AnomalyDetector::score_rows_with`]
+    /// calls (and everything built on them: `score_snapshot_with`, the
+    /// online monitor) execute the compiled form. Idempotent; scores are
+    /// bit-identical to the interpreted path either way.
+    pub fn compile(&mut self) {
+        if self.compiled.is_none() {
+            self.compiled = Some(self.model.compile());
+        }
+    }
+
+    /// The compiled engine, when [`AnomalyDetector::compile`] has run.
+    pub fn compiled(&self) -> Option<&CompiledEnsemble> {
+        self.compiled.as_ref()
     }
 }
 
@@ -236,6 +299,55 @@ mod tests {
             assert!(
                 rate <= fa + 1e-9,
                 "training false-alarm rate {rate} exceeds requested {fa}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_routing_is_bit_identical() {
+        use cfa_ml::AnyLearner;
+        let normal = correlated_normal();
+        let mut det = AnomalyDetector::fit(
+            &AnyLearner::C45(C45::default()),
+            &normal,
+            ScoreMethod::AvgProbability,
+            0.05,
+        );
+        let rows = normal.to_rows();
+        let packed: Vec<u8> = rows.iter().flatten().copied().collect();
+        let interpreted: Vec<u64> = rows.iter().map(|r| det.score(r).to_bits()).collect();
+
+        // The uncompiled batch entry falls back to row-at-a-time scoring.
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        det.score_rows_with(&packed, &mut out, &mut scratch);
+        let fallback: Vec<u64> = out.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(interpreted, fallback);
+
+        assert!(!det.is_compiled());
+        det.compile();
+        det.compile(); // idempotent
+        assert!(det.is_compiled() && det.compiled().is_some());
+
+        let compiled: Vec<u64> = rows
+            .iter()
+            .map(|r| det.score_with(r, &mut scratch).to_bits())
+            .collect();
+        assert_eq!(interpreted, compiled, "compiled score_with");
+        det.score_rows_with(&packed, &mut out, &mut scratch);
+        let batched: Vec<u64> = out.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(interpreted, batched, "compiled score_rows_with");
+
+        // The snapshot verdicts route through the same engine.
+        for row in &rows {
+            let snap = det.score_snapshot_with(row, &mut scratch);
+            assert_eq!(
+                snap.verdict,
+                if snap.score >= det.threshold() {
+                    Verdict::Normal
+                } else {
+                    Verdict::Anomaly
+                }
             );
         }
     }

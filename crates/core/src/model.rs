@@ -1,7 +1,8 @@
 //! The cross-feature ensemble: Algorithms 1–3 of the paper.
 
 use crate::parallel::{map_chunks, Parallelism};
-use cfa_ml::{Classifier, Learner, NominalTable};
+use cfa_ml::compiled::{CompiledEnsemble, CompiledMethod};
+use cfa_ml::{AnyModel, Classifier, Learner, NominalTable};
 
 /// How sub-model outputs are combined into an event score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +14,17 @@ pub enum ScoreMethod {
     /// values, `Σᵢ p(fᵢ(x) | x) / L`. Treats Algorithm 2 as the special
     /// case where the predicted class has probability 1.
     AvgProbability,
+}
+
+/// `cfa-ml`'s compiled layer mirrors [`ScoreMethod`] (it sits below this
+/// crate in the dependency graph); the conversion is lossless.
+impl From<ScoreMethod> for CompiledMethod {
+    fn from(method: ScoreMethod) -> CompiledMethod {
+        match method {
+            ScoreMethod::MatchCount => CompiledMethod::MatchCount,
+            ScoreMethod::AvgProbability => CompiledMethod::AvgProbability,
+        }
+    }
 }
 
 /// The ensemble of per-feature sub-models produced by Algorithm 1.
@@ -254,6 +266,15 @@ impl<M: Classifier> CrossFeatureModel<M> {
                 })
                 .collect()
         })
+    }
+}
+
+impl CrossFeatureModel<AnyModel> {
+    /// Lowers every sub-model into the flat compiled engine
+    /// ([`CompiledEnsemble`]), whose scores are bit-identical to this
+    /// ensemble's interpreted path (see `cfa_ml::compiled`).
+    pub fn compile(&self) -> CompiledEnsemble {
+        CompiledEnsemble::compile(&self.sub_models)
     }
 }
 

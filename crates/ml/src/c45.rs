@@ -69,6 +69,68 @@ impl C45Model {
         self.nodes.len()
     }
 
+    /// Number of attributes the tree can test (class column removed).
+    pub(crate) fn n_attrs(&self) -> usize {
+        self.attr_cards.len()
+    }
+
+    /// Lowers the tree into its flat compiled form for full-width rows
+    /// whose class column is `class_col`. Per-node distributions are the
+    /// exact Laplace expression of `class_probs_into`, evaluated once
+    /// here, so compiled probabilities are bit-identical.
+    pub(crate) fn lower(&self, class_col: usize) -> crate::compiled::CompiledTree {
+        use crate::compiled::{clamp_for, push_laplace, CompiledTree, TreeNode, LEAF_COL, NO_NODE};
+        let k = self.n_classes;
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut children_pool = Vec::new();
+        let mut probs = Vec::with_capacity(self.nodes.len() * k);
+        let mut preds = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let counts = match node {
+                Node::Leaf { counts } => {
+                    nodes.push(TreeNode {
+                        col: LEAF_COL,
+                        clamp: 0,
+                        children_at: 0,
+                    });
+                    counts
+                }
+                Node::Split {
+                    attr,
+                    children,
+                    counts,
+                } => {
+                    let children_at =
+                        u32::try_from(children_pool.len()).expect("child pool fits u32");
+                    children_pool.extend(children.iter().map(|&c| {
+                        if c == usize::MAX {
+                            NO_NODE
+                        } else {
+                            u32::try_from(c).expect("node index fits u32")
+                        }
+                    }));
+                    nodes.push(TreeNode {
+                        col: u32::try_from(attr_index(*attr, class_col))
+                            .expect("column index fits u32"),
+                        clamp: clamp_for(self.attr_cards[*attr]),
+                        children_at,
+                    });
+                    counts
+                }
+            };
+            push_laplace(&mut probs, counts, k);
+            preds.push(crate::argmax_last(&probs[probs.len() - k..]));
+        }
+        CompiledTree {
+            nodes,
+            children: children_pool,
+            probs,
+            preds,
+            root: u32::try_from(self.root).expect("node index fits u32"),
+            n_classes: k,
+        }
+    }
+
     /// Depth of the tree (diagnostics).
     pub fn depth(&self) -> usize {
         fn rec(nodes: &[Node], i: usize) -> usize {

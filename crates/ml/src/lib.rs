@@ -56,6 +56,7 @@
 //! ```
 
 pub mod c45;
+pub mod compiled;
 pub mod dataset;
 pub mod metrics;
 pub mod naive_bayes;
@@ -63,6 +64,7 @@ pub mod persist;
 pub mod ripper;
 
 pub use c45::C45;
+pub use compiled::{CompiledEnsemble, CompiledMethod, CompiledModel};
 pub use dataset::{DatasetError, NominalTable};
 pub use naive_bayes::NaiveBayes;
 pub use persist::{AnyLearner, AnyModel, Persist, PersistError};
@@ -149,6 +151,7 @@ pub trait Classifier: Send + Sync {
 
     /// The most probable class for the bare attribute vector `x`.
     fn predict(&self, x: &[u8]) -> u8 {
+        // audit: allow(D008, reason = "one-shot convenience wrapper; batch loops call predict_row with a reused scratch buffer")
         let mut scratch = Vec::with_capacity(self.n_classes());
         self.predict_row(x, NO_CLASS, &mut scratch)
     }
@@ -164,6 +167,7 @@ pub trait Classifier: Send + Sync {
     /// Estimated probability of a specific class for the bare attribute
     /// vector `x`.
     fn prob_of(&self, x: &[u8], class: u8) -> f64 {
+        // audit: allow(D008, reason = "one-shot convenience wrapper; batch loops call prob_of_row with a reused scratch buffer")
         let mut scratch = Vec::with_capacity(self.n_classes());
         self.prob_of_row(x, NO_CLASS, class, &mut scratch)
     }

@@ -98,6 +98,47 @@ impl Learner for NaiveBayes {
     }
 }
 
+impl NaiveBayesModel {
+    /// Number of attributes the model conditions on (class column removed).
+    pub(crate) fn n_attrs(&self) -> usize {
+        self.attr_cards.len()
+    }
+
+    /// Lowers the model into its value-major compiled form for full-width
+    /// rows whose class column is `class_col`. The table entries are the
+    /// trained log-conditionals verbatim (only re-laid-out), so the
+    /// compiled accumulation adds the same values in the same order and
+    /// the scores are bit-identical.
+    pub(crate) fn lower(&self, class_col: usize) -> crate::compiled::CompiledBayes {
+        use crate::compiled::{clamp_for, BayesAttr, CompiledBayes};
+        let k = self.n_classes;
+        let mut table = Vec::new();
+        let mut attrs = Vec::with_capacity(self.attr_cards.len());
+        for (a, &card) in self.attr_cards.iter().enumerate() {
+            // Row bytes clamp to min(card - 1, 255): values past 255 are
+            // unreachable, so their columns need no storage.
+            let stored = card.min(256);
+            let offset = u32::try_from(table.len()).expect("table offset fits u32");
+            for v in 0..stored {
+                for class in 0..k {
+                    table.push(self.log_cond[a][class * card + v]);
+                }
+            }
+            attrs.push(BayesAttr {
+                col: u32::try_from(attr_index(a, class_col)).expect("column index fits u32"),
+                clamp: clamp_for(card),
+                offset,
+            });
+        }
+        CompiledBayes {
+            log_prior: self.log_prior.clone(),
+            table,
+            attrs,
+            n_classes: k,
+        }
+    }
+}
+
 impl Classifier for NaiveBayesModel {
     fn n_classes(&self) -> usize {
         self.n_classes

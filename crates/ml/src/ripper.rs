@@ -86,6 +86,52 @@ impl RipperModel {
     pub fn rules(&self) -> &[Rule] {
         &self.rules
     }
+
+    /// Number of attributes the rules can test (class column removed).
+    pub(crate) fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Lowers the rule list into its packed compiled form for full-width
+    /// rows whose class column is `class_col`. Distributions and the
+    /// default class are the exact expressions of `class_probs_into` /
+    /// `predict_row`, evaluated once here, so compiled output is
+    /// bit-identical (including `max_by_key`'s last-maximum default).
+    pub(crate) fn lower(&self, class_col: usize) -> crate::compiled::CompiledRules {
+        use crate::compiled::{push_laplace, CompiledRules};
+        let k = self.n_classes;
+        let mut conds = Vec::new();
+        let mut bounds = Vec::with_capacity(self.rules.len() + 1);
+        bounds.push(0u32);
+        let mut probs = Vec::with_capacity((self.rules.len() + 1) * k);
+        let mut preds = Vec::with_capacity(self.rules.len() + 1);
+        for rule in &self.rules {
+            for &(attr, value) in &rule.conds {
+                let col = attr_index(attr, class_col);
+                assert!(col < (1 << 24), "column index fits 24 bits");
+                conds.push((col as u32) << 8 | u32::from(value));
+            }
+            bounds.push(u32::try_from(conds.len()).expect("condition count fits u32"));
+            push_laplace(&mut probs, &rule.counts, k);
+            preds.push(rule.class);
+        }
+        push_laplace(&mut probs, &self.default_counts, k);
+        preds.push(
+            self.default_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(i, _)| i as u8)
+                .unwrap_or(0),
+        );
+        CompiledRules {
+            conds,
+            bounds,
+            probs,
+            preds,
+            n_classes: k,
+        }
+    }
 }
 
 /// Whether `conds` all hold for row `i` of the columnar training view.

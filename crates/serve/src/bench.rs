@@ -8,6 +8,7 @@
 //! of a latency benchmark) and justified per site for cfa-audit D002.
 
 use crate::client::{Client, ClientError};
+use crate::server::Engine;
 use crate::train::load_artifact;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -30,6 +31,10 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Re-score every row in-process and count bitwise mismatches.
     pub verify: bool,
+    /// Execution engine the in-process reference scores with (the served
+    /// engine is whatever the server was started with; both produce the
+    /// same bits, which is exactly what `verify` checks).
+    pub engine: Engine,
 }
 
 impl Default for BenchConfig {
@@ -42,6 +47,7 @@ impl Default for BenchConfig {
             connections: 4,
             seed: 1,
             verify: false,
+            engine: Engine::Compiled,
         }
     }
 }
@@ -67,6 +73,8 @@ pub struct BenchReport {
     /// (always 0 unless the server or artifact is broken; only counted
     /// with `verify`).
     pub mismatches: usize,
+    /// Which engine the in-process reference ran.
+    pub engine: Engine,
 }
 
 /// p50/p90/p99/max of a latency sample, in microseconds.
@@ -116,6 +124,10 @@ impl XorShift {
 
 struct WorkerOutcome {
     ok: usize,
+    /// Rows actually scored, summed from the served replies (not
+    /// re-derived from the configured batch size, so `--verify` runs and
+    /// plain runs agree even if the server answers short).
+    rows: usize,
     errors: usize,
     mismatches: usize,
     latencies_us: Vec<u64>,
@@ -129,7 +141,12 @@ struct WorkerOutcome {
 /// no connection can be established at all; per-request failures are
 /// counted in the report instead.
 pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
-    let trained = load_artifact(&cfg.model)?;
+    let mut trained = load_artifact(&cfg.model)?;
+    if cfg.engine == Engine::Compiled {
+        // The in-process verification reference exercises the same
+        // load -> compile -> score path the server takes.
+        trained.compile();
+    }
     let n_cols = trained.discretizer().cards().len();
     let disc = trained.discretizer();
     let detector = trained.detector();
@@ -144,6 +161,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                 scope.spawn(move || {
                     let mut outcome = WorkerOutcome {
                         ok: 0,
+                        rows: 0,
                         errors: 0,
                         mismatches: 0,
                         latencies_us: Vec::with_capacity(per_conn),
@@ -173,6 +191,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                         match served {
                             Ok(scored) => {
                                 outcome.ok += 1;
+                                outcome.rows += scored.len();
                                 outcome
                                     .latencies_us
                                     .push(u64::try_from(dt.as_micros()).unwrap_or(u64::MAX));
@@ -202,6 +221,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
             .map(|h| {
                 h.join().unwrap_or(WorkerOutcome {
                     ok: 0,
+                    rows: 0,
                     errors: per_conn,
                     mismatches: 0,
                     latencies_us: Vec::new(),
@@ -213,10 +233,12 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut ok = 0;
+    let mut rows = 0;
     let mut errors = 0;
     let mut mismatches = 0;
     for o in outcomes {
         ok += o.ok;
+        rows += o.rows;
         errors += o.errors;
         mismatches += o.mismatches;
         latencies.extend_from_slice(&o.latencies_us);
@@ -225,10 +247,10 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let secs = elapsed.as_secs_f64().max(1e-9);
     Ok(BenchReport {
         requests_ok: ok,
-        rows: ok * cfg.batch,
+        rows,
         elapsed,
         throughput_rps: ok as f64 / secs,
-        rows_per_sec: (ok * cfg.batch) as f64 / secs,
+        rows_per_sec: rows as f64 / secs,
         latency_us: LatencySummary {
             p50: percentile(&latencies, 0.50),
             p90: percentile(&latencies, 0.90),
@@ -237,6 +259,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         },
         protocol_errors: errors,
         mismatches,
+        engine: cfg.engine,
     })
 }
 

@@ -23,4 +23,4 @@ pub mod server;
 pub mod train;
 
 pub use client::{Client, ClientError, ScoredRow};
-pub use server::{ServeStats, Server, ServerConfig};
+pub use server::{Engine, ServeStats, Server, ServerConfig};

@@ -15,8 +15,10 @@ const USAGE: &str = "usage:
                   [--method match|prob]
   cfa-serve serve --model model.cfam [--addr 127.0.0.1:7878] [--workers N]
                   [--queue N] [--timeout-secs N]
+                  [--engine interpreted|compiled]
   cfa-serve bench --model model.cfam [--addr 127.0.0.1:7878] [--requests N]
-                  [--batch N] [--connections N] [--seed N] [--verify]";
+                  [--batch N] [--connections N] [--seed N] [--verify]
+                  [--engine interpreted|compiled]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -120,6 +122,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                 queue_cap: flag_value(args, "--queue", d.queue_cap)?,
                 read_timeout: Duration::from_secs(timeout),
                 write_timeout: Duration::from_secs(timeout),
+                engine: flag_value(args, "--engine", d.engine)?,
             },
         ))
     })();
@@ -175,6 +178,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             connections: flag_value(args, "--connections", d.connections)?,
             seed: flag_value(args, "--seed", d.seed)?,
             verify: flag_present(args, "--verify"),
+            engine: flag_value(args, "--engine", d.engine)?,
         })
     })();
     let cfg = match cfg {
@@ -187,12 +191,13 @@ fn cmd_bench(args: &[String]) -> i32 {
     match run_bench(&cfg) {
         Ok(r) => {
             println!(
-                "{} requests ok ({} rows) in {:.3} s — {:.0} req/s, {:.0} rows/s",
+                "{} requests ok ({} rows) in {:.3} s — {:.0} req/s, {:.0} rows/s [{} engine]",
                 r.requests_ok,
                 r.rows,
                 r.elapsed.as_secs_f64(),
                 r.throughput_rps,
-                r.rows_per_sec
+                r.rows_per_sec,
+                r.engine.name()
             );
             println!(
                 "latency µs: p50 {} / p90 {} / p99 {} / max {}",

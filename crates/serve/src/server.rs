@@ -14,7 +14,7 @@ use crate::protocol::{
     STATUS_BAD_WIDTH, STATUS_BUSY, STATUS_MALFORMED, STATUS_OK, STATUS_SHUTTING_DOWN,
     STATUS_TOO_LARGE,
 };
-use cfa_core::{AnomalyDetector, ModelArtifact, Verdict};
+use cfa_core::{AnomalyDetector, ModelArtifact};
 use cfa_ml::AnyModel;
 use manet_features::EqualFrequencyDiscretizer;
 use std::collections::VecDeque;
@@ -23,6 +23,41 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Which execution form workers score with. Scores are bit-identical
+/// either way; [`Engine::Compiled`] is the fast default, `Interpreted`
+/// exists so the before/after is reproducible from the CLI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Walk the trained models as stored (pointer-chasing form).
+    Interpreted,
+    /// Lower the ensemble once at artifact load and score batches in
+    /// structure-of-arrays order.
+    #[default]
+    Compiled,
+}
+
+impl Engine {
+    /// The CLI/report name of the engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Interpreted => "interpreted",
+            Engine::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "interpreted" => Ok(Engine::Interpreted),
+            "compiled" => Ok(Engine::Compiled),
+            other => Err(format!("unknown engine {other} (interpreted|compiled)")),
+        }
+    }
+}
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -36,6 +71,8 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Execution form for the scoring hot loop.
+    pub engine: Engine,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +82,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            engine: Engine::Compiled,
         }
     }
 }
@@ -90,6 +128,10 @@ struct Scratch {
     frame: Vec<u8>,
     row_f64: Vec<f64>,
     row_u8: Vec<u8>,
+    /// All discretized rows of one request, packed row-major, so the
+    /// whole batch goes through the engine's structure-of-arrays path.
+    rows_u8: Vec<u8>,
+    scores: Vec<f64>,
     probs: Vec<f64>,
     resp: Vec<u8>,
 }
@@ -125,8 +167,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let n_features = artifact.discretizer.cards().len();
+        // Lower the ensemble once here; every worker then scores through
+        // the shared compiled engine (bit-identical to interpreted).
+        let mut detector = artifact.detector;
+        if cfg.engine == Engine::Compiled {
+            detector.compile();
+        }
         let shared = Arc::new(Shared {
-            detector: artifact.detector,
+            detector,
             disc: artifact.discretizer,
             n_features,
             addr: local,
@@ -293,6 +341,8 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut Scratch) {
         frame,
         row_f64,
         row_u8,
+        rows_u8,
+        scores,
         probs,
         resp,
     } = scratch;
@@ -351,7 +401,7 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut Scratch) {
                 return;
             }
             OP_SCORE => {
-                let ok = score_request(shared, body, row_f64, row_u8, probs, resp);
+                let ok = score_request(shared, body, row_f64, row_u8, rows_u8, scores, probs, resp);
                 if ok {
                     shared.counters.requests_ok.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -377,11 +427,14 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut Scratch) {
 
 /// Validates a SCORE body and fills `resp` with either the OK payload or
 /// an error status. Returns whether the request was served.
+#[allow(clippy::too_many_arguments)] // flat borrows keep the scratch fields disjoint
 fn score_request(
     shared: &Shared,
     body: &[u8],
     row_f64: &mut Vec<f64>,
     row_u8: &mut Vec<u8>,
+    rows_u8: &mut Vec<u8>,
+    scores: &mut Vec<f64>,
     probs: &mut Vec<f64>,
     resp: &mut Vec<u8>,
 ) -> bool {
@@ -411,16 +464,21 @@ fn score_request(
         n_cols,
         row_f64,
         row_u8,
+        rows_u8,
+        scores,
         probs,
         resp,
     );
     true
 }
 
-/// Scores each packed row: decode `f64`s, discretize, run the ensemble
-/// through `score_snapshot_with`, append `[f64 score][u8 alarm]` per row.
-/// This is the steady-state hot loop — cfa-audit's D008 zero-alloc rule
-/// roots here, so nothing below may allocate once buffers are warm.
+/// Scores one packed request batch: decode `f64`s and discretize every
+/// row into one row-major buffer, push the whole batch through the
+/// detector's batch entry (the compiled structure-of-arrays path when the
+/// server compiled at load; the interpreted row loop otherwise — same
+/// bits either way), then append `[f64 score][u8 alarm]` per row. This is
+/// the steady-state hot loop — cfa-audit's D008 zero-alloc rule roots
+/// here, so nothing below may allocate once buffers are warm.
 #[allow(clippy::too_many_arguments)] // flat borrows keep the scratch fields disjoint
 fn score_rows_into(
     disc: &EqualFrequencyDiscretizer,
@@ -429,12 +487,15 @@ fn score_rows_into(
     n_cols: usize,
     row_f64: &mut Vec<f64>,
     row_u8: &mut Vec<u8>,
+    rows_u8: &mut Vec<u8>,
+    scores: &mut Vec<f64>,
     probs: &mut Vec<f64>,
     resp: &mut Vec<u8>,
 ) {
     if n_cols == 0 {
         return;
     }
+    rows_u8.clear();
     for row in rows_bytes.chunks_exact(n_cols * 8) {
         row_f64.clear();
         for cell in row.chunks_exact(8) {
@@ -443,8 +504,15 @@ fn score_rows_into(
             }
         }
         disc.transform_row_into(row_f64, row_u8);
-        let verdict = detector.score_snapshot_with(row_u8, probs);
-        put_f64(resp, verdict.score);
-        resp.push(u8::from(verdict.verdict == Verdict::Anomaly));
+        rows_u8.extend_from_slice(row_u8);
+    }
+    detector.score_rows_with(rows_u8, scores, probs);
+    let threshold = detector.threshold();
+    for &score in scores.iter() {
+        put_f64(resp, score);
+        // Same decision as `score_snapshot_with`: Normal iff
+        // score >= threshold.
+        let alarm = if score >= threshold { 0u8 } else { 1u8 };
+        resp.push(alarm);
     }
 }

@@ -8,7 +8,7 @@ use cfa_ml::{AnyLearner, NaiveBayes};
 use cfa_serve::protocol::{
     put_u32, OP_PING, OP_SCORE, STATUS_BAD_WIDTH, STATUS_MALFORMED, STATUS_TOO_LARGE,
 };
-use cfa_serve::{Client, ClientError, Server, ServerConfig};
+use cfa_serve::{Client, ClientError, Engine, Server, ServerConfig};
 use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -125,6 +125,52 @@ fn served_scores_are_bit_identical_to_in_process_scoring() {
     let stats = handle.join().expect("join server");
     assert!(stats.requests_ok >= 4);
     assert_eq!(stats.rejected_busy, 0);
+}
+
+#[test]
+fn both_engines_serve_compiled_reference_bits_through_the_protocol() {
+    // The compiled-engine leg of the e2e promise: an artifact that went
+    // CFAM bytes → load → `compile()` scores every row bit-identically to
+    // what either server engine puts on the wire. One reference, two
+    // served engines, all three must agree bitwise.
+    let (_, mut reference) = two_copies();
+    reference.detector.compile();
+    assert!(reference.detector.is_compiled());
+
+    let n_cols = 3;
+    let mut rows = Vec::new();
+    for i in 0..40u32 {
+        let a = f64::from(i % 6);
+        rows.extend_from_slice(&[a * 10.0, f64::from(i % 5) * 8.0, f64::from(i % 2)]);
+    }
+
+    let mut row_u8 = Vec::new();
+    let mut probs = Vec::new();
+    for engine in [Engine::Interpreted, Engine::Compiled] {
+        let (addr, handle) = start_server(ServerConfig {
+            engine,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        let served = client.score_batch(&rows, n_cols).expect("score");
+        assert_eq!(served.len(), 40);
+        for (row, s) in rows.chunks_exact(n_cols).zip(&served) {
+            reference.discretizer.transform_row_into(row, &mut row_u8);
+            let local = reference.detector.score_snapshot_with(&row_u8, &mut probs);
+            assert_eq!(
+                local.score.to_bits(),
+                s.score.to_bits(),
+                "{engine:?} server diverges from the compiled reference"
+            );
+            assert_eq!(
+                local.verdict == cfa_core::Verdict::Anomaly,
+                s.alarm,
+                "{engine:?} alarm bit diverges from the compiled verdict"
+            );
+        }
+        client.shutdown_server().expect("shutdown");
+        handle.join().expect("join server");
+    }
 }
 
 #[test]

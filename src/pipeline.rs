@@ -365,14 +365,6 @@ pub struct TrainedPipeline {
 }
 
 impl TrainedPipeline {
-    /// The decision threshold chosen from smoothed training scores.
-    #[deprecated(
-        note = "use `fitted_threshold().threshold`, which also carries the target false-alarm rate"
-    )]
-    pub fn threshold(&self) -> f64 {
-        self.detector.threshold()
-    }
-
     /// The fitted threshold together with the target false-alarm rate it
     /// was selected for — the pair the artifact writer persists.
     pub fn fitted_threshold(&self) -> FittedThreshold {
@@ -387,6 +379,15 @@ impl TrainedPipeline {
     /// The trained detector (ensemble + threshold).
     pub fn detector(&self) -> &AnomalyDetector<AnyModel> {
         &self.detector
+    }
+
+    /// Lowers the detector's ensemble into the flat compiled engine.
+    /// Afterwards every scoring path of this pipeline — the streaming
+    /// monitor, snapshot scoring, and [`TrainedPipeline::score_matrix_compiled`]
+    /// — executes the compiled form; scores stay bit-identical to the
+    /// interpreted path. Idempotent.
+    pub fn compile(&mut self) {
+        self.detector.compile();
     }
 
     /// Packages the trained state as a persistable [`ModelArtifact`]
@@ -453,6 +454,42 @@ impl TrainedPipeline {
                 .scores_with(&table, self.detector.method(), self.parallelism),
             self.smoothing,
         )
+    }
+
+    /// [`TrainedPipeline::score_matrix`] through the compiled engine:
+    /// discretize, pack the rows, score the whole batch in
+    /// structure-of-arrays order, smooth. Output is bit-identical to
+    /// [`TrainedPipeline::score_matrix`]. Uses the engine installed by
+    /// [`TrainedPipeline::compile`], or lowers one on the fly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` does not have the training schema.
+    pub fn score_matrix_compiled(&self, matrix: &FeatureMatrix) -> Vec<f64> {
+        let table = self.disc.transform(matrix).expect("same schema");
+        let on_the_fly;
+        let engine = match self.detector.compiled() {
+            Some(engine) => engine,
+            None => {
+                on_the_fly = self.detector.model().compile();
+                &on_the_fly
+            }
+        };
+        let mut packed = Vec::with_capacity(table.n_rows() * table.n_cols());
+        let mut row = Vec::with_capacity(table.n_cols());
+        for r in 0..table.n_rows() {
+            table.copy_row_into(r, &mut row);
+            packed.extend_from_slice(&row);
+        }
+        let mut scores = Vec::new();
+        let mut scratch = Vec::new();
+        engine.score_batch(
+            &packed,
+            self.detector.method().into(),
+            &mut scores,
+            &mut scratch,
+        );
+        smooth(&scores, self.smoothing)
     }
 
     /// Runs `scenario` under an [`OnlineMonitor`] watching its monitored

@@ -113,6 +113,62 @@ fn scores_survive_a_save_load_round_trip_bit_identically() {
 }
 
 #[test]
+fn compiled_pipeline_scores_are_bit_identical_to_interpreted() {
+    // The compiled-engine leg of the shaker: over full attack pipelines
+    // (train on normal traffic, score a blackhole scenario), the flat
+    // compiled execution path must reproduce the interpreted ensemble
+    // `to_bits`-exactly — for every model family, both scoring methods,
+    // and both routing protocols, whether the engine is installed by
+    // `compile()` or lowered on the fly.
+    let combos: &[(Protocol, &[(ClassifierKind, ScoreMethod)])] = &[
+        (
+            Protocol::Aodv,
+            &[
+                (ClassifierKind::C45, ScoreMethod::AvgProbability),
+                (ClassifierKind::NaiveBayes, ScoreMethod::AvgProbability),
+            ],
+        ),
+        (
+            Protocol::Dsr,
+            &[(ClassifierKind::Ripper, ScoreMethod::MatchCount)],
+        ),
+    ];
+    for &(protocol, kinds) in combos {
+        let (train, attacked) = attack_scenario(protocol);
+        let train_bundles = train.run_nodes(&Pipeline::default_train_nodes(train.n_nodes));
+        let bundle = attacked.run();
+        for &(kind, method) in kinds {
+            let mut trained = Pipeline::new(kind, method).fit(&train_bundles);
+            let interpreted: Vec<u64> = trained
+                .score_matrix(&bundle.matrix)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            let on_the_fly: Vec<u64> = trained
+                .score_matrix_compiled(&bundle.matrix)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            trained.compile();
+            let compiled: Vec<u64> = trained
+                .score_matrix_compiled(&bundle.matrix)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert!(!interpreted.is_empty());
+            assert_eq!(
+                interpreted, on_the_fly,
+                "{protocol:?}/{kind:?}/{method:?}: on-the-fly compiled scores diverge"
+            );
+            assert_eq!(
+                interpreted, compiled,
+                "{protocol:?}/{kind:?}/{method:?}: compiled scores diverge"
+            );
+        }
+    }
+}
+
+#[test]
 fn dsr_attack_scenario_scores_bit_identical_across_runs() {
     let a = score_once(
         Protocol::Dsr,
