@@ -1,0 +1,31 @@
+//! Seeded spatial-grid and fleet-path violations for the cfa-audit
+//! acceptance test. This file is never compiled; it exists to be scanned.
+//!
+//! * `SpatialGrid::candidates_into` is a D008 predict/hot-path root: the
+//!   real grid query runs once per transmitted frame and must reuse
+//!   caller scratch. The seeded copy allocates per call, both directly
+//!   and through a helper, so the root cannot silently go blind.
+//! * `run_fleet` is a D006 panic root: the seeded copy panics on an
+//!   empty seed list.
+
+pub struct SpatialGrid {
+    cells: Vec<Vec<u16>>,
+}
+
+impl SpatialGrid {
+    fn cell_members(&self, idx: usize) -> Vec<u16> {
+        // D008: to_vec() clones the cell on every query.
+        self.cells[idx].to_vec()
+    }
+
+    pub fn candidates_into(&self, idx: usize, out: &mut Vec<u16>) {
+        // D008: collect() builds a fresh Vec inside the per-frame query.
+        let sorted: Vec<u16> = self.cell_members(idx).into_iter().collect();
+        out.extend(sorted);
+    }
+}
+
+pub fn run_fleet(seeds: &[u64]) -> u64 {
+    // D006: panic reachable from the fleet corpus-production root.
+    *seeds.first().expect("fleet needs at least one seed")
+}

@@ -40,7 +40,7 @@ pub const EVENT_ROOTS: [&str; 2] = ["Simulator::run", "Simulator::run_until"];
 /// interpreted walk; they are qualified so the client-side convenience
 /// `Client::score_batch` (which builds a wire frame per request) stays
 /// out of the hot-path net.
-pub const PREDICT_ROOTS: [&str; 11] = [
+pub const PREDICT_ROOTS: [&str; 12] = [
     "predict_row",
     "prob_of_row",
     "class_probs_into",
@@ -52,6 +52,10 @@ pub const PREDICT_ROOTS: [&str; 11] = [
     "CompiledEnsemble::score_row",
     "CompiledEnsemble::score_batch",
     "score_rows_with",
+    // The spatial grid's neighbor query runs once per transmitted frame —
+    // the kernel's hottest loop — and must reuse caller scratch, never
+    // allocate per query.
+    "SpatialGrid::candidates_into",
 ];
 
 /// Per-file context the interprocedural pass needs back from the lexical
@@ -101,6 +105,9 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     // `score_row`/`score_batch` are the compiled engine's scoring entry
     // points: a malformed row must fail loudly at the asserted width
     // check, never via an unjustified panic site deeper in the walk.
+    // `run_fleet` is the corpus-production entry point: it drives whole
+    // batches of simulations across worker threads, so any panic it can
+    // reach takes the entire fleet down with it.
     let panic_roots: Vec<&str> = EVENT_ROOTS
         .iter()
         .copied()
@@ -109,6 +116,7 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
             "handle_conn",
             "CompiledEnsemble::score_row",
             "CompiledEnsemble::score_batch",
+            "run_fleet",
         ])
         .collect();
     let parent = graph.reachable(&graph.roots(&panic_roots));

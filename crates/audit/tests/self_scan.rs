@@ -146,6 +146,38 @@ fn fixture_compiled_engine_roots_are_live() {
 }
 
 #[test]
+fn fixture_grid_and_fleet_roots_are_live() {
+    // The kernel scale-up roots: `SpatialGrid::candidates_into` (the
+    // per-frame neighbor query) seeds D008 reachability and `run_fleet`
+    // (the corpus-production driver) seeds D006 reachability, so an
+    // allocation in the grid query or a panic under the fleet driver is
+    // caught.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d008 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D008 && f.file.ends_with("sim/src/grid.rs"))
+        .expect("grid fixture D008");
+    assert!(
+        d008.note
+            .as_deref()
+            .unwrap_or("")
+            .contains("candidates_into"),
+        "grid D008 note must root at candidates_into, got: {:?}",
+        d008.note
+    );
+    let d006 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D006 && f.file.ends_with("sim/src/grid.rs"))
+        .expect("fleet fixture D006");
+    assert!(
+        d006.note.as_deref().unwrap_or("").contains("run_fleet"),
+        "fleet D006 note must root at run_fleet, got: {:?}",
+        d006.note
+    );
+}
+
+#[test]
 fn fixture_findings_are_ordered_and_located() {
     let root = audit_crate_dir().join("fixtures/seeded");
     let findings = scan_tree(&root).unwrap();

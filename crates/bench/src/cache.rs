@@ -12,7 +12,7 @@ use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 
 /// Bump to invalidate previously cached bundles after behaviour changes.
-const CACHE_VERSION: u32 = 4;
+const CACHE_VERSION: u32 = 5;
 
 fn cache_dir() -> PathBuf {
     let dir = PathBuf::from("target/cfa-cache");

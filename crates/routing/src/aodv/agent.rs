@@ -4,8 +4,8 @@ use super::constants::*;
 use super::table::{RouteTable, UpdateOutcome};
 use super::AodvHeader;
 use manet_sim::{
-    Agent, AppData, Ctx, DetMap, Direction, NodeId, Packet, RouteEventKind, SimTime, TimerToken,
-    TracePacketKind, TxDest,
+    Agent, AppData, Ctx, DetMap, Direction, NodeId, NodeMap, Packet, RouteEventKind, SimTime,
+    TimerToken, TracePacketKind, TxDest,
 };
 
 const TOKEN_SWEEP: u64 = 1;
@@ -33,10 +33,14 @@ pub struct AodvAgent {
     table: RouteTable,
     my_seq: u32,
     next_rreq_id: u32,
-    seen_rreq: DetMap<(NodeId, u32), SimTime>,
+    // RREQ dedup, sliced by origin: a dense per-origin slot holding the
+    // recently seen flood ids. Point lookups are O(1) to the origin slot
+    // (the per-reception hot path); iteration order — origin id, then flood
+    // id — matches the flat `DetMap<(NodeId, u32), _>` it replaced.
+    seen_rreq: NodeMap<DetMap<u32, SimTime>>,
     buffer: Vec<Buffered>,
-    discoveries: DetMap<NodeId, Discovery>,
-    neighbors: DetMap<NodeId, SimTime>,
+    discoveries: NodeMap<Discovery>,
+    neighbors: NodeMap<SimTime>,
 }
 
 impl Default for AodvAgent {
@@ -52,10 +56,10 @@ impl AodvAgent {
             table: RouteTable::new(SimTime::from_secs(ROUTE_TTL)),
             my_seq: 0,
             next_rreq_id: 0,
-            seen_rreq: DetMap::new(),
+            seen_rreq: NodeMap::new(),
             buffer: Vec::new(),
-            discoveries: DetMap::new(),
-            neighbors: DetMap::new(),
+            discoveries: NodeMap::new(),
+            neighbors: NodeMap::new(),
         }
     }
 
@@ -100,7 +104,7 @@ impl AodvAgent {
     }
 
     fn start_discovery(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dest: NodeId) {
-        if self.discoveries.contains_key(&dest) {
+        if self.discoveries.contains_key(dest) {
             return;
         }
         self.discoveries.insert(dest, Discovery { attempts: 1 });
@@ -116,7 +120,9 @@ impl AodvAgent {
         self.my_seq += 1;
         let id = self.next_rreq_id;
         self.next_rreq_id += 1;
-        self.seen_rreq.insert((me, id), ctx.now());
+        let now = ctx.now();
+        // audit: allow(D007, reason = "sweep() prunes every origin's id set past SEEN_TTL each second")
+        self.seen_rreq.entry_or_default(me).insert(id, now);
         let dest_seq = self.table.any_entry(dest).map(|e| e.seq);
         ctx.trace_packet(TracePacketKind::Rreq, Direction::Sent);
         let pkt = Packet {
@@ -228,10 +234,16 @@ impl AodvAgent {
         }
         // Install/refresh the reverse route to the origin.
         self.learn_route(ctx, origin, pkt.link_src, hops + 1, origin_seq, false);
-        if self.seen_rreq.contains_key(&(origin, id)) {
+        if self
+            .seen_rreq
+            .get(origin)
+            .is_some_and(|ids| ids.contains_key(&id))
+        {
             return;
         }
-        self.seen_rreq.insert((origin, id), ctx.now());
+        let now = ctx.now();
+        // audit: allow(D007, reason = "sweep() prunes every origin's id set past SEEN_TTL each second")
+        self.seen_rreq.entry_or_default(origin).insert(id, now);
 
         if dest == me {
             // We are the destination: answer with our own, incremented
@@ -325,7 +337,7 @@ impl AodvAgent {
         // Install the forward route to the destination.
         self.learn_route(ctx, dest, pkt.link_src, hops + 1, dest_seq, own);
         if own {
-            self.discoveries.remove(&dest);
+            self.discoveries.remove(dest);
             self.flush_buffer_for(ctx, dest);
             return;
         }
@@ -438,7 +450,7 @@ impl AodvAgent {
     }
 
     fn handle_link_break(&mut self, ctx: &mut Ctx<'_, AodvHeader>, neighbor: NodeId) {
-        self.neighbors.remove(&neighbor);
+        self.neighbors.remove(neighbor);
         let broken = self.table.invalidate_via(neighbor);
         for _ in &broken {
             ctx.trace_route(RouteEventKind::Removed, None);
@@ -450,13 +462,13 @@ impl AodvAgent {
         let now = ctx.now();
         // Neighbour liveness.
         let timeout = SimTime::from_secs(NEIGHBOR_TIMEOUT);
-        // DetMap iteration is key-ordered, so link-break processing (and
+        // NodeMap iteration is id-ordered, so link-break processing (and
         // thus shared radio randomness) is deterministic by construction.
         let dead: Vec<NodeId> = self
             .neighbors
             .iter()
             .filter(|(_, &last)| now.saturating_sub(last) >= timeout)
-            .map(|(&n, _)| n)
+            .map(|(n, _)| n)
             .collect();
         for n in dead {
             self.handle_link_break(ctx, n);
@@ -480,8 +492,9 @@ impl AodvAgent {
             ctx.trace_packet(TracePacketKind::DataTransit, Direction::Dropped);
         }
         let seen_ttl = SimTime::from_secs(SEEN_TTL);
-        self.seen_rreq
-            .retain(|_, &mut t| now.saturating_sub(t) < seen_ttl);
+        for ids in self.seen_rreq.values_mut() {
+            ids.retain(|_, &mut t| now.saturating_sub(t) < seen_ttl);
+        }
         ctx.schedule(SimTime::from_secs(SWEEP_INTERVAL), TimerToken(TOKEN_SWEEP));
     }
 
@@ -504,16 +517,16 @@ impl AodvAgent {
 
     fn rreq_retry(&mut self, ctx: &mut Ctx<'_, AodvHeader>, dest: NodeId) {
         if self.table.route(ctx.now(), dest).is_some() {
-            self.discoveries.remove(&dest);
+            self.discoveries.remove(dest);
             self.flush_buffer_for(ctx, dest);
             return;
         }
         let has_waiting = self.buffer.iter().any(|b| b.dst == dest);
-        let Some(d) = self.discoveries.get_mut(&dest) else {
+        let Some(d) = self.discoveries.get_mut(dest) else {
             return;
         };
         if !has_waiting || d.attempts >= RREQ_MAX_ATTEMPTS {
-            self.discoveries.remove(&dest);
+            self.discoveries.remove(dest);
             let mut dropped = 0usize;
             self.buffer.retain(|b| {
                 let dead = b.dst == dest;
@@ -551,8 +564,10 @@ impl Agent for AodvAgent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, AodvHeader>, pkt: Packet<AodvHeader>) {
         // Any frame from a neighbour proves the link is alive.
         self.neighbors.insert(pkt.link_src, ctx.now());
-        match pkt.header.clone() {
-            AodvHeader::Rreq {
+        // Match by reference: the header stays in place (RERR's unreachable
+        // list in particular is never cloned on the per-reception hot path).
+        match &pkt.header {
+            &AodvHeader::Rreq {
                 origin,
                 origin_seq,
                 dest,
@@ -560,14 +575,14 @@ impl Agent for AodvAgent {
                 id,
                 hops,
             } => self.handle_rreq(ctx, &pkt, origin, origin_seq, dest, dest_seq, id, hops),
-            AodvHeader::Rrep {
+            &AodvHeader::Rrep {
                 dest,
                 dest_seq,
                 hops,
                 origin,
             } => self.handle_rrep(ctx, &pkt, dest, dest_seq, hops, origin),
-            AodvHeader::Rerr { unreachable } => self.handle_rerr(ctx, &pkt, &unreachable),
-            AodvHeader::Hello { seq } => {
+            AodvHeader::Rerr { unreachable } => self.handle_rerr(ctx, &pkt, unreachable),
+            &AodvHeader::Hello { seq } => {
                 ctx.trace_packet(TracePacketKind::Hello, Direction::Received);
                 // A hello installs/refreshes a 1-hop route to the neighbour.
                 self.learn_route(ctx, pkt.link_src, pkt.link_src, 1, seq, false);
@@ -916,10 +931,10 @@ mod tests {
         }
         // The dedup horizon is SEEN_TTL (60 s): at 10 RREQ/s the working
         // set holds ~600 entries, not the 6000 this run produced.
+        let seen: usize = agent.seen_rreq.values().map(DetMap::len).sum();
         assert!(
-            agent.seen_rreq.len() <= 700,
-            "seen_rreq failed to reach steady state: {} entries",
-            agent.seen_rreq.len()
+            seen <= 700,
+            "seen_rreq failed to reach steady state: {seen} entries"
         );
     }
 

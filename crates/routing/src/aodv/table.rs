@@ -1,6 +1,6 @@
 //! The AODV routing table.
 
-use manet_sim::{DetMap, NodeId, SimTime};
+use manet_sim::{NodeId, NodeMap, SimTime};
 
 /// One routing-table entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +40,7 @@ impl UpdateOutcome {
 /// Per-destination routing table with AODV's freshness rules.
 #[derive(Debug, Default)]
 pub struct RouteTable {
-    entries: DetMap<NodeId, RouteEntry>,
+    entries: NodeMap<RouteEntry>,
     ttl: SimTime,
 }
 
@@ -48,7 +48,7 @@ impl RouteTable {
     /// Creates a table whose routes live for `ttl` after their last use.
     pub fn new(ttl: SimTime) -> RouteTable {
         RouteTable {
-            entries: DetMap::new(),
+            entries: NodeMap::new(),
             ttl,
         }
     }
@@ -56,13 +56,13 @@ impl RouteTable {
     /// Looks up a valid, unexpired route to `dest`.
     pub fn route(&self, now: SimTime, dest: NodeId) -> Option<&RouteEntry> {
         self.entries
-            .get(&dest)
+            .get(dest)
             .filter(|e| e.valid && e.expires > now)
     }
 
     /// Looks up a route regardless of validity (for sequence numbers).
     pub fn any_entry(&self, dest: NodeId) -> Option<&RouteEntry> {
-        self.entries.get(&dest)
+        self.entries.get(dest)
     }
 
     /// Offers a route `(next_hop, hops, seq)` to `dest`, applying AODV's
@@ -77,7 +77,7 @@ impl RouteTable {
         seq: u32,
     ) -> UpdateOutcome {
         let expires = now + self.ttl;
-        match self.entries.get_mut(&dest) {
+        match self.entries.get_mut(dest) {
             None => {
                 // audit: allow(D007, reason = "keyed by destination node id; bounded by the scenario's node count")
                 self.entries.insert(
@@ -126,7 +126,7 @@ impl RouteTable {
     /// Marks the route to `dest` invalid (keeping its sequence number, as
     /// AODV requires). Returns the invalidated entry if it was valid.
     pub fn invalidate(&mut self, dest: NodeId) -> Option<RouteEntry> {
-        let e = self.entries.get_mut(&dest)?;
+        let e = self.entries.get_mut(dest)?;
         if !e.valid {
             return None;
         }
@@ -138,9 +138,9 @@ impl RouteTable {
     /// Invalidates every valid route using `next_hop`, returning the
     /// affected `(destination, new sequence number)` pairs.
     pub fn invalidate_via(&mut self, next_hop: NodeId) -> Vec<(NodeId, u32)> {
-        // DetMap iterates in key order, so `out` is sorted by destination.
+        // NodeMap iterates in id order, so `out` is sorted by destination.
         let mut out = Vec::new();
-        for (&dest, e) in self.entries.iter_mut() {
+        for (dest, e) in self.entries.iter_mut() {
             if e.valid && e.next_hop == next_hop {
                 e.valid = false;
                 e.seq = e.seq.saturating_add(1);
@@ -153,7 +153,7 @@ impl RouteTable {
     /// Extends the lifetime of an active route (called when it carries
     /// traffic).
     pub fn refresh(&mut self, now: SimTime, dest: NodeId) {
-        if let Some(e) = self.entries.get_mut(&dest) {
+        if let Some(e) = self.entries.get_mut(dest) {
             if e.valid {
                 e.expires = now + self.ttl;
             }
@@ -183,7 +183,7 @@ impl RouteTable {
 
     /// Iterates over all `(destination, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &RouteEntry)> {
-        self.entries.iter().map(|(&d, e)| (d, e))
+        self.entries.iter()
     }
 }
 

@@ -20,6 +20,22 @@ pub enum EventKind<H> {
         /// reception.
         promiscuous: bool,
     },
+    /// One radio transmission fanned out to its surviving receivers,
+    /// queued as a single event instead of one `Deliver` per receiver.
+    ///
+    /// All receptions of a transmission share the arrival instant and are
+    /// pushed back-to-back, so they occupy a contiguous `(t, seq)` run in
+    /// the schedule, and nothing scheduled while they pop can land inside
+    /// that run (transmit latency is strictly positive and fresh sequence
+    /// numbers sort after the run). Processing the list front-to-back is
+    /// therefore bit-identical to popping the per-receiver events — while
+    /// doing one heap push/pop per *transmission* instead of per receiver.
+    DeliverBatch {
+        /// The frame (cloned per receiver only at delivery time).
+        pkt: Packet<H>,
+        /// `(receiver, promiscuous overhear)` in reception order.
+        receivers: Vec<(NodeId, bool)>,
+    },
     /// A unicast transmission failed at the link layer (target unreachable
     /// after MAC retries); reported back to the sender.
     TxFailed {

@@ -1,0 +1,259 @@
+//! Spatial-grid neighbor lookup.
+//!
+//! [`Simulator::transmit`](crate::Simulator) must find every node within
+//! radio range of a transmitter. The naive scan visits all `n` nodes per
+//! frame, which makes propagation O(n²) per broadcast flood and melts the
+//! event loop at 500–1000 nodes. [`SpatialGrid`] buckets nodes into square
+//! cells keyed on the radio range, so a neighbor query inspects only the
+//! cells a transmission can possibly reach — O(local density) instead of
+//! O(n).
+//!
+//! # Staleness contract
+//!
+//! Node positions evolve continuously but the grid is rebuilt only at
+//! mobility-sample instants (and at simulation start). Between rebuilds a
+//! node can have moved at most `max_speed · (now − refreshed_at)` metres
+//! away from its bucketed position, so a query at time `now` scans every
+//! cell intersecting the disc of radius `range + max_speed · Δt` around
+//! the transmitter. The returned ids are therefore a **superset** of the
+//! true in-range set; the caller performs the exact range check against
+//! live positions. This keeps the grid path's observable behaviour —
+//! members *and* iteration order of the final in-range set — bit-identical
+//! to the brute-force all-nodes scan (asserted by
+//! `crates/sim/tests/proptest_grid.rs` and the kernel equivalence tests).
+//!
+//! # Determinism
+//!
+//! Cells live in a flat row-major `Vec`; members are bucketed in ascending
+//! node-id order on every rebuild, and [`SpatialGrid::candidates_into`]
+//! emits the gathered candidates through a per-node bitmap in ascending id
+//! order, matching the order the brute-force scan produces. No hash-order
+//! anything is involved (`det` conventions).
+
+use crate::mobility::Point;
+use crate::packet::NodeId;
+use crate::time::SimTime;
+
+/// Upper bound on the number of grid cells, so degenerate configurations
+/// (kilometre fields with metre-scale radio ranges) cannot allocate an
+/// absurd cell table. Cells are merely coarser above the cap; correctness
+/// is unaffected because candidate gathering is always a superset filter.
+const MAX_CELLS: usize = 1 << 16;
+
+/// A uniform cell grid over the simulation field, bucketing node ids by
+/// their position at the last rebuild.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    /// Cell edge length in metres (≥ radio range).
+    cell: f64,
+    /// Number of cell columns.
+    cols: usize,
+    /// Number of cell rows.
+    rows: usize,
+    /// Radio range the grid answers queries for.
+    range: f64,
+    /// Maximum node speed, bounding staleness drift.
+    max_speed: f64,
+    /// Members per cell, row-major, each in ascending node-id order.
+    members: Vec<Vec<NodeId>>,
+    /// Scratch bitmap (one bit per node id, sized at rebuild) used by
+    /// [`SpatialGrid::candidates_into`] to emit gathered candidates in
+    /// ascending id order without a per-query sort.
+    mask: Vec<u64>,
+    /// When the bucketed positions were captured.
+    refreshed_at: SimTime,
+}
+
+impl SpatialGrid {
+    /// Creates a grid over a `width`×`height` field for the given radio
+    /// `range` and mobility `max_speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is not strictly positive (the same
+    /// invariants [`crate::SimConfig::validate`] enforces).
+    pub fn new(width: f64, height: f64, range: f64, max_speed: f64) -> SpatialGrid {
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        assert!(range > 0.0, "radio range must be positive");
+        assert!(max_speed > 0.0, "max_speed must be positive");
+        // Cell edge = radio range: a query disc of radius `range` then
+        // touches at most a 3×3 neighbourhood (plus staleness slack).
+        let mut cell = range;
+        let dims = |cell: f64| {
+            let cols = (width / cell).ceil().max(1.0) as usize;
+            let rows = (height / cell).ceil().max(1.0) as usize;
+            (cols, rows)
+        };
+        let (mut cols, mut rows) = dims(cell);
+        while cols * rows > MAX_CELLS {
+            cell *= 2.0;
+            (cols, rows) = dims(cell);
+        }
+        SpatialGrid {
+            cell,
+            cols,
+            rows,
+            range,
+            max_speed,
+            members: (0..cols * rows).map(|_| Vec::new()).collect(),
+            mask: Vec::new(),
+            refreshed_at: SimTime::ZERO,
+        }
+    }
+
+    /// Flat cell index of a position (clamped to the field).
+    fn cell_of(&self, p: Point) -> usize {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Rebuckets every node from its position at time `now`. The `i`-th
+    /// item of `positions` is node `i`'s position; nodes are therefore
+    /// bucketed in ascending id order within each cell.
+    pub fn rebuild(&mut self, now: SimTime, positions: impl Iterator<Item = Point>) {
+        for cell in &mut self.members {
+            cell.clear();
+        }
+        let mut count = 0usize;
+        for (i, p) in positions.enumerate() {
+            let idx = self.cell_of(p);
+            if let Some(cell) = self.members.get_mut(idx) {
+                // audit: allow(D007, reason = "cells are cleared at the top of every rebuild; occupancy is bounded by n_nodes")
+                cell.push(NodeId(i as u16));
+            }
+            count = i + 1;
+        }
+        self.mask.resize(count.div_ceil(64), 0);
+        self.refreshed_at = now;
+    }
+
+    /// Time of the last [`SpatialGrid::rebuild`].
+    pub fn refreshed_at(&self) -> SimTime {
+        self.refreshed_at
+    }
+
+    /// Collects into `out` every node id whose *bucketed* position could
+    /// put it within radio range of `center` at time `now`, in ascending
+    /// id order. A superset of the true in-range set: callers must still
+    /// range-check live positions. `out` is cleared first and reused —
+    /// this path runs once per transmitted frame and must not allocate in
+    /// steady state.
+    pub fn candidates_into(&mut self, now: SimTime, center: Point, out: &mut Vec<NodeId>) {
+        out.clear();
+        // Drift bound since the last rebuild; covers every position a
+        // bucketed node can have reached by `now`.
+        let slack = self.max_speed * now.saturating_sub(self.refreshed_at).as_secs();
+        let reach = self.range + slack;
+        let cx0 = (((center.x - reach) / self.cell).floor().max(0.0)) as usize;
+        let cy0 = (((center.y - reach) / self.cell).floor().max(0.0)) as usize;
+        let cx1 = ((((center.x + reach) / self.cell) as usize).max(cx0)).min(self.cols - 1);
+        let cy1 = ((((center.y + reach) / self.cell) as usize).max(cy0)).min(self.rows - 1);
+        let cx0 = cx0.min(self.cols - 1);
+        let cy0 = cy0.min(self.rows - 1);
+        // Mark gathered ids in the scratch bitmap, then emit set bits low
+        // to high: ascending id order (matching the brute-force all-nodes
+        // scan exactly) with no per-query sort. Zeroing the mask is a
+        // handful of words even at 1000 nodes.
+        for w in &mut self.mask {
+            *w = 0;
+        }
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                if let Some(cell) = self.members.get(cy * self.cols + cx) {
+                    for id in cell {
+                        let i = id.index();
+                        if let Some(w) = self.mask.get_mut(i / 64) {
+                            *w |= 1u64 << (i % 64);
+                        }
+                    }
+                }
+            }
+        }
+        for (wi, &word) in self.mask.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                // audit: allow(D007, reason = "out is a caller-owned scratch buffer, cleared on entry; bounded by n_nodes")
+                out.push(NodeId((wi * 64 + bit) as u16));
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn candidates_cover_in_range_nodes() {
+        let mut g = SpatialGrid::new(1000.0, 1000.0, 250.0, 20.0);
+        let positions = pts(&[
+            (100.0, 100.0),
+            (300.0, 100.0),
+            (900.0, 900.0),
+            (120.0, 140.0),
+        ]);
+        g.rebuild(SimTime::ZERO, positions.iter().copied());
+        let mut out = Vec::new();
+        g.candidates_into(SimTime::ZERO, Point::new(110.0, 110.0), &mut out);
+        assert!(out.contains(&NodeId(0)));
+        assert!(out.contains(&NodeId(1)));
+        assert!(out.contains(&NodeId(3)));
+        assert!(!out.contains(&NodeId(2)), "far corner must be pruned");
+    }
+
+    #[test]
+    fn candidates_are_id_sorted() {
+        let mut g = SpatialGrid::new(500.0, 500.0, 100.0, 5.0);
+        // All in one cell neighbourhood; bucketing order is id order, and
+        // the query must return ascending ids regardless of cell layout.
+        let positions = pts(&[(10.0, 10.0), (240.0, 240.0), (120.0, 30.0), (60.0, 200.0)]);
+        g.rebuild(SimTime::ZERO, positions.iter().copied());
+        let mut out = Vec::new();
+        g.candidates_into(SimTime::ZERO, Point::new(100.0, 100.0), &mut out);
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn staleness_widens_the_query() {
+        let mut g = SpatialGrid::new(2000.0, 2000.0, 100.0, 20.0);
+        // Node 0 bucketed two cells away from the query center: its cell is
+        // outside the fresh reach rectangle, but reachable after 5 s of
+        // 20 m/s drift widens the reach from 100 m to 200 m.
+        g.rebuild(SimTime::ZERO, pts(&[(650.0, 500.0)]).into_iter());
+        let mut out = Vec::new();
+        let center = Point::new(450.0, 500.0);
+        g.candidates_into(SimTime::ZERO, center, &mut out);
+        assert!(
+            out.is_empty(),
+            "fresh grid: cell [600,700) beyond 550 m rect"
+        );
+        g.candidates_into(SimTime::from_secs(5.0), center, &mut out);
+        assert_eq!(out, vec![NodeId(0)], "5 s staleness widens reach to 200 m");
+    }
+
+    #[test]
+    fn degenerate_small_world_is_one_cell() {
+        let mut g = SpatialGrid::new(50.0, 50.0, 250.0, 20.0);
+        g.rebuild(SimTime::ZERO, pts(&[(1.0, 1.0), (49.0, 49.0)]).into_iter());
+        let mut out = Vec::new();
+        g.candidates_into(SimTime::ZERO, Point::new(25.0, 25.0), &mut out);
+        assert_eq!(out, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn cell_cap_coarsens_instead_of_exploding() {
+        // 1e6 x 1e6 field with a 10 m range would want 1e10 cells; the cap
+        // coarsens the grid instead.
+        let g = SpatialGrid::new(1_000_000.0, 1_000_000.0, 10.0, 20.0);
+        assert!(g.cols * g.rows <= MAX_CELLS);
+    }
+}

@@ -41,6 +41,7 @@ pub mod app;
 pub mod config;
 pub mod det;
 pub mod event;
+pub mod grid;
 pub mod mobility;
 pub mod packet;
 pub mod radio;
@@ -53,7 +54,8 @@ pub mod trace;
 pub use agent::{Agent, AgentHarness, Ctx, TimerToken};
 pub use app::{App, AppCtx, AppData, AppKind, FlowId};
 pub use config::{SimConfig, SimConfigBuilder};
-pub use det::{DetMap, DetSet, IndexedMap};
+pub use det::{DetMap, DetSet, IndexedMap, NodeMap};
+pub use grid::SpatialGrid;
 pub use mobility::{Point, RandomWaypoint, Waypoint};
 pub use packet::{NodeId, Packet, PacketId, TxDest};
 pub use radio::RadioModel;

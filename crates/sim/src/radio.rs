@@ -24,7 +24,6 @@ use crate::mobility::Point;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use rand::Rng;
-use std::collections::VecDeque;
 
 /// Outcome of attempting one frame reception at a specific receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +35,13 @@ pub enum Reception {
 }
 
 /// Sliding-window record of recent transmissions for contention estimation.
+///
+/// The window is bucketed into a spatial grid, so counting the contenders
+/// around a receiver scans only the cell neighbourhood that can possibly
+/// contain them instead of every transmission in the window world-wide —
+/// the count itself is exact (each bucketed candidate still passes the
+/// precise distance test), so loss probabilities and RNG draws are
+/// bit-identical to the flat scan.
 #[derive(Debug)]
 pub struct RadioModel {
     range: f64,
@@ -44,8 +50,20 @@ pub struct RadioModel {
     base_loss: f64,
     mac_jitter: f64,
     contention_window: SimTime,
-    /// Recent transmissions: (time, position of transmitter).
-    recent: VecDeque<(SimTime, Point)>,
+    /// Recent transmissions, bucketed by transmitter cell. Each cell is
+    /// pruned lazily when pushed to or counted, so entries are dropped
+    /// amortized O(1).
+    cells: Vec<TxWindow>,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// Cells per axis a contention scan must reach: `ceil(interference /
+    /// cell)`, so the scanned square always covers the interference disc.
+    reach: usize,
+    /// Conservative squared-distance bands for the radio range and the
+    /// interference range (see [`RadioModel::within`]).
+    range_sq_band: (f64, f64),
+    intf_sq_band: (f64, f64),
     rng: SimRng,
 }
 
@@ -56,9 +74,29 @@ impl RadioModel {
     /// deliberately small; bursts (flood storms) still degrade delivery.
     pub const LOSS_PER_CONTENDER: f64 = 0.002;
 
+    /// Upper bound on contention-grid cells; worlds so large that the
+    /// interference range needs more cells double the cell edge instead.
+    const MAX_CELLS: usize = 4096;
+
     /// Creates a radio model from a scenario configuration and a dedicated
     /// RNG stream.
     pub fn new(cfg: &SimConfig, rng: SimRng) -> RadioModel {
+        // One interference range per cell: a contention scan reaches one
+        // cell out (3×3). Finer cells would shave scanned *area*, but most
+        // cells hold no transmissions inside the 10 ms window, so the
+        // per-cell probe overhead dominates and costs more than it saves.
+        let mut cell = cfg.interference_range.max(1.0);
+        let dims = |cell: f64| {
+            let cols = (cfg.width / cell).ceil().max(1.0) as usize;
+            let rows = (cfg.height / cell).ceil().max(1.0) as usize;
+            (cols, rows)
+        };
+        let (mut cols, mut rows) = dims(cell);
+        while cols * rows > Self::MAX_CELLS {
+            cell *= 2.0;
+            (cols, rows) = dims(cell);
+        }
+        let reach = (cfg.interference_range / cell).ceil().max(1.0) as usize;
         RadioModel {
             range: cfg.range,
             interference_range: cfg.interference_range,
@@ -66,9 +104,81 @@ impl RadioModel {
             base_loss: cfg.base_loss,
             mac_jitter: cfg.mac_jitter,
             contention_window: SimTime::from_secs(0.01),
-            recent: VecDeque::new(),
+            cells: (0..cols * rows).map(|_| TxWindow::default()).collect(),
+            cell,
+            cols,
+            rows,
+            reach,
+            range_sq_band: Self::sq_band(cfg.range),
+            intf_sq_band: Self::sq_band(cfg.interference_range),
             rng,
         }
+    }
+
+    /// Conservative `(lo, hi)` band around `r²` for [`RadioModel::within`]:
+    /// thousands of ulps on either side of where the exact comparison could
+    /// possibly flip.
+    fn sq_band(r: f64) -> (f64, f64) {
+        let r2 = r * r;
+        (r2 * (1.0 - 1e-12), r2 * (1.0 + 1e-12))
+    }
+
+    /// Exactly `a.distance(b) <= r`, square-root-free outside a ±1e-12
+    /// relative band around `r²`. `sqrt` is monotonic and correctly
+    /// rounded, so the comparison is a threshold in squared distance that
+    /// can sit at most a few ulps away from `r²`; inside the (vastly
+    /// wider) band the exact expression decides, keeping every outcome
+    /// bit-for-bit identical to the plain distance test.
+    #[inline]
+    fn within(a: Point, b: Point, r: f64, (lo, hi): (f64, f64)) -> bool {
+        let dx = a.x - b.x;
+        let dy = a.y - b.y;
+        let s = dx * dx + dy * dy;
+        if s <= lo {
+            true
+        } else if s >= hi {
+            false
+        } else {
+            a.distance(b) <= r
+        }
+    }
+
+    /// Number of points within `r` of `rx` — exact: the same outcome per
+    /// point as `p.distance(rx) <= r`. The main pass is branchless (and
+    /// free of the deciding comparison's rare middle case) so it
+    /// vectorizes; points that land inside the ambiguity band are
+    /// re-decided by the exact expression in a second, almost-never-taken
+    /// pass.
+    fn count_within(xs: &[f64], ys: &[f64], rx: Point, r: f64, (lo, hi): (f64, f64)) -> usize {
+        let mut inside = 0usize;
+        let mut ambiguous = 0usize;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - rx.x;
+            let dy = y - rx.y;
+            let s = dx * dx + dy * dy;
+            inside += usize::from(s <= lo);
+            ambiguous += usize::from(s > lo && s < hi);
+        }
+        if ambiguous > 0 {
+            inside += xs
+                .iter()
+                .zip(ys)
+                .filter(|&(&x, &y)| {
+                    let dx = x - rx.x;
+                    let dy = y - rx.y;
+                    let s = dx * dx + dy * dy;
+                    s > lo && s < hi && Point::new(x, y).distance(rx) <= r
+                })
+                .count();
+        }
+        inside
+    }
+
+    /// Grid cell index of a position (clamped into bounds).
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let cy = ((p.y / self.cell) as isize).clamp(0, self.rows as isize - 1) as usize;
+        (cx, cy)
     }
 
     /// The radio transmission range in metres.
@@ -77,15 +187,21 @@ impl RadioModel {
     }
 
     /// Whether a receiver at `rx` can hear a transmitter at `tx`.
+    #[inline]
     pub fn in_range(&self, tx: Point, rx: Point) -> bool {
-        tx.distance(rx) <= self.range
+        Self::within(tx, rx, self.range, self.range_sq_band)
     }
 
     /// Registers a transmission (for contention accounting) and returns its
     /// airtime + jitter latency.
     pub fn begin_transmission(&mut self, now: SimTime, tx_pos: Point, size_bytes: u32) -> SimTime {
-        self.prune(now);
-        self.recent.push_back((now, tx_pos));
+        let horizon = now.saturating_sub(self.contention_window);
+        let (cx, cy) = self.cell_of(tx_pos);
+        let idx = cy * self.cols + cx;
+        if let Some(cell) = self.cells.get_mut(idx) {
+            cell.prune(horizon);
+            cell.push(now, tx_pos);
+        }
         let airtime = size_bytes as f64 * 8.0 / self.bandwidth_bps;
         let jitter = self.rng.gen_range(0.0..=self.mac_jitter);
         SimTime::from_secs(airtime + jitter)
@@ -97,13 +213,24 @@ impl RadioModel {
     /// transmissions in the contention window within interference range of
     /// the receiver, capped at 0.95 so the channel never becomes an oubliette.
     pub fn receive(&mut self, now: SimTime, rx_pos: Point) -> Reception {
-        self.prune(now);
-        let contenders = self
-            .recent
-            .iter()
-            .filter(|(_, p)| p.distance(rx_pos) <= self.interference_range)
-            .count()
-            .saturating_sub(1); // the frame's own transmission doesn't contend with itself
+        let horizon = now.saturating_sub(self.contention_window);
+        let (cx, cy) = self.cell_of(rx_pos);
+        // Every transmitter within interference range of `rx_pos` lies
+        // within `reach` cells of its cell (reach·cell ≥ interference
+        // range), so this counts exactly the set the flat scan counted.
+        let (r, band) = (self.interference_range, self.intf_sq_band);
+        let mut contenders = 0usize;
+        for y in cy.saturating_sub(self.reach)..=(cy + self.reach).min(self.rows - 1) {
+            for x in cx.saturating_sub(self.reach)..=(cx + self.reach).min(self.cols - 1) {
+                if let Some(cell) = self.cells.get_mut(y * self.cols + x) {
+                    cell.prune(horizon);
+                    let (xs, ys) = cell.coords();
+                    contenders += Self::count_within(xs, ys, rx_pos, r, band);
+                }
+            }
+        }
+        // The frame's own transmission doesn't contend with itself.
+        let contenders = contenders.saturating_sub(1);
         let p_loss = (self.base_loss + Self::LOSS_PER_CONTENDER * contenders as f64).min(0.95);
         if self.rng.gen_bool(p_loss) {
             Reception::Lost
@@ -112,21 +239,65 @@ impl RadioModel {
         }
     }
 
-    /// Current number of transmissions in the contention window (for tests
-    /// and diagnostics).
+    /// Current number of transmissions stored in the contention window
+    /// (for tests and diagnostics; cells prune lazily, so this can
+    /// transiently include entries an upcoming push or count would drop).
     pub fn contention_level(&self) -> usize {
-        self.recent.len()
+        self.cells.iter().map(TxWindow::len).sum()
+    }
+}
+
+/// One contention cell's transmissions in struct-of-arrays layout: the
+/// count scan touches only the two pure-`f64` coordinate streams (always
+/// contiguous, index-aligned, and shuffle-free to vectorize), not the
+/// timestamps it would skip anyway. Pruned entries become a dead prefix
+/// (`start`) that is compacted away once it outgrows the live suffix, so
+/// eviction stays amortized O(1) and memory bounded by ~2× the peak
+/// window population.
+#[derive(Debug, Default)]
+struct TxWindow {
+    times: Vec<SimTime>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Index of the first live (unpruned) entry.
+    start: usize,
+}
+
+impl TxWindow {
+    fn push(&mut self, now: SimTime, pos: Point) {
+        // audit: allow(D007, reason = "prune() evicts entries older than the 10 ms contention window before every push and count")
+        self.times.push(now);
+        // audit: allow(D007, reason = "pruned in lockstep with times")
+        self.xs.push(pos.x);
+        // audit: allow(D007, reason = "pruned in lockstep with times")
+        self.ys.push(pos.y);
     }
 
-    fn prune(&mut self, now: SimTime) {
-        let horizon = now.saturating_sub(self.contention_window);
-        while let Some(&(t, _)) = self.recent.front() {
-            if t < horizon {
-                self.recent.pop_front();
-            } else {
-                break;
-            }
+    /// Marks entries older than `horizon` dead (times are pushed in
+    /// nondecreasing order, so the stale prefix is contiguous), compacting
+    /// the buffers when the dead prefix outgrows the live entries.
+    fn prune(&mut self, horizon: SimTime) {
+        while self.times.get(self.start).is_some_and(|&t| t < horizon) {
+            self.start += 1;
         }
+        if self.start > 32 && self.start * 2 > self.times.len() {
+            self.times.drain(..self.start);
+            self.xs.drain(..self.start);
+            self.ys.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.times.len() - self.start
+    }
+
+    /// The live entries' coordinate streams (equal-length slices).
+    fn coords(&self) -> (&[f64], &[f64]) {
+        (
+            self.xs.get(self.start..).unwrap_or(&[]),
+            self.ys.get(self.start..).unwrap_or(&[]),
+        )
     }
 }
 

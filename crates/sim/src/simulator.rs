@@ -1,11 +1,35 @@
 //! The simulation kernel: owns nodes, apps, radio and the event queue, and
 //! drives everything chronologically.
+//!
+//! # Storage layout
+//!
+//! Per-node state is **slotted**: instead of one `Vec<NodeCell>` of fat
+//! structs, each per-node component (agent, mobility, audit sink, RNG
+//! stream) lives in its own id-indexed `Vec` — the same Vec-slot idea as
+//! [`crate::det::IndexedMap`], with the node id as the slot key. Hot loops
+//! touch only the slot vector they need: the transmit-time neighbor walk
+//! streams through `mobility` alone instead of dragging whole agent cells
+//! through cache, and mobility sampling touches `mobility` + `sinks` only.
+//!
+//! App endpoints are slotted the same way, and the flow→app resolution
+//! that runs on every data delivery is id-keyed per node
+//! (`endpoints[node]`), not a search over a global table.
+//!
+//! # Neighbor lookup
+//!
+//! Frame propagation finds receivers through a [`SpatialGrid`] keyed on
+//! the radio range and refreshed at every mobility sample, so a transmit
+//! costs O(local density) instead of O(n_nodes). The grid returns a
+//! deterministic, id-ordered *superset* of the in-range set; the kernel
+//! range-checks live positions, so traces are bit-identical to the
+//! brute-force all-nodes scan (disable the grid with
+//! [`crate::SimConfigBuilder::neighbor_grid`] to run that reference path).
 
 use crate::agent::{Agent, Ctx, TimerToken};
 use crate::app::{App, AppCtx, AppData, FlowId};
 use crate::config::SimConfig;
-use crate::det::IndexedMap;
 use crate::event::{EventKind, EventQueue};
+use crate::grid::SpatialGrid;
 use crate::mobility::{Point, RandomWaypoint};
 use crate::packet::{NodeId, Packet, TxDest};
 use crate::radio::{RadioModel, Reception};
@@ -14,17 +38,32 @@ use crate::sink::TraceSink;
 use crate::time::SimTime;
 use crate::trace::NodeTrace;
 
-/// Per-node state owned by the simulator.
-struct NodeCell<A> {
-    agent: A,
-    mobility: RandomWaypoint,
-    sink: Box<dyn TraceSink>,
-    rng: SimRng,
+/// Id-keyed slot storage for per-node state. Slot `i` across all vectors
+/// belongs to `NodeId(i)`; the vectors always have identical length.
+struct NodeSlots<A> {
+    /// Protocol agent per node.
+    agents: Vec<A>,
+    /// Random-waypoint trajectory per node (the transmit hot path walks
+    /// only this vector).
+    mobility: Vec<RandomWaypoint>,
+    /// Audit sink per node.
+    sinks: Vec<Box<dyn TraceSink>>,
+    /// Agent RNG stream per node.
+    rngs: Vec<SimRng>,
+    /// Registered app endpoints per node: `(flow, app slot)` pairs in
+    /// registration order. Data delivery resolves flow→app with one
+    /// indexed access plus a scan of this node's few flows.
+    endpoints: Vec<Vec<(FlowId, usize)>>,
 }
 
-struct AppCell {
-    app: Box<dyn App>,
-    rng: SimRng,
+/// Id-keyed slot storage for application endpoints.
+struct AppSlots {
+    /// The endpoints themselves.
+    apps: Vec<Box<dyn App>>,
+    /// App RNG stream per slot.
+    rngs: Vec<SimRng>,
+    /// Home node per slot (cached so dispatch needs no dyn call).
+    nodes: Vec<NodeId>,
 }
 
 /// Work items processed synchronously at the current instant; all callback
@@ -61,14 +100,27 @@ pub struct Simulator<A: Agent> {
     cfg: SimConfig,
     now: SimTime,
     queue: EventQueue<A::Header>,
-    nodes: Vec<NodeCell<A>>,
-    apps: Vec<AppCell>,
-    flow_endpoints: IndexedMap<(FlowId, NodeId), usize>,
+    nodes: NodeSlots<A>,
+    apps: AppSlots,
+    /// Spatial neighbor index; `None` runs the brute-force all-nodes scan
+    /// (the reference path the grid is proven bit-identical to).
+    grid: Option<SpatialGrid>,
+    /// Scratch: candidate receivers gathered per transmission.
+    candidates_scratch: Vec<NodeId>,
+    /// Scratch: exact in-range receivers per transmission.
+    in_range_scratch: Vec<NodeId>,
+    /// Recycled receiver lists for `DeliverBatch` events (no steady-state
+    /// allocation on the fan-out path).
+    batch_pool: Vec<Vec<(NodeId, bool)>>,
+    /// Recycled same-instant worklist for `drain` (one live callback chain
+    /// at a time, so a single scratch suffices).
+    worklist: Vec<Pending<A::Header>>,
     radio: RadioModel,
     packet_counter: u64,
     started: bool,
     delivered_frames: u64,
     lost_frames: u64,
+    events_processed: u64,
 }
 
 impl<A: Agent> Simulator<A> {
@@ -79,35 +131,53 @@ impl<A: Agent> Simulator<A> {
     /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
     pub fn new(cfg: SimConfig, mut factory: impl FnMut(NodeId) -> A) -> Simulator<A> {
         if let Err(e) = cfg.validate() {
-            panic!("invalid SimConfig: {e}");
+            panic!("invalid SimConfig: {e}"); // audit: allow(D006, reason = "documented panic contract: new() rejects invalid configurations at setup time")
         }
-        let nodes = (0..cfg.n_nodes)
-            .map(|i| NodeCell {
-                agent: factory(NodeId(i)),
-                mobility: RandomWaypoint::new(
-                    cfg.width,
-                    cfg.height,
-                    cfg.max_speed,
-                    cfg.pause,
-                    StreamLabel::Mobility(i).stream(cfg.seed),
-                ),
-                sink: Box::new(NodeTrace::new()),
-                rng: StreamLabel::Agent(i).stream(cfg.seed),
-            })
-            .collect();
+        let n = cfg.n_nodes as usize;
+        let mut nodes = NodeSlots {
+            agents: Vec::with_capacity(n),
+            mobility: Vec::with_capacity(n),
+            sinks: Vec::with_capacity(n),
+            rngs: Vec::with_capacity(n),
+            endpoints: (0..n).map(|_| Vec::new()).collect(),
+        };
+        for i in 0..cfg.n_nodes {
+            nodes.agents.push(factory(NodeId(i)));
+            nodes.mobility.push(RandomWaypoint::new(
+                cfg.width,
+                cfg.height,
+                cfg.max_speed,
+                cfg.pause,
+                StreamLabel::Mobility(i).stream(cfg.seed),
+            ));
+            nodes.sinks.push(Box::new(NodeTrace::new()));
+            nodes.rngs.push(StreamLabel::Agent(i).stream(cfg.seed));
+        }
         let radio = RadioModel::new(&cfg, StreamLabel::Radio.stream(cfg.seed));
+        let grid = cfg
+            .neighbor_grid
+            .then(|| SpatialGrid::new(cfg.width, cfg.height, cfg.range, cfg.max_speed));
         Simulator {
             cfg,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             nodes,
-            apps: Vec::new(),
-            flow_endpoints: IndexedMap::new(),
+            apps: AppSlots {
+                apps: Vec::new(),
+                rngs: Vec::new(),
+                nodes: Vec::new(),
+            },
+            grid,
+            candidates_scratch: Vec::new(),
+            in_range_scratch: Vec::new(),
+            batch_pool: Vec::new(),
+            worklist: Vec::new(),
             radio,
             packet_counter: 0,
             started: false,
             delivered_frames: 0,
             lost_frames: 0,
+            events_processed: 0,
         }
     }
 
@@ -124,17 +194,21 @@ impl<A: Agent> Simulator<A> {
         let node = app.node();
         let flow = app.flow();
         assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.nodes.agents.len(),
             "app node {node} out of range"
         );
-        let idx = self.apps.len();
-        let prev = self.flow_endpoints.insert((flow, node), idx);
+        let idx = self.apps.apps.len();
+        let slots = &mut self.nodes.endpoints[node.index()]; // audit: allow(D006, reason = "node was asserted in range two lines above")
         assert!(
-            prev.is_none(),
+            !slots.iter().any(|&(f, _)| f == flow),
             "duplicate app endpoint for flow {flow:?} at {node}"
         );
-        let rng = StreamLabel::App(idx as u32).stream(self.cfg.seed);
-        self.apps.push(AppCell { app, rng });
+        slots.push((flow, idx));
+        self.apps
+            .rngs
+            .push(StreamLabel::App(idx as u32).stream(self.cfg.seed));
+        self.apps.nodes.push(node);
+        self.apps.apps.push(app);
     }
 
     /// Current virtual time.
@@ -158,7 +232,7 @@ impl<A: Agent> Simulator<A> {
     /// started (events may already have been routed to the old sink).
     pub fn set_sink(&mut self, node: NodeId, sink: Box<dyn TraceSink>) {
         assert!(!self.started, "sinks must be installed before run()");
-        self.nodes[node.index()].sink = sink;
+        self.nodes.sinks[node.index()] = sink; // audit: allow(D006, reason = "documented panic contract: set_sink() panics on out-of-range nodes")
     }
 
     /// The audit trace of one node.
@@ -168,8 +242,7 @@ impl<A: Agent> Simulator<A> {
     /// Panics if `node` is out of range, or if the node's sink does not
     /// retain an in-memory [`NodeTrace`] (see [`Simulator::set_sink`]).
     pub fn trace(&self, node: NodeId) -> &NodeTrace {
-        self.nodes[node.index()]
-            .sink
+        self.nodes.sinks[node.index()] // audit: allow(D006, reason = "documented panic contract: trace() panics on out-of-range nodes")
             .as_node_trace()
             // audit: allow(D004, reason = "documented panic contract: trace() requires an in-memory NodeTrace sink")
             .expect("node's audit sink does not retain an in-memory NodeTrace")
@@ -183,10 +256,10 @@ impl<A: Agent> Simulator<A> {
     /// (see [`Simulator::set_sink`]).
     pub fn into_traces(self) -> Vec<NodeTrace> {
         self.nodes
+            .sinks
             .into_iter()
-            .map(|c| {
-                c.sink
-                    .into_node_trace()
+            .map(|s| {
+                s.into_node_trace()
                     // audit: allow(D004, reason = "documented panic contract: into_traces() requires in-memory NodeTrace sinks")
                     .expect("node's audit sink does not retain an in-memory NodeTrace")
             })
@@ -196,15 +269,26 @@ impl<A: Agent> Simulator<A> {
     /// Position of `node` at the current time.
     pub fn position(&mut self, node: NodeId) -> Point {
         let now = self.now;
-        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index nodes")
-        let cell = &mut self.nodes[node.index()];
-        cell.mobility.advance_to(now);
-        cell.mobility.position(now)
+        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index the slot vectors")
+        let m = &mut self.nodes.mobility[node.index()];
+        m.advance_to(now);
+        m.position(now)
     }
 
     /// Counters of frames delivered / lost at the radio (diagnostics).
     pub fn frame_stats(&self) -> (u64, u64) {
         (self.delivered_frames, self.lost_frames)
+    }
+
+    /// Number of events popped from the schedule so far (throughput
+    /// diagnostics; the unit the kernel benches report as events/s).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently scheduled (queue-depth diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Runs the simulation until the configured duration has elapsed.
@@ -218,14 +302,17 @@ impl<A: Agent> Simulator<A> {
     pub fn run_until(&mut self, end: SimTime) {
         if !self.started {
             self.started = true;
+            // Initial grid build from the time-zero positions, before any
+            // event can transmit.
+            self.refresh_grid();
             let mut pending: Vec<Pending<A::Header>> = Vec::new();
-            for i in 0..self.nodes.len() {
+            for i in 0..self.nodes.agents.len() {
                 pending.push(Pending::AgentStart(NodeId(i as u16)));
             }
-            for i in 0..self.apps.len() {
+            for i in 0..self.apps.apps.len() {
                 pending.push(Pending::AppStart(i));
             }
-            self.drain(pending);
+            self.worklist = self.drain(pending);
             self.queue
                 .push(self.cfg.mobility_sample_interval, EventKind::MobilitySample);
         }
@@ -237,6 +324,7 @@ impl<A: Agent> Simulator<A> {
                 break; // unreachable: a time was just peeked
             };
             self.now = ev.t;
+            self.events_processed += 1;
             let first = match ev.kind {
                 EventKind::Deliver {
                     to,
@@ -248,6 +336,10 @@ impl<A: Agent> Simulator<A> {
                     } else {
                         Pending::AgentPacket(to, pkt)
                     }
+                }
+                EventKind::DeliverBatch { pkt, receivers } => {
+                    self.deliver_batch(pkt, receivers);
+                    continue;
                 }
                 EventKind::TxFailed {
                     node,
@@ -265,24 +357,71 @@ impl<A: Agent> Simulator<A> {
                     continue;
                 }
             };
-            self.drain(vec![first]);
+            let mut wl = std::mem::take(&mut self.worklist);
+            wl.push(first);
+            self.worklist = self.drain(wl);
         }
         if self.now < end {
             self.now = end;
         }
     }
 
+    /// Processes one fanned-out transmission: each reception drains in
+    /// list order, exactly as the per-receiver `Deliver` events would have
+    /// popped (see [`EventKind::DeliverBatch`]). Each reception counts as
+    /// one processed event; the pop of the batch itself counted the first.
+    fn deliver_batch(&mut self, pkt: Packet<A::Header>, mut receivers: Vec<(NodeId, bool)>) {
+        self.events_processed += (receivers.len() as u64).saturating_sub(1);
+        let n = receivers.len();
+        let mut frame = Some(pkt);
+        for (i, &(to, promiscuous)) in receivers.iter().enumerate() {
+            // The last reception takes the frame; earlier ones clone it.
+            let Some(p) = (if i + 1 == n {
+                frame.take()
+            } else {
+                frame.clone()
+            }) else {
+                break;
+            };
+            let first = if promiscuous {
+                Pending::AgentPromiscuous(to, p)
+            } else {
+                Pending::AgentPacket(to, p)
+            };
+            let mut wl = std::mem::take(&mut self.worklist);
+            wl.push(first);
+            self.worklist = self.drain(wl);
+        }
+        receivers.clear();
+        // audit: allow(D007, reason = "recycling pool: bounded by the peak number of in-flight transmissions")
+        self.batch_pool.push(receivers);
+    }
+
     fn sample_mobility(&mut self) {
         let now = self.now;
-        for cell in &mut self.nodes {
-            cell.mobility.advance_to(now);
-            let v = cell.mobility.velocity(now);
-            cell.sink.mobility(now, v);
+        for (m, sink) in self.nodes.mobility.iter_mut().zip(&mut self.nodes.sinks) {
+            m.advance_to(now);
+            let v = m.velocity(now);
+            sink.mobility(now, v);
+        }
+        // Every node was just advanced to `now`: rebucket the grid while
+        // the positions are exact, resetting the staleness slack.
+        self.refresh_grid();
+    }
+
+    /// Rebuckets the spatial grid from the nodes' positions at `self.now`.
+    /// Callers must have advanced every node's mobility to `self.now`
+    /// (true at start time and after a mobility sample).
+    fn refresh_grid(&mut self) {
+        let now = self.now;
+        if let Some(grid) = &mut self.grid {
+            grid.rebuild(now, self.nodes.mobility.iter().map(|m| m.position(now)));
         }
     }
 
-    /// Processes a worklist of same-instant callbacks to fixpoint.
-    fn drain(&mut self, mut pending: Vec<Pending<A::Header>>) {
+    /// Processes a worklist of same-instant callbacks to fixpoint and
+    /// returns the (cleared) list for reuse.
+    fn drain(&mut self, mut pending: Vec<Pending<A::Header>>) -> Vec<Pending<A::Header>> {
         // FIFO processing for deterministic, comprehensible ordering.
         let mut i = 0;
         while i < pending.len() {
@@ -340,6 +479,8 @@ impl<A: Agent> Simulator<A> {
                 }
             }
         }
+        pending.clear();
+        pending
     }
 
     /// Runs one agent callback and applies its staged actions.
@@ -350,19 +491,21 @@ impl<A: Agent> Simulator<A> {
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Header>),
     ) {
         let now = self.now;
-        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index nodes")
-        let cell = &mut self.nodes[node.index()];
-        cell.mobility.advance_to(now);
-        let pos = cell.mobility.position(now);
+        let i = node.index();
+        // audit: allow(D006, reason = "NodeId values are allocated by this simulator and always index the slot vectors")
+        let m = &mut self.nodes.mobility[i];
+        m.advance_to(now);
+        let pos = m.position(now);
         let mut ctx = Ctx::new(
             now,
             node,
             pos,
-            cell.sink.as_mut(),
-            &mut cell.rng,
+            self.nodes.sinks[i].as_mut(), // audit: allow(D006, reason = "slot vectors share one length; i was bounds-checked by the mobility access above")
+            &mut self.nodes.rngs[i], // audit: allow(D006, reason = "slot vectors share one length; i was bounds-checked by the mobility access above")
             &mut self.packet_counter,
         );
-        f(&mut cell.agent, &mut ctx);
+        // audit: allow(D006, reason = "slot vectors share one length; i was bounds-checked by the mobility access above")
+        f(&mut self.nodes.agents[i], &mut ctx);
         let Ctx {
             out,
             timers,
@@ -373,7 +516,11 @@ impl<A: Agent> Simulator<A> {
             self.queue.push(fire_at, EventKind::Timer { node, token });
         }
         for (data, size, from) in deliveries {
-            if let Some(&app) = self.flow_endpoints.get(&(data.flow, node)) {
+            // Flow→app resolution is an indexed slot access plus a scan of
+            // this node's own few flows — no global table probe.
+            // audit: allow(D006, reason = "endpoints is a slot vector indexed by the same bounds-checked node id")
+            let slots = &self.nodes.endpoints[i];
+            if let Some(&(_, app)) = slots.iter().find(|&&(f, _)| f == data.flow) {
                 pending.push(Pending::AppReceive {
                     app,
                     data,
@@ -396,10 +543,11 @@ impl<A: Agent> Simulator<A> {
     ) {
         let now = self.now;
         // audit: allow(D006, reason = "app indices come from the queue which only holds registered apps")
-        let cell = &mut self.apps[idx];
-        let node = cell.app.node();
-        let mut ctx = AppCtx::new(now, &mut cell.rng);
-        f(cell.app.as_mut(), &mut ctx);
+        let node = self.apps.nodes[idx];
+        // audit: allow(D006, reason = "app slot vectors share one length; idx was bounds-checked above")
+        let mut ctx = AppCtx::new(now, &mut self.apps.rngs[idx]);
+        // audit: allow(D006, reason = "app slot vectors share one length; idx was bounds-checked above")
+        f(self.apps.apps[idx].as_mut(), &mut ctx);
         let AppCtx { sends, ticks, .. } = ctx;
         for (fire_at, tag) in ticks {
             self.queue
@@ -428,79 +576,90 @@ impl<A: Agent> Simulator<A> {
         pkt.link_src = sender;
         let latency = self.radio.begin_transmission(now, tx_pos, pkt.size);
         let arrive = now + latency;
-        // Collect in-range receivers (positions at transmit time).
-        let mut in_range: Vec<NodeId> = Vec::new();
-        for i in 0..self.nodes.len() {
-            let nid = NodeId(i as u16);
+        // Gather candidate receivers (reused scratch buffers, no per-frame
+        // allocation in steady state). The grid yields an id-ordered
+        // superset of the in-range set; the brute-force reference path
+        // enumerates every node. Both feed the same exact range check, so
+        // `in_range` — members and order — is identical either way.
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        let mut in_range = std::mem::take(&mut self.in_range_scratch);
+        in_range.clear();
+        match &mut self.grid {
+            Some(grid) => grid.candidates_into(now, tx_pos, &mut candidates),
+            None => {
+                candidates.clear();
+                candidates.extend((0..self.nodes.agents.len()).map(|i| NodeId(i as u16)));
+            }
+        }
+        // Exact range check at transmit-time positions. Next-hop membership
+        // is resolved here, during the walk, instead of re-scanning
+        // `in_range` afterwards.
+        let unicast_hop = match dest {
+            TxDest::Unicast(h) => Some(h),
+            TxDest::Broadcast => None,
+        };
+        let mut hop_in_range = false;
+        for &nid in &candidates {
             if nid == sender {
                 continue;
             }
-            // audit: allow(D006, reason = "i < self.nodes.len() is the loop bound two lines up")
-            let cell = &mut self.nodes[i];
-            cell.mobility.advance_to(now);
-            let p = cell.mobility.position(now);
+            // audit: allow(D006, reason = "candidates only holds NodeIds bucketed from the slot vectors")
+            let m = &mut self.nodes.mobility[nid.index()];
+            m.advance_to(now);
+            let p = m.position(now);
             if self.radio.in_range(tx_pos, p) {
+                if unicast_hop == Some(nid) {
+                    hop_in_range = true;
+                }
                 in_range.push(nid);
             }
         }
+        // Survivors of the loss roll accumulate into one recycled receiver
+        // list and go into the schedule as a single event per transmission
+        // (see `EventKind::DeliverBatch` for the ordering argument).
+        let mut rx = self.batch_pool.pop().unwrap_or_default();
+        rx.clear();
         match dest {
             TxDest::Broadcast => {
-                for nid in in_range {
-                    // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from self.nodes above")
-                    let rx_pos = self.nodes[nid.index()].mobility.position(now);
+                for &nid in &in_range {
+                    // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from the slot vectors above")
+                    let rx_pos = self.nodes.mobility[nid.index()].position(now);
                     match self.radio.receive(now, rx_pos) {
                         Reception::Ok => {
                             self.delivered_frames += 1;
-                            self.queue.push(
-                                arrive,
-                                EventKind::Deliver {
-                                    to: nid,
-                                    pkt: pkt.clone(),
-                                    promiscuous: false,
-                                },
-                            );
+                            rx.push((nid, false));
                         }
                         Reception::Lost => self.lost_frames += 1,
                     }
                 }
+                self.push_deliveries(arrive, pkt, rx);
             }
             TxDest::Unicast(next_hop) => {
-                if in_range.contains(&next_hop) {
+                if hop_in_range {
                     // Promiscuous overhears first (they don't depend on the
                     // addressed outcome).
                     if self.cfg.promiscuous {
                         for &nid in in_range.iter().filter(|&&n| n != next_hop) {
-                            // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from self.nodes above")
-                            let rx_pos = self.nodes[nid.index()].mobility.position(now);
+                            // audit: allow(D006, reason = "in_range only holds NodeIds enumerated from the slot vectors above")
+                            let rx_pos = self.nodes.mobility[nid.index()].position(now);
                             if self.radio.receive(now, rx_pos) == Reception::Ok {
-                                self.queue.push(
-                                    arrive,
-                                    EventKind::Deliver {
-                                        to: nid,
-                                        pkt: pkt.clone(),
-                                        promiscuous: true,
-                                    },
-                                );
+                                rx.push((nid, true));
                             }
                         }
                     }
-                    // audit: allow(D006, reason = "in_range membership was just checked; NodeIds index self.nodes")
-                    let rx_pos = self.nodes[next_hop.index()].mobility.position(now);
+                    // audit: allow(D006, reason = "hop_in_range was resolved in the walk above; NodeIds index the slot vectors")
+                    let rx_pos = self.nodes.mobility[next_hop.index()].position(now);
                     match self.radio.receive(now, rx_pos) {
                         Reception::Ok => {
                             self.delivered_frames += 1;
-                            self.queue.push(
-                                arrive,
-                                EventKind::Deliver {
-                                    to: next_hop,
-                                    pkt,
-                                    promiscuous: false,
-                                },
-                            );
+                            rx.push((next_hop, false));
                         }
                         Reception::Lost => self.lost_frames += 1,
                     }
+                    self.push_deliveries(arrive, pkt, rx);
                 } else {
+                    // audit: allow(D007, reason = "recycling pool: bounded by the peak number of in-flight transmissions")
+                    self.batch_pool.push(rx);
                     // Out of range: the MAC exhausts retries (~30 ms) and
                     // reports a link failure to the sender.
                     self.lost_frames += 1;
@@ -516,6 +675,37 @@ impl<A: Agent> Simulator<A> {
                 }
             }
         }
+        self.candidates_scratch = candidates;
+        self.in_range_scratch = in_range;
+    }
+
+    /// Queues the surviving receptions of one transmission: a lone receiver
+    /// rides a plain `Deliver` (smaller queue entry, list recycled); two or
+    /// more share a `DeliverBatch`.
+    fn push_deliveries(
+        &mut self,
+        arrive: SimTime,
+        pkt: Packet<A::Header>,
+        mut rx: Vec<(NodeId, bool)>,
+    ) {
+        if rx.len() <= 1 {
+            if let Some(&(to, promiscuous)) = rx.first() {
+                self.queue.push(
+                    arrive,
+                    EventKind::Deliver {
+                        to,
+                        pkt,
+                        promiscuous,
+                    },
+                );
+            }
+            rx.clear();
+            // audit: allow(D007, reason = "recycling pool: bounded by the peak number of in-flight transmissions")
+            self.batch_pool.push(rx);
+        } else {
+            self.queue
+                .push(arrive, EventKind::DeliverBatch { pkt, receivers: rx });
+        }
     }
 }
 
@@ -523,9 +713,10 @@ impl<A: Agent> std::fmt::Debug for Simulator<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
-            .field("nodes", &self.nodes.len())
-            .field("apps", &self.apps.len())
+            .field("nodes", &self.nodes.agents.len())
+            .field("apps", &self.apps.apps.len())
             .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
             .finish()
     }
 }
@@ -627,6 +818,52 @@ mod tests {
             sim.frame_stats()
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn grid_and_brute_force_paths_are_bit_identical() {
+        // The headline contract of the spatial grid: identical traces and
+        // frame stats on a mobile multi-hop scenario.
+        let run = |grid: bool| {
+            let cfg = SimConfig::builder()
+                .nodes(20)
+                .field(1000.0, 1000.0)
+                .duration_secs(60.0)
+                .seed(7)
+                .neighbor_grid(grid)
+                .build();
+            let mut sim = Simulator::new(cfg, |_| FloodAgent::new());
+            sim.add_app(Box::new(OneShot {
+                node: NodeId(0),
+                dst: NodeId(15),
+                flow: FlowId(1),
+                fired: false,
+            }));
+            sim.run();
+            let stats = sim.frame_stats();
+            (stats, sim.into_traces())
+        };
+        let (stats_grid, traces_grid) = run(true);
+        let (stats_brute, traces_brute) = run(false);
+        assert_eq!(stats_grid, stats_brute);
+        for (g, b) in traces_grid.iter().zip(&traces_brute) {
+            assert_eq!(g.packet_events, b.packet_events);
+            assert_eq!(g.route_events, b.route_events);
+            assert_eq!(g.mobility.len(), b.mobility.len());
+        }
+    }
+
+    #[test]
+    fn events_are_counted() {
+        let mut sim = Simulator::new(dense_config(), |_| FloodAgent::new());
+        sim.add_app(Box::new(OneShot {
+            node: NodeId(0),
+            dst: NodeId(5),
+            flow: FlowId(1),
+            fired: false,
+        }));
+        sim.run();
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]

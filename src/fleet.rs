@@ -1,0 +1,281 @@
+//! Fleet driver: mass-produce labelled training corpora from many seeded
+//! scenario runs.
+//!
+//! Every remaining evaluation axis (classifier quality, scenario
+//! diversity, explainable alarms) is gated on training-data volume, and a
+//! single 10 000 s scenario is one sample. [`run_fleet`] runs a whole
+//! batch — one scenario per seed, each observed from one or more vantage
+//! nodes — across `std::thread::scope` threads via
+//! [`cfa_core::parallel::map_chunks`], and returns the labelled feature
+//! matrices in seed order.
+//!
+//! # Determinism contract
+//!
+//! The fleet inherits the parallel ensemble engine's contract: output is
+//! **bit-identical for every thread count**. Each seeded scenario is a
+//! pure function of its `Scenario` value (the kernel derives every RNG
+//! stream from the scenario seed), and `map_chunks` reassembles per-chunk
+//! results in input order, so the only effect of `--threads` is
+//! wall-clock time. The determinism shaker asserts this end to end, and
+//! [`FleetResult::checksum`] gives a single order-sensitive FNV-1a-64
+//! digest over every matrix bit, label, and timestamp for cheap
+//! cross-machine comparison.
+//!
+//! Writers ([`write_fleet`]) emit one CSV per (seed, vantage) bundle plus
+//! a `manifest.tsv` indexing them — both byte-deterministic (floats are
+//! written with Rust's shortest round-trip formatting; the manifest
+//! carries checksums, never timestamps).
+
+use crate::scenario::{Scenario, TraceBundle};
+use cfa_core::parallel::map_chunks;
+use cfa_core::Parallelism;
+use manet_sim::NodeId;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A batch of seeded scenario runs sharing one base description.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// The scenario every run derives from; its `seed` is replaced by each
+    /// entry of `seeds` in turn.
+    pub base: Scenario,
+    /// One scenario run per seed, in this order.
+    pub seeds: Vec<u64>,
+    /// Vantage nodes whose audit traces become feature matrices, for
+    /// every run.
+    pub vantages: Vec<NodeId>,
+    /// Thread budget; does not affect output bits.
+    pub parallelism: Parallelism,
+}
+
+/// One seeded scenario's output: a labelled bundle per vantage node.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The mobility/protocol seed of this run.
+    pub seed: u64,
+    /// One labelled bundle per vantage node, in `vantages` order.
+    pub bundles: Vec<TraceBundle>,
+}
+
+/// All runs of a fleet, in seed order.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-seed runs, ordered as [`FleetSpec::seeds`].
+    pub runs: Vec<FleetRun>,
+}
+
+/// Runs every seeded scenario of `spec` and collects the labelled feature
+/// bundles, in seed order, bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `spec.seeds` is empty, or on any invalid scenario/vantage
+/// combination (the same contracts as [`Scenario::run_nodes`]).
+pub fn run_fleet(spec: &FleetSpec) -> FleetResult {
+    assert!(!spec.seeds.is_empty(), "fleet needs at least one seed");
+    let runs = map_chunks(spec.parallelism, spec.seeds.len(), |range| {
+        range
+            .map(|i| {
+                // audit: allow(D006, reason = "range comes from map_chunks which only yields indices < seeds.len()")
+                let seed = spec.seeds[i];
+                let scenario = spec.base.clone().with_seed(seed);
+                FleetRun {
+                    seed,
+                    bundles: scenario.run_nodes(&spec.vantages),
+                }
+            })
+            .collect()
+    });
+    FleetResult { runs }
+}
+
+impl FleetResult {
+    /// Order-sensitive FNV-1a-64 digest over every run's matrix bits,
+    /// snapshot times, and labels. Equal checksums at different thread
+    /// counts certify the determinism contract cheaply.
+    pub fn checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for run in &self.runs {
+            h.write_u64(run.seed);
+            for b in &run.bundles {
+                h.write_u64(b.matrix.n_rows() as u64);
+                h.write_u64(b.matrix.n_cols() as u64);
+                for &t in &b.matrix.times {
+                    h.write_u64(t.to_bits());
+                }
+                for row in &b.matrix.rows {
+                    for &v in row {
+                        h.write_u64(v.to_bits());
+                    }
+                }
+                for &l in &b.labels {
+                    h.write_u64(u64::from(l));
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Total snapshot rows across all runs and vantages.
+    pub fn total_rows(&self) -> usize {
+        self.runs
+            .iter()
+            .flat_map(|r| &r.bundles)
+            .map(|b| b.matrix.n_rows())
+            .sum()
+    }
+}
+
+/// FNV-1a-64 (the same construction the CFAM artifact format uses).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Renders one bundle as CSV: header `time,<feature names...>,label`,
+/// then one row per snapshot. Floats use Rust's shortest round-trip
+/// formatting, so the bytes are a faithful (and deterministic) image of
+/// the matrix bits.
+pub fn bundle_to_csv(bundle: &TraceBundle) -> String {
+    let m = &bundle.matrix;
+    let mut out = String::new();
+    out.push_str("time");
+    for name in &m.names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push_str(",label\n");
+    for (i, row) in m.rows.iter().enumerate() {
+        let t = m.times.get(i).copied().unwrap_or_default();
+        let label = bundle.labels.get(i).copied().unwrap_or_default();
+        let _ = write!(out, "{t:?}");
+        for &v in row {
+            let _ = write!(out, ",{v:?}");
+        }
+        let _ = writeln!(out, ",{}", u8::from(label));
+    }
+    out
+}
+
+/// File name of one bundle's CSV within a fleet directory.
+pub fn bundle_file_name(seed: u64, vantage: NodeId) -> String {
+    format!("seed{seed}_node{}.csv", vantage.index())
+}
+
+/// Writes a fleet to `dir`: one CSV per (seed, vantage) bundle plus a
+/// `manifest.tsv` listing `seed`, `vantage`, `rows`, `cols`, `positives`,
+/// `checksum` (FNV-1a-64 over the CSV bytes), and `file`. The manifest is
+/// byte-deterministic — rerunning the same spec reproduces it exactly.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing a file.
+pub fn write_fleet(result: &FleetResult, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = String::from("seed\tvantage\trows\tcols\tpositives\tchecksum\tfile\n");
+    for run in &result.runs {
+        for bundle in &run.bundles {
+            let vantage = bundle.scenario.monitored;
+            let csv = bundle_to_csv(bundle);
+            let mut h = Fnv64::new();
+            for &b in csv.as_bytes() {
+                h.write_u64(u64::from(b));
+            }
+            let file = bundle_file_name(run.seed, vantage);
+            std::fs::write(dir.join(&file), &csv)?;
+            let positives = bundle.labels.iter().filter(|&&l| l).count();
+            let _ = writeln!(
+                manifest,
+                "{}\t{}\t{}\t{}\t{}\t{:016x}\t{}",
+                run.seed,
+                vantage.index(),
+                bundle.matrix.n_rows(),
+                bundle.matrix.n_cols(),
+                positives,
+                h.finish(),
+                file
+            );
+        }
+    }
+    let path = dir.join("manifest.tsv");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(manifest.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Attack, Protocol, Transport};
+
+    fn tiny_spec(threads: usize) -> FleetSpec {
+        FleetSpec {
+            base: Scenario::paper_default(Protocol::Aodv, Transport::Cbr)
+                .with_nodes(15)
+                .with_connections(8)
+                .with_duration(120.0)
+                .with_attack(Attack::blackhole_at(&[60.0])),
+            seeds: vec![21, 22, 23],
+            vantages: vec![NodeId(0), NodeId(3)],
+            parallelism: Parallelism::threads(threads),
+        }
+    }
+
+    #[test]
+    fn fleet_runs_every_seed_and_vantage() {
+        let result = run_fleet(&tiny_spec(1));
+        assert_eq!(result.runs.len(), 3);
+        assert_eq!(result.runs[0].seed, 21);
+        for run in &result.runs {
+            assert_eq!(run.bundles.len(), 2);
+            assert_eq!(run.bundles[0].scenario.monitored, NodeId(0));
+            assert_eq!(run.bundles[1].scenario.monitored, NodeId(3));
+        }
+        assert!(result.total_rows() > 0);
+    }
+
+    #[test]
+    fn checksum_is_thread_count_invariant() {
+        let serial = run_fleet(&tiny_spec(1)).checksum();
+        assert_eq!(serial, run_fleet(&tiny_spec(3)).checksum());
+    }
+
+    #[test]
+    fn csv_round_trips_matrix_shape() {
+        let result = run_fleet(&FleetSpec {
+            seeds: vec![21],
+            vantages: vec![NodeId(0)],
+            ..tiny_spec(1)
+        });
+        let bundle = &result.runs[0].bundles[0];
+        let csv = bundle_to_csv(bundle);
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header line");
+        assert_eq!(header.split(',').count(), bundle.matrix.n_cols() + 2);
+        assert_eq!(lines.count(), bundle.matrix.n_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_fleet_rejected() {
+        let _ = run_fleet(&FleetSpec {
+            seeds: Vec::new(),
+            ..tiny_spec(1)
+        });
+    }
+}

@@ -28,6 +28,7 @@
 //! println!("AUC = {:.3}", outcome.auc);
 //! ```
 
+pub mod fleet;
 pub mod pipeline;
 pub mod scenario;
 

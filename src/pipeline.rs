@@ -150,7 +150,7 @@ fn smooth(scores: &[f64], k: usize) -> Vec<f64> {
         .enumerate()
         .map(|(i, _)| {
             let lo = i.saturating_sub(k - 1);
-            let w = &scores[lo..=i];
+            let w = &scores[lo..=i]; // audit: allow(D006, reason = "lo = i.saturating_sub(k-1) <= i < len by construction")
             w.iter().sum::<f64>() / w.len() as f64
         })
         .collect()
@@ -275,8 +275,8 @@ impl Pipeline {
             train.iter().all(|b| b.labels.iter().all(|&l| !l)),
             "training bundle contains attack windows"
         );
-        let mut train_matrix = train[0].matrix.clone();
-        for b in &train[1..] {
+        let mut train_matrix = train[0].matrix.clone(); // audit: allow(D006, reason = "fit() asserts a non-empty training set on entry")
+        for b in train.iter().skip(1) {
             train_matrix.rows.extend(b.matrix.rows.iter().cloned());
             train_matrix.times.extend(b.matrix.times.iter().copied());
         }
@@ -284,9 +284,9 @@ impl Pipeline {
             &train_matrix,
             self.n_buckets,
             self.discretizer_sample,
-            train[0].scenario.seed,
+            train[0].scenario.seed, // audit: allow(D006, reason = "fit() asserts a non-empty training set on entry")
         );
-        let train_table = disc.transform(&train_matrix).expect("same schema");
+        let train_table = disc.transform(&train_matrix).expect("same schema"); // audit: allow(D006, reason = "discretizer was fitted on this very matrix; schemas match by construction")
         let learner = DynLearner(self.classifier);
         let model = CrossFeatureModel::train_with(&learner, &train_table, self.parallelism);
         let train_scores = smooth(
@@ -446,7 +446,7 @@ impl TrainedPipeline {
     ///
     /// Panics if `matrix` does not have the training schema.
     pub fn score_matrix(&self, matrix: &FeatureMatrix) -> Vec<f64> {
-        let table = self.disc.transform(matrix).expect("same schema");
+        let table = self.disc.transform(matrix).expect("same schema"); // audit: allow(D006, reason = "documented contract: score_matrix requires the training schema")
         smooth(
             &self
                 .detector

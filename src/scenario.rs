@@ -160,6 +160,10 @@ pub struct Scenario {
     pub transport: Transport,
     /// Number of nodes.
     pub n_nodes: u16,
+    /// Field width in metres (the paper uses 1000).
+    pub width: f64,
+    /// Field height in metres (the paper uses 1000).
+    pub height: f64,
     /// Maximum number of connections (the paper uses 100).
     pub max_connections: usize,
     /// Run length in seconds (the paper uses 10 000).
@@ -178,6 +182,10 @@ pub struct Scenario {
     pub attacks: Vec<Attack>,
     /// How ground truth treats post-session lasting damage.
     pub label_policy: LabelPolicy,
+    /// Whether the kernel uses the spatial-grid neighbor index (default)
+    /// or the brute-force all-nodes scan. Bit-identical either way; the
+    /// knob exists for equivalence tests and before/after benchmarks.
+    pub neighbor_grid: bool,
 }
 
 /// The output of running a scenario: features + ground truth for the
@@ -201,6 +209,8 @@ impl Scenario {
             protocol,
             transport,
             n_nodes: 50,
+            width: 1000.0,
+            height: 1000.0,
             max_connections: 100,
             duration_secs: 10_000.0,
             seed: 1,
@@ -208,6 +218,7 @@ impl Scenario {
             monitored: NodeId(0),
             attacks: Vec::new(),
             label_policy: LabelPolicy::PersistentFromFirstAttack,
+            neighbor_grid: true,
         }
     }
 
@@ -262,6 +273,33 @@ impl Scenario {
         self
     }
 
+    /// Replaces the field dimensions (metres).
+    pub fn with_world(mut self, width: f64, height: f64) -> Scenario {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Scales the scenario to `n` nodes at the paper's node density: the
+    /// paper places 50 nodes on 1000×1000 m — 20 000 m² per node — so the
+    /// field grows to a square of `sqrt(n · 20 000)` metres on a side, and
+    /// the connection cap scales at the paper's 2-connections-per-node
+    /// ratio. This is the scale axis of the 100/500/1000-node worlds.
+    pub fn with_scale(mut self, n: u16) -> Scenario {
+        let side = (f64::from(n) * 20_000.0).sqrt();
+        self.n_nodes = n;
+        self.width = side;
+        self.height = side;
+        self.max_connections = 2 * usize::from(n);
+        self
+    }
+
+    /// Selects the kernel neighbor-lookup path (grid vs. brute force).
+    pub fn with_neighbor_grid(mut self, on: bool) -> Scenario {
+        self.neighbor_grid = on;
+        self
+    }
+
     /// Replaces the connection cap.
     pub fn with_connections(mut self, n: usize) -> Scenario {
         self.max_connections = n;
@@ -293,12 +331,9 @@ impl Scenario {
             .filter_map(|a| match &a.schedule {
                 Schedule::Always => Some(0.0),
                 Schedule::OnOff { start, .. } => Some(start.as_secs()),
-                Schedule::Sessions(v) => v
-                    .iter()
-                    .map(|(b, _)| b.as_secs())
-                    .min_by(|a, b| a.partial_cmp(b).expect("finite")),
+                Schedule::Sessions(v) => v.iter().map(|(b, _)| b.as_secs()).min_by(f64::total_cmp),
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(f64::total_cmp)
     }
 
     /// Whether the scenario contains any attack.
@@ -309,7 +344,9 @@ impl Scenario {
     fn sim_config(&self) -> SimConfig {
         SimConfig::builder()
             .nodes(self.n_nodes)
+            .field(self.width, self.height)
             .duration_secs(self.duration_secs)
+            .neighbor_grid(self.neighbor_grid)
             .seed(self.seed)
             .build()
     }
@@ -328,7 +365,7 @@ impl Scenario {
     /// scenario parameters are invalid.
     pub fn run(&self) -> TraceBundle {
         let monitored = self.monitored;
-        self.run_nodes(&[monitored]).pop().expect("one bundle")
+        self.run_nodes(&[monitored]).pop().expect("one bundle") // audit: allow(D006, reason = "run_nodes returns exactly one bundle per requested node")
     }
 
     /// Runs the simulation once and extracts labelled feature matrices for
@@ -341,40 +378,64 @@ impl Scenario {
     /// As [`Scenario::run`], for any of the requested nodes.
     pub fn run_nodes(&self, nodes: &[NodeId]) -> Vec<TraceBundle> {
         self.validate_vantages(nodes);
-        let traces = match self.protocol {
-            Protocol::Dsr => self.run_dsr(),
-            Protocol::Aodv => self.run_aodv(),
-        };
+        match self.protocol {
+            Protocol::Dsr => {
+                let mut sim = self.build_dsr();
+                self.run_lean(&mut sim, nodes)
+            }
+            Protocol::Aodv => {
+                let mut sim = self.build_aodv();
+                self.run_lean(&mut sim, nodes)
+            }
+        }
+    }
+
+    /// Runs a built simulator retaining audit traces only at the vantage
+    /// nodes — every other node gets a [`manet_sim::NullSink`]. At 1000
+    /// nodes, keeping one in-memory `NodeTrace` per node is the memory
+    /// bottleneck, and only the vantage traces are ever read.
+    fn run_lean<A: Agent>(&self, sim: &mut Simulator<A>, nodes: &[NodeId]) -> Vec<TraceBundle> {
+        for i in 0..self.n_nodes {
+            let id = NodeId(i);
+            if !nodes.contains(&id) {
+                sim.set_sink(id, Box::new(manet_sim::NullSink));
+            }
+        }
+        sim.run();
         let extractor = FeatureExtractor::new();
-        let window = SimTime::from_secs(5.0);
-        let first_start = self.first_attack_start();
         nodes
             .iter()
             .map(|&node| {
-                let matrix = extractor.extract(
-                    &traces[node.index()],
-                    SimTime::from_secs(self.duration_secs),
-                );
-                let labels = matrix
-                    .times
-                    .iter()
-                    .map(|&t| match (self.label_policy, first_start) {
-                        (LabelPolicy::PersistentFromFirstAttack, Some(start)) => t > start,
-                        _ => {
-                            let lo = SimTime::from_secs((t - 5.0).max(0.0));
-                            self.attacks.iter().any(|a| a.schedule.overlaps(lo, window))
-                        }
-                    })
-                    .collect();
-                let mut scenario = self.clone();
-                scenario.monitored = node;
-                TraceBundle {
-                    matrix,
-                    labels,
-                    scenario,
-                }
+                self.bundle_for(
+                    node,
+                    &extractor.extract(sim.trace(node), SimTime::from_secs(self.duration_secs)),
+                )
             })
             .collect()
+    }
+
+    /// Labels one vantage node's feature matrix into a [`TraceBundle`].
+    fn bundle_for(&self, node: NodeId, matrix: &FeatureMatrix) -> TraceBundle {
+        let window = SimTime::from_secs(5.0);
+        let first_start = self.first_attack_start();
+        let labels = matrix
+            .times
+            .iter()
+            .map(|&t| match (self.label_policy, first_start) {
+                (LabelPolicy::PersistentFromFirstAttack, Some(start)) => t > start,
+                _ => {
+                    let lo = SimTime::from_secs((t - 5.0).max(0.0));
+                    self.attacks.iter().any(|a| a.schedule.overlaps(lo, window))
+                }
+            })
+            .collect();
+        let mut scenario = self.clone();
+        scenario.monitored = node;
+        TraceBundle {
+            matrix: matrix.clone(),
+            labels,
+            scenario,
+        }
     }
 
     /// Checks per-vantage-node preconditions shared by the batch and
@@ -440,12 +501,6 @@ impl Scenario {
         sim
     }
 
-    fn run_dsr(&self) -> Vec<manet_sim::NodeTrace> {
-        let mut sim = self.build_dsr();
-        sim.run();
-        sim.into_traces()
-    }
-
     /// Builds the configured AODV simulator — the [`Scenario::build_dsr`]
     /// counterpart for [`Protocol::Aodv`] scenarios.
     ///
@@ -481,12 +536,6 @@ impl Scenario {
         );
         self.install_traffic(&mut sim);
         sim
-    }
-
-    fn run_aodv(&self) -> Vec<manet_sim::NodeTrace> {
-        let mut sim = self.build_aodv();
-        sim.run();
-        sim.into_traces()
     }
 
     fn install_traffic<A: Agent>(&self, sim: &mut Simulator<A>) {
@@ -551,6 +600,36 @@ mod tests {
         let a = tiny(Protocol::Aodv).run();
         let b = tiny(Protocol::Aodv).run();
         assert_eq!(a.matrix.rows, b.matrix.rows);
+    }
+
+    #[test]
+    fn scale_axis_preserves_paper_density() {
+        let s = Scenario::paper_default(Protocol::Aodv, Transport::Cbr).with_scale(1000);
+        assert_eq!(s.n_nodes, 1000);
+        assert_eq!(s.max_connections, 2000);
+        // 20 000 m² per node, square field.
+        let area_per_node = s.width * s.height / 1000.0;
+        assert!((area_per_node - 20_000.0).abs() < 1e-6);
+        assert_eq!(s.width, s.height);
+        // The paper's own setup is a fixpoint of the density rule.
+        let paper = Scenario::paper_default(Protocol::Aodv, Transport::Cbr).with_scale(50);
+        assert!((paper.width - 1000.0).abs() < 1e-6);
+        assert_eq!(paper.max_connections, 100);
+    }
+
+    #[test]
+    fn grid_and_brute_force_bundles_are_bit_identical() {
+        // Scenario-level equivalence on an attacked run: the full feature
+        // matrix, not just traces, must match to the bit.
+        let mk = |grid: bool| {
+            tiny(Protocol::Dsr)
+                .with_attack(Attack::blackhole_at(&[50.0]))
+                .with_neighbor_grid(grid)
+                .run()
+        };
+        let (g, b) = (mk(true), mk(false));
+        assert_eq!(g.matrix.rows, b.matrix.rows);
+        assert_eq!(g.labels, b.labels);
     }
 
     #[test]

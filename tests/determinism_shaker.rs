@@ -10,9 +10,11 @@
 //! event ordering, feature extraction, or model fitting eventually shakes
 //! out as a `to_bits` mismatch here.
 
-use manet_cfa::core::ScoreMethod;
+use manet_cfa::core::{Parallelism, ScoreMethod};
+use manet_cfa::fleet::{run_fleet, FleetSpec};
 use manet_cfa::pipeline::{ClassifierKind, Pipeline, TrainedPipeline};
 use manet_cfa::scenario::{Attack, Protocol, Scenario, Transport};
+use manet_cfa::sim::NodeId;
 
 fn attack_scenario(protocol: Protocol) -> (Scenario, Scenario) {
     let train = Scenario::paper_default(protocol, Transport::Cbr)
@@ -165,6 +167,79 @@ fn compiled_pipeline_scores_are_bit_identical_to_interpreted() {
                 "{protocol:?}/{kind:?}/{method:?}: compiled scores diverge"
             );
         }
+    }
+}
+
+#[test]
+fn fleet_matrices_are_bit_identical_at_any_thread_count() {
+    // The fleet leg of the shaker: one attack scenario batch through the
+    // `fleet` driver at 1, 2, and 4 threads. Feature matrices (and
+    // labels) must be `to_bits`-identical to the single-threaded run —
+    // the same contract as the parallel ensemble engine, now holding for
+    // whole seeded simulations.
+    let (_, attacked) = attack_scenario(Protocol::Aodv);
+    let spec = |threads: usize| FleetSpec {
+        base: attacked.clone(),
+        seeds: vec![13, 14, 15],
+        vantages: vec![NodeId(0), NodeId(3)],
+        parallelism: Parallelism::threads(threads),
+    };
+    let reference = run_fleet(&spec(1));
+    let ref_bits: Vec<Vec<u64>> = reference
+        .runs
+        .iter()
+        .flat_map(|r| &r.bundles)
+        .map(|b| {
+            b.matrix
+                .rows
+                .iter()
+                .flatten()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    assert!(!ref_bits.is_empty());
+    let checksum = reference.checksum();
+    for threads in [2usize, 4] {
+        let run = run_fleet(&spec(threads));
+        let bits: Vec<Vec<u64>> = run
+            .runs
+            .iter()
+            .flat_map(|r| &r.bundles)
+            .map(|b| {
+                b.matrix
+                    .rows
+                    .iter()
+                    .flatten()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            ref_bits, bits,
+            "fleet matrices diverge at {threads} threads"
+        );
+        assert_eq!(
+            checksum,
+            run.checksum(),
+            "fleet checksum diverges at {threads} threads"
+        );
+        let labels: Vec<&Vec<bool>> = run
+            .runs
+            .iter()
+            .flat_map(|r| &r.bundles)
+            .map(|b| &b.labels)
+            .collect();
+        let ref_labels: Vec<&Vec<bool>> = reference
+            .runs
+            .iter()
+            .flat_map(|r| &r.bundles)
+            .map(|b| &b.labels)
+            .collect();
+        assert_eq!(
+            ref_labels, labels,
+            "fleet labels diverge at {threads} threads"
+        );
     }
 }
 
