@@ -1,0 +1,20 @@
+//! Seeded D011 violations: the response-queue guard held across socket
+//! I/O in the connection loop, and a nested lock acquisition.
+
+/// Flushes queued frames while still holding the queue lock — every
+/// other worker blocks on the mutex for a full network round-trip.
+pub fn pump(stream: &mut TcpStream, queue: &Mutex<VecDeque<Frame>>) -> io::Result<()> {
+    let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
+    while let Some(frame) = q.pop_front() {
+        stream.write_all(&frame.bytes)?;
+    }
+    Ok(())
+}
+
+/// Takes the stats lock while the queue guard is still live — the
+/// accept loop takes them in the opposite order.
+pub fn snapshot(queue: &Mutex<VecDeque<Frame>>, stats: &Mutex<Stats>) -> usize {
+    let q = queue.lock().unwrap_or_else(|p| p.into_inner());
+    let s = stats.lock().unwrap_or_else(|p| p.into_inner());
+    q.len() + s.served
+}

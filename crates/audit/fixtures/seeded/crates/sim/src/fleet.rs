@@ -1,0 +1,22 @@
+//! Seeded D010 violation: a wide node-id value silently truncated to the
+//! wire-width `u16` on the fleet (panic-policed) path.
+
+/// Drives a batch of simulations; `run_fleet` is a D006/D010 hot root.
+pub fn run_fleet(seeds: &[u64]) -> u16 {
+    let mut last = 0;
+    for &seed in seeds {
+        let raw: u64 = mix(seed);
+        last = node_slot(raw);
+    }
+    last
+}
+
+fn mix(seed: u64) -> u64 {
+    seed ^ (seed >> 33)
+}
+
+/// NodeId is `u16` on the wire; this silently drops the high 48 bits of
+/// a colliding id instead of failing loudly.
+fn node_slot(raw: u64) -> u16 {
+    raw as u16
+}

@@ -1,0 +1,21 @@
+//! Seeded D009 violations: non-canonical float reductions over parallel
+//! fan-out results — the combine order silently depends on chunking and
+//! no allow documents why it would be thread-count invariant.
+
+/// Sums per-chunk partial results straight off `map_chunks` — if the
+/// closure returns per-chunk partial sums, the grouping (and thus the
+/// f64 rounding) changes with the thread count.
+pub fn parallel_mean(par: Parallelism, n: usize) -> f64 {
+    let parts = map_chunks(par, n, |range| range.len() as f64);
+    parts.iter().sum::<f64>() / n as f64
+}
+
+/// Accumulates joined thread results in completion-agnostic order into a
+/// float — same hazard, spelled as a loop.
+pub fn joined_total(handles: Vec<JoinHandle<f64>>) -> f64 {
+    let mut total = 0.0f64;
+    for h in handles {
+        total += h.join().unwrap_or(0.0);
+    }
+    total
+}

@@ -1,0 +1,398 @@
+//! The `--fix` autofix engine: byte-span patches for the *mechanical*
+//! rules, applied in place.
+//!
+//! | Rule | Rewrite |
+//! |------|---------|
+//! | D003 | `a == b` on floats → `(a).to_bits() == (b).to_bits()` — exact bit identity, no behavior change for the non-NaN values the workspace compares |
+//! | D005 | bare `#[allow(...)]` → same-line justification template for a human to fill in |
+//! | D010 | `x as u32` on a tracked wide value → `u32::try_from(x).expect(..)` plus a justified `allow(D004)` (which also covers D006) — silent truncation becomes a loud failure |
+//!
+//! Only *simple* operand shapes are rewritten — a plain identifier, a
+//! dotted field chain, or a literal — so a patch never duplicates a
+//! side-effecting expression. Everything else is left for a human.
+//!
+//! The engine is **idempotent and re-scan-clean by construction**: every
+//! rewrite removes the pattern its rule matches (and suppresses any rule
+//! the rewrite would newly trip, e.g. the `expect` a D010 fix
+//! introduces), so a second `--fix` run finds nothing to do and a
+//! re-scan reports none of the mechanical rules.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::{Finding, Rule};
+
+/// One byte-span replacement inside a file.
+struct Patch {
+    /// Byte offset of the first replaced byte.
+    start: usize,
+    /// Byte offset one past the last replaced byte.
+    end: usize,
+    /// Replacement text.
+    replacement: String,
+}
+
+/// What `apply_fixes` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixOutcome {
+    /// Number of individual patches applied.
+    pub applied: usize,
+    /// Number of files rewritten.
+    pub files: usize,
+}
+
+/// Applies the mechanical fixes for `findings` to the tree rooted at
+/// `root` (the same root the findings were scanned from, so the
+/// workspace-relative `Finding::file` paths resolve). Returns how many
+/// patches landed; findings whose shape is not mechanically fixable are
+/// skipped.
+pub fn apply_fixes(root: &Path, findings: &[Finding]) -> std::io::Result<FixOutcome> {
+    let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        if matches!(f.rule, Rule::D003 | Rule::D005 | Rule::D010) {
+            by_file.entry(f.file.as_str()).or_default().push(f);
+        }
+    }
+    let mut outcome = FixOutcome::default();
+    for (file, file_findings) in by_file {
+        let path = root.join(file);
+        let src = std::fs::read_to_string(&path)?;
+        let toks: Vec<Token> = lex(&src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let mut patches: Vec<Patch> = Vec::new();
+        for f in &file_findings {
+            match f.rule {
+                Rule::D003 => fix_d003(&src, &toks, f.line, &mut patches),
+                Rule::D005 => fix_d005(&src, f.line, &mut patches),
+                Rule::D010 => fix_d010(&src, &toks, f, &mut patches),
+                _ => {}
+            }
+        }
+        if patches.is_empty() {
+            continue;
+        }
+        // Apply back-to-front so earlier offsets stay valid; drop any
+        // patch overlapping one already applied.
+        patches.sort_by(|a, b| b.start.cmp(&a.start).then(b.end.cmp(&a.end)));
+        let mut out = src.clone();
+        let mut low = usize::MAX;
+        let mut applied_here = 0usize;
+        for p in patches {
+            if p.end > low {
+                continue;
+            }
+            out.replace_range(p.start..p.end, &p.replacement);
+            low = p.start;
+            applied_here += 1;
+        }
+        if applied_here > 0 {
+            std::fs::write(&path, out)?;
+            outcome.applied += applied_here;
+            outcome.files += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Byte offset one past the last content byte of 1-based `line` (i.e.
+/// where a trailing comment would be inserted).
+fn line_end_offset(src: &str, line: usize) -> Option<usize> {
+    let mut current = 1usize;
+    let mut start = 0usize;
+    loop {
+        let end = src[start..]
+            .find('\n')
+            .map(|p| start + p)
+            .unwrap_or(src.len());
+        if current == line {
+            return Some(end);
+        }
+        if end == src.len() {
+            return None;
+        }
+        start = end + 1;
+        current += 1;
+    }
+}
+
+/// Walks a simple operand chain *backwards* from `i` (exclusive): a
+/// dotted identifier chain (`self.cfg.threshold`, `score`) or a single
+/// numeric literal. Returns the index of its first token, or `None` when
+/// the preceding expression is not simple.
+fn chain_start(src: &str, toks: &[Token], i: usize) -> Option<usize> {
+    let mut j = i.checked_sub(1)?;
+    match toks[j].kind {
+        TokenKind::Num => return Some(j),
+        TokenKind::Ident => {}
+        _ => return None,
+    }
+    loop {
+        let Some(dot) = j.checked_sub(1) else {
+            return Some(j);
+        };
+        if toks[dot].kind != TokenKind::Punct || toks[dot].text(src) != "." {
+            // A `*`/`&`/call shape in front means the operand is not a
+            // plain chain — refuse to fix.
+            if toks[dot].kind == TokenKind::Punct
+                && matches!(toks[dot].text(src), "*" | "&" | ")" | "]")
+            {
+                return None;
+            }
+            return Some(j);
+        }
+        let prev = dot.checked_sub(1)?;
+        if toks[prev].kind != TokenKind::Ident {
+            return None;
+        }
+        j = prev;
+    }
+}
+
+/// Walks a simple operand chain *forwards* from `i` (inclusive); returns
+/// the index one past its last token.
+fn chain_end(src: &str, toks: &[Token], i: usize) -> Option<usize> {
+    match toks.get(i)?.kind {
+        TokenKind::Num => return Some(i + 1),
+        TokenKind::Ident => {}
+        _ => return None,
+    }
+    let mut j = i;
+    loop {
+        let dot = j + 1;
+        if dot >= toks.len() || toks[dot].kind != TokenKind::Punct || toks[dot].text(src) != "." {
+            // A following `(` makes it a call — not a simple chain.
+            if dot < toks.len() && toks[dot].kind == TokenKind::Punct && toks[dot].text(src) == "("
+            {
+                return None;
+            }
+            return Some(j + 1);
+        }
+        let name = dot + 1;
+        if name >= toks.len() || toks[name].kind != TokenKind::Ident {
+            return None;
+        }
+        j = name;
+    }
+}
+
+/// D003: rewrites a float `==`/`!=` on `line` to a `to_bits()` identity
+/// comparison when both operands are simple chains or literals. The
+/// lexer emits `==`/`!=` as two adjacent punct tokens (`=`+`=`, `!`+`=`)
+/// — matched here by byte adjacency.
+fn fix_d003(src: &str, toks: &[Token], line: usize, patches: &mut Vec<Patch>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.line != line || t.kind != TokenKind::Punct {
+            continue;
+        }
+        let first = t.text(src);
+        if !matches!(first, "=" | "!") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.kind != TokenKind::Punct || next.text(src) != "=" || next.start != t.end {
+            continue;
+        }
+        let op = if first == "=" { "==" } else { "!=" };
+        let Some(lhs_start) = chain_start(src, toks, i) else {
+            continue;
+        };
+        let Some(rhs_end) = chain_end(src, toks, i + 2) else {
+            continue;
+        };
+        let lhs = &src[toks[lhs_start].start..toks[i - 1].end];
+        let rhs = &src[toks[i + 2].start..toks[rhs_end - 1].end];
+        patches.push(Patch {
+            start: toks[lhs_start].start,
+            end: toks[rhs_end - 1].end,
+            replacement: format!("({lhs}).to_bits() {op} ({rhs}).to_bits()"),
+        });
+        return;
+    }
+}
+
+/// D005: appends the justification template to the bare `#[allow(...)]`
+/// line — any same-line comment satisfies the rule, and the template
+/// tells a human what to write.
+fn fix_d005(src: &str, line: usize, patches: &mut Vec<Patch>) {
+    let Some(at) = line_end_offset(src, line) else {
+        return;
+    };
+    patches.push(Patch {
+        start: at,
+        end: at,
+        replacement: " // TODO(audit): justify this allow or remove it".to_string(),
+    });
+}
+
+/// D010: rewrites `x as u32` to `u32::try_from(x).expect(..)` for the
+/// operand/target named in the finding note, and appends a justified
+/// `allow(D004)` so the introduced `expect` (a *deliberate*, loud
+/// failure) does not itself trip the panic rules on re-scan.
+fn fix_d010(src: &str, toks: &[Token], f: &Finding, patches: &mut Vec<Patch>) {
+    // The note reads "`raw` (u64) truncated by `as u16`, …". Constant
+    // overflows ("constant N does not fit …") are real bugs, not
+    // mechanical rewrites — left to a human.
+    let note = f.note.as_deref().unwrap_or("");
+    if !note.contains("truncated by") {
+        return;
+    }
+    let mut ticks = note.split('`');
+    let operand = match (ticks.next(), ticks.next()) {
+        (Some(_), Some(op)) => op,
+        _ => return,
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.line != f.line || t.kind != TokenKind::Ident || t.text(src) != "as" {
+            continue;
+        }
+        let (Some(op_at), Some(target_at)) = (i.checked_sub(1), Some(i + 1)) else {
+            continue;
+        };
+        if target_at >= toks.len()
+            || toks[op_at].kind != TokenKind::Ident
+            || toks[op_at].text(src) != operand
+            || toks[target_at].kind != TokenKind::Ident
+        {
+            continue;
+        }
+        let target = toks[target_at].text(src);
+        patches.push(Patch {
+            start: toks[op_at].start,
+            end: toks[target_at].end,
+            replacement: format!(
+                "{target}::try_from({operand}).expect(\"audit(D010): {operand} out of {target} range\")"
+            ),
+        });
+        if let Some(eol) = line_end_offset(src, f.line) {
+            patches.push(Patch {
+                start: eol,
+                end: eol,
+                replacement: format!(
+                    " // audit: allow(D004, reason = \"checked narrowing introduced by --fix; out-of-range {operand} is corrupt input and must fail loudly\")"
+                ),
+            });
+        }
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_source;
+
+    fn lex_code(src: &str) -> Vec<Token> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect()
+    }
+
+    fn apply(src: &str, patches: Vec<Patch>) -> String {
+        let mut out = src.to_string();
+        let mut sorted = patches;
+        sorted.sort_by_key(|p| std::cmp::Reverse(p.start));
+        for p in sorted {
+            out.replace_range(p.start..p.end, &p.replacement);
+        }
+        out
+    }
+
+    #[test]
+    fn d003_simple_identifiers_become_to_bits() {
+        let src = "fn f(score: f64, threshold: f64) -> bool { score == threshold }\n";
+        let toks = lex_code(src);
+        let mut patches = Vec::new();
+        fix_d003(src, &toks, 1, &mut patches);
+        let fixed = apply(src, patches);
+        assert!(
+            fixed.contains("(score).to_bits() == (threshold).to_bits()"),
+            "{fixed}"
+        );
+        // Re-scan: the mechanical rule is clean after the fix.
+        assert!(scan_source("crates/sim/src/fixture.rs", &fixed).is_empty());
+    }
+
+    #[test]
+    fn d003_dotted_chain_and_literal() {
+        let src = "fn f(s: &S) -> bool { s.cfg.threshold != 0.5 }\n";
+        let toks = lex_code(src);
+        let mut patches = Vec::new();
+        fix_d003(src, &toks, 1, &mut patches);
+        let fixed = apply(src, patches);
+        assert!(
+            fixed.contains("(s.cfg.threshold).to_bits() != (0.5).to_bits()"),
+            "{fixed}"
+        );
+    }
+
+    #[test]
+    fn d003_refuses_side_effecting_operands() {
+        let src = "fn f(v: &[f64]) -> bool { v.iter().sum::<f64>() == 1.0 }\n";
+        let toks = lex_code(src);
+        let mut patches = Vec::new();
+        fix_d003(src, &toks, 1, &mut patches);
+        assert!(patches.is_empty(), "call operands must not be rewritten");
+    }
+
+    #[test]
+    fn d005_appends_justification_template() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n";
+        let mut patches = Vec::new();
+        fix_d005(src, 1, &mut patches);
+        let fixed = apply(src, patches);
+        assert!(fixed.starts_with("#[allow(dead_code)] // TODO(audit):"));
+        // The same-line comment satisfies D005 on re-scan.
+        assert!(scan_source("crates/ml/src/fixture.rs", &fixed).is_empty());
+    }
+
+    #[test]
+    fn d010_rewrites_to_checked_conversion() {
+        let src = "fn slot(raw: u64) -> u16 {\n    raw as u16\n}\n";
+        let toks = lex_code(src);
+        let f = Finding {
+            rule: Rule::D010,
+            file: "crates/sim/src/x.rs".into(),
+            line: 2,
+            snippet: "raw as u16".into(),
+            note: Some("`raw` (u64) truncated by `as u16`, reachable via run_fleet".into()),
+            severity: Rule::D010.severity(),
+        };
+        let mut patches = Vec::new();
+        fix_d010(src, &toks, &f, &mut patches);
+        let fixed = apply(src, patches);
+        assert!(
+            fixed.contains("u16::try_from(raw).expect(\"audit(D010): raw out of u16 range\")"),
+            "{fixed}"
+        );
+        assert!(
+            fixed.contains("audit: allow(D004"),
+            "the introduced expect must carry its own justification: {fixed}"
+        );
+    }
+
+    #[test]
+    fn d010_skips_constant_overflow_notes() {
+        let src = "fn f() -> u8 {\n    let cap = 256;\n    cap as u8\n}\n";
+        let toks = lex_code(src);
+        let f = Finding {
+            rule: Rule::D010,
+            file: "x.rs".into(),
+            line: 3,
+            snippet: "cap as u8".into(),
+            note: Some("constant 256 does not fit `u8` (`cap as u8`)".into()),
+            severity: Rule::D010.severity(),
+        };
+        let mut patches = Vec::new();
+        fix_d010(src, &toks, &f, &mut patches);
+        assert!(
+            patches.is_empty(),
+            "constant overflow is a bug, not a rewrite"
+        );
+    }
+}

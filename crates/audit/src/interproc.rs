@@ -19,10 +19,19 @@
 //!   `score_all`, `score_snapshot`, …): that path is advertised
 //!   zero-alloc and the ensemble calls it `L` times per event.
 //!
+//! The dataflow rules D009–D011 are emitted here too: the
+//! [`crate::dataflow`] pass mines the per-function facts (float
+//! reductions over parallel results, truncating casts on tracked wide
+//! values, lock-discipline violations) and this layer applies the
+//! interprocedural gates — D010 fires only in functions reachable from
+//! the panic/predict hot roots, D011 only in the serving crate.
+//!
 //! Suppression: `// audit: allow(D006, reason = "...")` at the site (or
 //! the line above). For panic sites, an existing `allow(D004, ...)`
 //! justification also suppresses D006 — both rules police the same
-//! contract and one written reason is enough.
+//! contract and one written reason is enough. For D009, the allow's
+//! `reason` doubles as the *documented canonical combine order* the rule
+//! demands.
 
 use crate::graph::CallGraph;
 use crate::{Finding, Rule};
@@ -188,6 +197,98 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
                     method = g.method,
                 )),
                 severity: Rule::D007.severity(),
+            });
+        }
+    }
+
+    // --- D009: non-canonical float reduction ---------------------------
+    // Purely intraprocedural facts, applied to all non-test code: float
+    // addition is non-associative, so the combine order of per-chunk /
+    // per-thread partial results is part of the bit-determinism contract.
+    // A justified allow is the documentation the rule demands.
+    for f in &graph.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        for site in &f.flow.reductions {
+            if ctx.is_allowed(Rule::D009, site.line - 1) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D009,
+                file: f.file.clone(),
+                line: site.line,
+                snippet: ctx.snippet(site.line),
+                note: Some(format!(
+                    "{} — float addition is non-associative; the combine order must be documented as thread-count invariant",
+                    site.what
+                )),
+                severity: Rule::D009.severity(),
+            });
+        }
+    }
+
+    // --- D010: truncating casts on hot paths ---------------------------
+    // A silently-truncating `as` on an id/index/time wide value corrupts
+    // data instead of failing; on the panic-policed and predict paths the
+    // contract is "fail loudly or prove the range". The gate is the union
+    // of the D006 panic roots and the D008 predict roots.
+    let hot_roots: Vec<&str> = panic_roots
+        .iter()
+        .copied()
+        .chain(PREDICT_ROOTS.iter().copied())
+        .collect();
+    let hot_parent = graph.reachable(&graph.roots(&hot_roots));
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || hot_parent[i].is_none() {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        let chain = render_chain(&graph.chain(&hot_parent, i));
+        for site in &f.flow.casts {
+            if ctx.is_allowed(Rule::D010, site.line - 1) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D010,
+                file: f.file.clone(),
+                line: site.line,
+                snippet: ctx.snippet(site.line),
+                note: Some(format!("{}, reachable via {chain}", site.what)),
+                severity: Rule::D010.severity(),
+            });
+        }
+    }
+
+    // --- D011: lock discipline in the serving crate --------------------
+    // The connection loop shares one process with the scoring workers: a
+    // guard held across socket I/O stalls every thread behind the mutex
+    // for a network round-trip, and nested acquisition orders are how the
+    // accept/worker pair deadlocks. Scoped to crates/serve — the only
+    // crate with locks by design.
+    for f in &graph.fns {
+        if f.is_test || !f.file.starts_with("crates/serve/") {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.file) else {
+            continue;
+        };
+        for site in &f.flow.locks {
+            if ctx.is_allowed(Rule::D011, site.line - 1) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D011,
+                file: f.file.clone(),
+                line: site.line,
+                snippet: ctx.snippet(site.line),
+                note: Some(format!("{} in {}", site.what, f.qualified())),
+                severity: Rule::D011.severity(),
             });
         }
     }

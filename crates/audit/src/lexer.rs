@@ -106,6 +106,15 @@ pub fn lex(src: &str) -> Vec<Token> {
     let mut i = 0;
     let mut line = 1;
 
+    // A shebang line (`#!/usr/bin/env …`) is valid at the very start of a
+    // Rust source file and is not a token. `#![…]` is an inner attribute,
+    // not a shebang, so it must still lex normally.
+    if bytes.starts_with(b"#!") && bytes.get(2) != Some(&b'[') {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
+
     // Advances over `n` bytes, counting newlines.
     let count_lines = |from: usize, to: usize| -> usize {
         bytes[from..to].iter().filter(|&&b| b == b'\n').count()
@@ -610,5 +619,61 @@ mod tests {
         let lines = mask_lines(src);
         assert!(lines[1].1.contains("audit: allow"));
         assert_eq!(lines[3].0, "code2();");
+    }
+
+    #[test]
+    fn nested_raw_strings_at_mixed_hash_depths_in_macro_bodies() {
+        // An r##"…"## string may contain a complete r#"…"# string; the
+        // outer delimiter depth decides where the token ends.
+        let src = "write!(f, r##\"outer r#\"inner\"# still outer\"##, x);\nlet y = 1;\n";
+        let toks = lex(src);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(raw, vec!["r##\"outer r#\"inner\"# still outer\"##"]);
+        let y = toks
+            .iter()
+            .find(|t| t.text(src) == "y")
+            .expect("y survives");
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn lifetime_after_less_than_is_not_a_char_literal() {
+        // `<'static>` must not start a char/byte-string literal scan that
+        // would swallow the rest of the file.
+        let src = "fn f<'static>(x: &'static str) -> &'static str { 'q'; x }\n";
+        let toks = lex(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(idents.contains(&"str"), "idents: {idents:?}");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'q'"], "only the real char literal");
+    }
+
+    #[test]
+    fn shebang_line_is_skipped_but_inner_attributes_are_not() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+        let toks = lex(src);
+        assert_eq!(toks.first().map(|t| t.text(src)), Some("fn"));
+        assert_eq!(
+            toks.first().map(|t| t.line),
+            Some(2),
+            "line count survives the skip"
+        );
+
+        // `#![…]` is an inner attribute, not a shebang.
+        let attr = "#![allow(dead_code)]\nfn main() {}\n";
+        let toks = lex(attr);
+        assert_eq!(toks.first().map(|t| t.text(attr)), Some("#"));
     }
 }

@@ -28,6 +28,9 @@
 //! | D006 | interprocedural | `panic!`/`unwrap`/`expect`/slice indexing transitively reachable from `Simulator::run`'s event dispatch or from `predict_row` | whole workspace |
 //! | D007 | interprocedural | a `self` field grown (`insert`/`push`/…) on the event path with no eviction/cap anywhere in the owning type | whole workspace |
 //! | D008 | interprocedural | allocation (`Vec::new`, `to_vec`, `clone`, `format!`, `collect`, …) reachable from the zero-alloc predict/score path | whole workspace |
+//! | D009 | dataflow | `f64` reduction (`sum::<f64>()`, float `fold`, `+=`) over parallel/chunked results without a documented canonical combine order | non-test code |
+//! | D010 | dataflow | truncating cast (`as u16`/`as u32`/…) on a tracked wide value (u64/u128/SimTime/…) in a function reachable from the panic/predict hot roots | whole workspace |
+//! | D011 | dataflow | lock discipline in the serving crate: a second lock acquired while a guard is live, or a guard held across stream I/O | `crates/serve` |
 //!
 //! ## Escape hatch
 //!
@@ -52,7 +55,9 @@
 //! trees.
 
 pub mod baseline;
+pub mod dataflow;
 pub mod emit;
+pub mod fix;
 pub mod graph;
 pub mod interproc;
 pub mod lexer;
@@ -60,6 +65,7 @@ pub mod parser;
 
 pub use baseline::{Baseline, BASELINE_REL_PATH};
 pub use emit::{to_json, to_sarif};
+pub use fix::apply_fixes;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -84,6 +90,12 @@ pub enum Rule {
     D007,
     /// Allocation reachable from the zero-alloc predict path.
     D008,
+    /// Non-canonical float reduction over parallel/chunked results.
+    D009,
+    /// Truncating integer cast on a wide value on a hot path.
+    D010,
+    /// Lock-discipline violation in the serving crate.
+    D011,
 }
 
 /// How severe a rule's findings are: [`Severity::Error`] findings are
@@ -100,7 +112,7 @@ pub enum Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
@@ -109,6 +121,9 @@ impl Rule {
         Rule::D006,
         Rule::D007,
         Rule::D008,
+        Rule::D009,
+        Rule::D010,
+        Rule::D011,
     ];
 
     /// The rule's stable identifier.
@@ -122,6 +137,9 @@ impl Rule {
             Rule::D006 => "D006",
             Rule::D007 => "D007",
             Rule::D008 => "D008",
+            Rule::D009 => "D009",
+            Rule::D010 => "D010",
+            Rule::D011 => "D011",
         }
     }
 
@@ -143,6 +161,11 @@ impl Rule {
                 "collection grown on the event path with no eviction anywhere in its type"
             }
             Rule::D008 => "allocation reachable from the zero-alloc predict/score path",
+            Rule::D009 => {
+                "f64 reduction over parallel/chunked results without a documented combine order"
+            }
+            Rule::D010 => "truncating integer cast on a wide id/index/time value on a hot path",
+            Rule::D011 => "nested lock or guard held across I/O in the serving crate",
         }
     }
 
@@ -157,6 +180,9 @@ impl Rule {
             Rule::D006 => "degrade gracefully with let-else/get(); an invariant the caller upholds needs `// audit: allow(D006, reason = \"...\")` (a justified allow(D004) also covers the site)",
             Rule::D007 => "bound the collection like FloodAgent's RREQ memory (time horizon + hard cap) or evict in the same type; a by-design full-retention sink needs `// audit: allow(D007, reason = \"...\")`",
             Rule::D008 => "pre-size and reuse caller-owned buffers (scratch pattern); a cold-path or setup allocation needs `// audit: allow(D008, reason = \"...\")`",
+            Rule::D009 => "make the combine order canonical (ordered left-fold over map_chunks output, joins in spawn order) and document it with `// audit: allow(D009, reason = \"...\")` stating why the order is thread-count invariant",
+            Rule::D010 => "use `Target::try_from(x)` and handle the error (`cfa-audit --fix` rewrites simple sites), or document the range invariant with `// audit: allow(D010, reason = \"...\")`",
+            Rule::D011 => "drop the guard (`drop(g)`) before stream I/O and never acquire a second lock while one is live; the Condvar wait loop is exempt by construction",
         }
     }
 
@@ -636,16 +662,29 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scans every `.rs` file under `root` (a workspace checkout) with both
-/// layers — the lexical rules per file, then the interprocedural rules
-/// over the workspace call graph — and returns all findings, ordered by
-/// file, line, then rule.
-pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Size of a completed scan, for the report footer and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Total source lines across those files.
+    pub lines: usize,
+    /// Function definitions mined into the call graph.
+    pub functions: usize,
+}
+
+/// Scans every `.rs` file under `root` (a workspace checkout) with all
+/// three layers — the lexical rules per file, the dataflow pass per
+/// function body, then the interprocedural rules over the workspace call
+/// graph — and returns all findings (ordered by file, line, then rule)
+/// plus scan-size statistics.
+pub fn scan_tree_with_stats(root: &Path) -> std::io::Result<(Vec<Finding>, ScanStats)> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     let mut findings = Vec::new();
     let mut fns: Vec<parser::FnDef> = Vec::new();
     let mut contexts: BTreeMap<String, interproc::FileCtx> = BTreeMap::new();
+    let mut stats = ScanStats::default();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -653,6 +692,8 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(&path)?;
+        stats.files += 1;
+        stats.lines += source.lines().count();
         let scan = scan_source_inner(&rel, &source);
         findings.extend(scan.findings);
         fns.extend(parser::parse_file(&rel, &source, is_test_path(&rel)));
@@ -664,6 +705,7 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             },
         );
     }
+    stats.functions = fns.len();
     let graph = graph::CallGraph::build(fns);
     findings.extend(interproc::check(&graph, &contexts));
     findings.sort_by(|a, b| {
@@ -674,7 +716,12 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             b.snippet.as_str(),
         ))
     });
-    Ok(findings)
+    Ok((findings, stats))
+}
+
+/// [`scan_tree_with_stats`] without the statistics.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    scan_tree_with_stats(root).map(|(findings, _)| findings)
 }
 
 #[cfg(test)]

@@ -10,7 +10,13 @@
 //! cargo run -p cfa-audit -- --update-baseline   # rewrite crates/audit/baseline.txt
 //! cargo run -p cfa-audit -- --no-baseline       # strict: ignore the baseline
 //! cargo run -p cfa-audit -- --rules             # print the rule table
+//! cargo run -p cfa-audit -- <path> --fix        # apply mechanical fixes in place
 //! ```
+//!
+//! `--fix` rewrites the mechanical rules (D003 float equality →
+//! `to_bits()`, D005 bare allow → justification template, D010
+//! truncating cast → checked `try_from`) for *non-baselined* findings
+//! and is idempotent: a second run applies nothing.
 //!
 //! Findings are checked against the committed baseline
 //! (`crates/audit/baseline.txt` under the scanned root, or `--baseline
@@ -21,7 +27,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cfa_audit::{scan_tree, to_json, to_sarif, Baseline, Rule, BASELINE_REL_PATH};
+use cfa_audit::{
+    apply_fixes, scan_tree_with_stats, to_json, to_sarif, Baseline, Rule, BASELINE_REL_PATH,
+};
 
 fn workspace_root() -> PathBuf {
     // crates/audit/ -> workspace root.
@@ -41,7 +49,7 @@ enum Format {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cfa-audit [<root>] [--format text|json|sarif] [--baseline <path>] \
-         [--no-baseline] [--update-baseline] [--rules]"
+         [--no-baseline] [--update-baseline] [--rules] [--fix]"
     );
     ExitCode::FAILURE
 }
@@ -52,6 +60,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut no_baseline = false;
     let mut update_baseline = false;
+    let mut fix = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +84,7 @@ fn main() -> ExitCode {
             },
             "--no-baseline" => no_baseline = true,
             "--update-baseline" => update_baseline = true,
+            "--fix" => fix = true,
             flag if flag.starts_with("--") => return usage(),
             path => {
                 if root.replace(PathBuf::from(path)).is_some() {
@@ -85,13 +95,23 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(workspace_root);
 
-    let findings = match scan_tree(&root) {
+    // audit: allow(D002, reason = "measures the scan's own wall time for the stderr footer; never feeds scoring or simulation")
+    let scan_started = std::time::Instant::now();
+    let (findings, stats) = match scan_tree_with_stats(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cfa-audit: cannot scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    // Stderr, so the stdout report stays byte-identical across runs.
+    eprintln!(
+        "cfa-audit: scanned {} files / {} lines / {} functions in {:.0} ms",
+        stats.files,
+        stats.lines,
+        stats.functions,
+        scan_started.elapsed().as_secs_f64() * 1000.0
+    );
 
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_REL_PATH));
     if update_baseline {
@@ -116,6 +136,33 @@ fn main() -> ExitCode {
     };
     let baselined = baseline.classify(&findings);
     let new = baselined.iter().filter(|&&b| !b).count();
+
+    if fix {
+        // Fix only non-baselined findings: grandfathered sites burn down
+        // through deliberate review, not bulk rewrites.
+        let fixable: Vec<_> = findings
+            .iter()
+            .zip(&baselined)
+            .filter(|&(_, &is_base)| !is_base)
+            .map(|(f, _)| f.clone())
+            .collect();
+        match apply_fixes(&root, &fixable) {
+            Ok(outcome) => {
+                println!(
+                    "cfa-audit: applied {} fix{} across {} file{}",
+                    outcome.applied,
+                    if outcome.applied == 1 { "" } else { "es" },
+                    outcome.files,
+                    if outcome.files == 1 { "" } else { "s" },
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cfa-audit: --fix failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     match format {
         Format::Json => print!("{}", to_json(&findings, &baselined)),

@@ -12,6 +12,7 @@
 //! dependencies. Trait `dyn`/generic dispatch is handled conservatively at
 //! resolution time (see [`graph`](crate::graph)), not here.
 
+use crate::dataflow::{self, BodyFacts};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// How a call site names its callee.
@@ -93,6 +94,8 @@ pub struct FnDef {
     pub grows: Vec<FieldOp>,
     /// Eviction calls on `self` fields (`remove`/`pop`/`retain`/…).
     pub evicts: Vec<FieldOp>,
+    /// Dataflow facts (D009–D011) from the value-tracking pass.
+    pub flow: BodyFacts,
 }
 
 impl FnDef {
@@ -483,8 +486,10 @@ impl Parser<'_, '_> {
             allocs: Vec::new(),
             grows: Vec::new(),
             evicts: Vec::new(),
+            flow: BodyFacts::default(),
         };
         self.mine_body(j + 1, body_close - 1, &mut def);
+        def.flow = dataflow::analyze(self.src, self.toks, (fn_at, j), (j + 1, body_close - 1));
         self.fns.push(def);
         body_close
     }

@@ -9,15 +9,62 @@ use manet_cfa::scenario::{Scenario, TraceBundle};
 use std::collections::hash_map::DefaultHasher;
 use std::fs;
 use std::hash::{Hash, Hasher};
+use std::io;
 use std::path::PathBuf;
 
 /// Bump to invalidate previously cached bundles after behaviour changes.
 const CACHE_VERSION: u32 = 5;
 
-fn cache_dir() -> PathBuf {
+/// Why the bundle cache could not be used.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The cache directory could not be created.
+    CreateDir {
+        /// The directory that could not be created.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: io::Error,
+    },
+    /// The simulation produced no bundle for a requested vantage node.
+    MissingBundle {
+        /// The node whose bundle is missing.
+        node: u16,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::CreateDir { path, source } => {
+                write!(
+                    f,
+                    "cannot create cache directory {}: {source}",
+                    path.display()
+                )
+            }
+            CacheError::MissingBundle { node } => {
+                write!(f, "simulation produced no bundle for node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::CreateDir { source, .. } => Some(source),
+            CacheError::MissingBundle { .. } => None,
+        }
+    }
+}
+
+fn cache_dir() -> Result<PathBuf, CacheError> {
     let dir = PathBuf::from("target/cfa-cache");
-    fs::create_dir_all(&dir).expect("create cache directory");
-    dir
+    fs::create_dir_all(&dir).map_err(|source| CacheError::CreateDir {
+        path: dir.clone(),
+        source,
+    })?;
+    Ok(dir)
 }
 
 fn scenario_key(scenario: &Scenario, node: u16) -> String {
@@ -85,15 +132,22 @@ fn deserialize(text: &str, scenario: &Scenario) -> Option<TraceBundle> {
     })
 }
 
-/// Runs `scenario` for the given vantage nodes, re-using cached bundles
-/// when available. One simulation produces all requested nodes' bundles.
-pub fn cached_bundles(scenario: &Scenario, nodes: &[manet_cfa::sim::NodeId]) -> Vec<TraceBundle> {
-    let dir = cache_dir();
+/// Fallible core of [`cached_bundles`]: errors name the failing path or
+/// node instead of panicking.
+///
+/// # Errors
+///
+/// [`CacheError::CreateDir`] when the cache directory cannot be created.
+pub fn try_cached_bundles(
+    scenario: &Scenario,
+    nodes: &[manet_cfa::sim::NodeId],
+) -> Result<Vec<TraceBundle>, CacheError> {
+    let dir = cache_dir()?;
     let paths: Vec<PathBuf> = nodes
         .iter()
         .map(|n| dir.join(scenario_key(scenario, n.0)))
         .collect();
-    let cached: Vec<Option<TraceBundle>> = paths
+    let cached: Option<Vec<TraceBundle>> = paths
         .iter()
         .map(|p| {
             fs::read_to_string(p)
@@ -101,20 +155,54 @@ pub fn cached_bundles(scenario: &Scenario, nodes: &[manet_cfa::sim::NodeId]) -> 
                 .and_then(|text| deserialize(&text, scenario))
         })
         .collect();
-    if cached.iter().all(Option::is_some) {
-        return cached.into_iter().map(|b| b.expect("checked")).collect();
+    if let Some(bundles) = cached {
+        return Ok(bundles);
     }
     let bundles = scenario.run_nodes(nodes);
     for (bundle, path) in bundles.iter().zip(&paths) {
         let _ = fs::write(path, serialize(bundle));
     }
-    bundles
+    Ok(bundles)
 }
 
-/// Single-node convenience wrapper around [`cached_bundles`].
-pub fn cached_bundle(scenario: &Scenario) -> TraceBundle {
+/// Single-node counterpart of [`try_cached_bundles`].
+///
+/// # Errors
+///
+/// [`CacheError::CreateDir`] when the cache directory cannot be created;
+/// [`CacheError::MissingBundle`] when the simulation breaks its
+/// one-bundle-per-node contract.
+pub fn try_cached_bundle(scenario: &Scenario) -> Result<TraceBundle, CacheError> {
     let node = scenario.monitored;
-    cached_bundles(scenario, &[node]).pop().expect("one bundle")
+    try_cached_bundles(scenario, &[node])?
+        .pop()
+        .ok_or(CacheError::MissingBundle { node: node.0 })
+}
+
+/// Runs `scenario` for the given vantage nodes, re-using cached bundles
+/// when available. One simulation produces all requested nodes' bundles.
+/// The cache is an accelerator, not a correctness dependency: any cache
+/// trouble degrades to an uncached run.
+pub fn cached_bundles(scenario: &Scenario, nodes: &[manet_cfa::sim::NodeId]) -> Vec<TraceBundle> {
+    match try_cached_bundles(scenario, nodes) {
+        Ok(bundles) => bundles,
+        Err(e) => {
+            eprintln!("cfa-bench: {e}; running uncached");
+            scenario.run_nodes(nodes)
+        }
+    }
+}
+
+/// Single-node convenience wrapper around [`cached_bundles`], with the
+/// same degrade-to-uncached behaviour.
+pub fn cached_bundle(scenario: &Scenario) -> TraceBundle {
+    match try_cached_bundle(scenario) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("cfa-bench: {e}; running uncached");
+            scenario.run()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ pub fn recall_precision_curve(events: &[ScoredEvent]) -> Vec<PrPoint> {
     // Candidate thresholds: every distinct score, plus one above the max so
     // the curve reaches recall 1.
     let mut thresholds: Vec<f64> = events.iter().map(|e| e.score).collect();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("comparable scores"));
+    // total_cmp: same order as partial_cmp for the non-NaN scores the
+    // models emit, and no panic edge on the training path.
+    thresholds.sort_by(f64::total_cmp);
     thresholds.dedup();
     let max = thresholds.last().copied().unwrap_or(1.0);
     thresholds.push(max + 1e-9);
@@ -76,19 +78,18 @@ pub fn recall_precision_curve(events: &[ScoredEvent]) -> Vec<PrPoint> {
 /// extending the curve horizontally to recall 0 and 1. Perfect detection
 /// gives ≈ 0.5; random guessing ≈ 0.
 pub fn auc_above_diagonal(curve: &[PrPoint]) -> f64 {
-    if curve.is_empty() {
+    let (Some(first), Some(last)) = (curve.first(), curve.last()) else {
         return 0.0;
-    }
+    };
     let mut area = 0.0;
     // Extend flat to recall = 0.
-    let first = curve[0];
     area += first.recall * first.precision;
     for w in curve.windows(2) {
-        let dr = w[1].recall - w[0].recall;
-        area += dr * (w[0].precision + w[1].precision) / 2.0;
+        let [lo, hi] = w else { continue };
+        let dr = hi.recall - lo.recall;
+        area += dr * (lo.precision + hi.precision) / 2.0;
     }
     // Extend flat to recall = 1.
-    let last = curve[curve.len() - 1];
     area += (1.0 - last.recall) * last.precision;
     area - 0.5
 }
@@ -101,7 +102,8 @@ pub fn optimal_point(curve: &[PrPoint]) -> Option<PrPoint> {
     curve.iter().copied().min_by(|a, b| {
         let da = (1.0 - a.recall).powi(2) + (1.0 - a.precision).powi(2);
         let db = (1.0 - b.recall).powi(2) + (1.0 - b.precision).powi(2);
-        da.partial_cmp(&db).expect("comparable distances")
+        // Same order as partial_cmp for finite distances, panic-free.
+        da.total_cmp(&db)
     })
 }
 

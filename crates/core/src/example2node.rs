@@ -69,20 +69,31 @@ pub struct SubModel {
     pub rules: Vec<SubModelRule>,
 }
 
+/// Feature `i` of an event, panic-free: the indices are 0..3 by
+/// construction, so the `false` fallback is unreachable.
+fn feat(e: &Event, i: usize) -> bool {
+    e.get(i).copied().unwrap_or(false)
+}
+
 impl SubModel {
     /// Builds the sub-model for `labeled` from the normal events, using
     /// the paper's illustrative classifier.
     pub fn build(labeled: usize) -> SubModel {
         assert!(labeled < 3, "feature index out of range");
-        let others: Vec<usize> = (0..3).filter(|&i| i != labeled).collect();
+        let (o0, o1) = match labeled {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
         let combos = [[true, true], [true, false], [false, true], [false, false]];
         // First pass: combinations that appear in normal data.
         let mut rules: Vec<Option<SubModelRule>> = Vec::new();
         for inputs in combos {
+            let [i0, i1] = inputs;
             let classes: Vec<bool> = NORMAL_EVENTS
                 .iter()
-                .filter(|e| e[others[0]] == inputs[0] && e[others[1]] == inputs[1])
-                .map(|e| e[labeled])
+                .filter(|e| feat(e, o0) == i0 && feat(e, o1) == i1)
+                .map(|e| feat(e, labeled))
                 .collect();
             let rule = if classes.is_empty() {
                 None // resolved in the second pass

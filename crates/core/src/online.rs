@@ -156,17 +156,17 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
             let next = (self.sim.now() + step).min(duration);
             self.sim.run_until(next);
             let now = self.sim.now();
-            for i in 0..self.taps.len() {
-                self.taps[i].extractor.borrow_mut().advance_to(now);
-                self.score_ready(i, now.as_secs());
+            for tap in &mut self.taps {
+                tap.extractor.borrow_mut().advance_to(now);
             }
+            self.score_ready(now.as_secs());
         }
         // Flush windows the watermark could not prove complete (e.g. the
         // final snapshot's velocity winner).
-        for i in 0..self.taps.len() {
-            self.taps[i].extractor.borrow_mut().finish(duration);
-            self.score_ready(i, duration.as_secs());
+        for tap in &mut self.taps {
+            tap.extractor.borrow_mut().finish(duration);
         }
+        self.score_ready(duration.as_secs());
         MonitorReport {
             alarms: self.alarms,
             series: self
@@ -180,34 +180,37 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
         }
     }
 
-    /// Scores whatever snapshots tap `i` has completed.
-    fn score_ready(&mut self, i: usize, now_secs: f64) {
-        let rows = self.taps[i].extractor.borrow_mut().drain_rows();
-        let tap = &mut self.taps[i];
-        for row in rows {
-            self.discretizer
-                .transform_row_into(&row.values, &mut self.row_buf);
-            let raw = self.detector.score_with(&self.row_buf, &mut self.score_buf);
-            tap.recent.push_back(raw);
-            if tap.recent.len() > self.smoothing {
-                tap.recent.pop_front();
-            }
-            // Oldest-to-newest sum: the exact float order of the batch
-            // pipeline's trailing moving average.
-            let smoothed = tap.recent.iter().sum::<f64>() / tap.recent.len() as f64;
-            tap.series.push((row.time, smoothed));
-            let verdict = if smoothed >= self.detector.threshold() {
-                Verdict::Normal
-            } else {
-                Verdict::Anomaly
-            };
-            if verdict == Verdict::Anomaly {
-                self.alarms.push(Alarm {
-                    node: tap.node,
-                    snapshot_time: row.time,
-                    detected_at: now_secs,
-                    score: smoothed,
-                });
+    /// Scores whatever snapshots each tap has completed. Extractors are
+    /// independent, so draining tap-by-tap preserves the per-tap score
+    /// and alarm order of the batch pipeline.
+    fn score_ready(&mut self, now_secs: f64) {
+        for tap in &mut self.taps {
+            let rows = tap.extractor.borrow_mut().drain_rows();
+            for row in rows {
+                self.discretizer
+                    .transform_row_into(&row.values, &mut self.row_buf);
+                let raw = self.detector.score_with(&self.row_buf, &mut self.score_buf);
+                tap.recent.push_back(raw);
+                if tap.recent.len() > self.smoothing {
+                    tap.recent.pop_front();
+                }
+                // Oldest-to-newest sum: the exact float order of the batch
+                // pipeline's trailing moving average.
+                let smoothed = tap.recent.iter().sum::<f64>() / tap.recent.len() as f64;
+                tap.series.push((row.time, smoothed));
+                let verdict = if smoothed >= self.detector.threshold() {
+                    Verdict::Normal
+                } else {
+                    Verdict::Anomaly
+                };
+                if verdict == Verdict::Anomaly {
+                    self.alarms.push(Alarm {
+                        node: tap.node,
+                        snapshot_time: row.time,
+                        detected_at: now_secs,
+                        score: smoothed,
+                    });
+                }
             }
         }
     }

@@ -49,17 +49,23 @@ impl EqualFrequencyDiscretizer {
         let n_cols = matrix.n_cols();
         let mut cuts = Vec::with_capacity(n_cols);
         for c in 0..n_cols {
-            let mut vals: Vec<f64> = indices.iter().map(|&r| matrix.rows[r][c]).collect();
+            let mut vals: Vec<f64> = indices
+                .iter()
+                .filter_map(|&r| matrix.rows.get(r).and_then(|row| row.get(c)))
+                .copied()
+                .collect();
             // total_cmp gives a deterministic order even for non-finite
             // values instead of panicking on NaN.
             vals.sort_by(f64::total_cmp);
             let mut col_cuts: Vec<f64> = Vec::with_capacity(n_buckets - 1);
             for b in 1..n_buckets {
                 let q = b as f64 / n_buckets as f64;
-                let idx = ((vals.len() as f64 * q) as usize).min(vals.len() - 1);
-                let cut = vals[idx];
+                let idx = ((vals.len() as f64 * q) as usize).min(vals.len().saturating_sub(1));
+                let Some(&cut) = vals.get(idx) else { continue };
                 // Collapse duplicate cut points (low-cardinality columns).
-                if col_cuts.last().is_none_or(|&last| cut > last) && cut > vals[0] {
+                if col_cuts.last().is_none_or(|&last| cut > last)
+                    && vals.first().is_some_and(|&first| cut > first)
+                {
                     col_cuts.push(cut);
                 }
             }
@@ -111,8 +117,17 @@ impl EqualFrequencyDiscretizer {
         // Build the table column-major directly — it is the table's native
         // layout, so no row-major transpose is ever materialised.
         let cols: Vec<Vec<u8>> = if matrix.n_cols() == self.cuts.len() {
+            // A ragged row yields a short column, which from_columns
+            // rejects as a width error instead of panicking here.
             (0..self.cuts.len())
-                .map(|c| matrix.rows.iter().map(|r| self.bucket(c, r[c])).collect())
+                .map(|c| {
+                    matrix
+                        .rows
+                        .iter()
+                        .filter_map(|r| r.get(c))
+                        .map(|&v| self.bucket(c, v))
+                        .collect()
+                })
                 .collect()
         } else {
             Vec::new() // width mismatch: let from_columns report it

@@ -63,15 +63,16 @@ impl TimesBuf {
 
     /// Events with `lo <= t < hi` among the retained times.
     fn window(&self, lo: f64, hi: f64) -> &[f64] {
-        let v = &self.times[self.start..];
+        let v = self.times.get(self.start..).unwrap_or(&[]);
         let a = v.partition_point(|&t| t < lo);
         let b = v.partition_point(|&t| t < hi);
-        &v[a..b]
+        // a <= b <= v.len() by partition_point on a sorted buffer.
+        v.get(a..b).unwrap_or(&[])
     }
 
     /// Drops retained times `< min_lo`; they can appear in no future window.
     fn prune(&mut self, min_lo: f64) {
-        while self.start < self.times.len() && self.times[self.start] < min_lo {
+        while self.times.get(self.start).is_some_and(|&t| t < min_lo) {
             self.start += 1;
         }
         if self.start > 64 && self.start * 2 >= self.times.len() {
@@ -92,7 +93,13 @@ pub(crate) fn interval_stddev(times: &[f64]) -> f64 {
         // Fewer than two intervals: no spread to measure.
         return 0.0;
     }
-    let intervals: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let intervals: Vec<f64> = times
+        .windows(2)
+        .filter_map(|w| {
+            let [a, b] = w else { return None };
+            Some(b - a)
+        })
+        .collect();
     let n = intervals.len() as f64;
     let mean = intervals.iter().sum::<f64>() / n;
     let var = intervals.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
@@ -198,9 +205,13 @@ impl IncrementalExtractor {
     /// Buffers a packet observation without advancing the watermark.
     fn buffer_packet(&mut self, t: f64, kind: TracePacketKind, dir: Direction) {
         let d = Self::dir_idx(dir);
-        for i in 0..self.kind_to_ptypes[Self::kind_idx(kind)].len() {
-            let p = self.kind_to_ptypes[Self::kind_idx(kind)][i];
-            self.traffic[p * Direction::ALL.len() + d].push(t);
+        let Some(ptypes) = self.kind_to_ptypes.get(Self::kind_idx(kind)) else {
+            return;
+        };
+        for &p in ptypes {
+            if let Some(buf) = self.traffic.get_mut(p * Direction::ALL.len() + d) {
+                buf.push(t);
+            }
         }
     }
 
@@ -311,22 +322,29 @@ impl IncrementalExtractor {
         // Velocity: the mobility sample closest to this snapshot time.
         let velocity = self
             .best_mobility(t)
-            .map_or(0.0, |(i, _)| self.mobility[i].1);
+            .and_then(|(i, _)| self.mobility.get(i))
+            .map_or(0.0, |&(_, v)| v);
         row.push(velocity);
 
         // Route-event counters over the base 5 s window.
-        while self.routes_start < self.routes.len() && self.routes[self.routes_start].0 < lo {
+        while self
+            .routes
+            .get(self.routes_start)
+            .is_some_and(|&(rt, _, _)| rt < lo)
+        {
             self.routes_start += 1;
         }
         let mut counts = [0usize; 5];
         let mut len_sum = 0.0;
         let mut len_n = 0usize;
         let kind_pos = |k: RouteEventKind| k.index();
-        for &(rt, kind, route_len) in &self.routes[self.routes_start..] {
+        for &(rt, kind, route_len) in self.routes.get(self.routes_start..).unwrap_or(&[]) {
             if rt >= t {
                 break;
             }
-            counts[kind_pos(kind)] += 1;
+            if let Some(c) = counts.get_mut(kind_pos(kind)) {
+                *c += 1;
+            }
             if matches!(kind, RouteEventKind::Added | RouteEventKind::Noticed) {
                 if let Some(l) = route_len {
                     len_sum += f64::from(l);
@@ -334,13 +352,14 @@ impl IncrementalExtractor {
                 }
             }
         }
-        let add = counts[kind_pos(RouteEventKind::Added)] as f64;
-        let removal = counts[kind_pos(RouteEventKind::Removed)] as f64;
+        let count = |k: RouteEventKind| counts.get(kind_pos(k)).copied().unwrap_or(0) as f64;
+        let add = count(RouteEventKind::Added);
+        let removal = count(RouteEventKind::Removed);
         row.push(add);
         row.push(removal);
-        row.push(counts[kind_pos(RouteEventKind::Found)] as f64);
-        row.push(counts[kind_pos(RouteEventKind::Noticed)] as f64);
-        row.push(counts[kind_pos(RouteEventKind::Repaired)] as f64);
+        row.push(count(RouteEventKind::Found));
+        row.push(count(RouteEventKind::Noticed));
+        row.push(count(RouteEventKind::Repaired));
         row.push(add + removal); // total route change
         row.push(if len_n > 0 {
             len_sum / len_n as f64
@@ -353,9 +372,11 @@ impl IncrementalExtractor {
         let ptype_idx = |p: PacketTypeDim| p.index();
         for f in self.spec.traffic_features() {
             let lo_w = (t - f.period).max(0.0);
-            let window = self.traffic
-                [ptype_idx(f.ptype) * Direction::ALL.len() + Self::dir_idx(f.dir)]
-            .window(lo_w, t);
+            let slot = ptype_idx(f.ptype) * Direction::ALL.len() + Self::dir_idx(f.dir);
+            let window = match self.traffic.get(slot) {
+                Some(buf) => buf.window(lo_w, t),
+                None => &[],
+            };
             let v = match f.stat {
                 StatMeasure::Count => window.len() as f64,
                 StatMeasure::IntervalStdDev => interval_stddev(window),
@@ -380,7 +401,11 @@ impl IncrementalExtractor {
         }
         // Route events: each lives in exactly one base window, which has
         // now closed for everything `< t`.
-        while self.routes_start < self.routes.len() && self.routes[self.routes_start].0 < t {
+        while self
+            .routes
+            .get(self.routes_start)
+            .is_some_and(|&(rt, _, _)| rt < t)
+        {
             self.routes_start += 1;
         }
         if self.routes_start > 64 && self.routes_start * 2 >= self.routes.len() {

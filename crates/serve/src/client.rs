@@ -137,6 +137,7 @@ impl Client {
         let mut payload = Vec::with_capacity(9 + rows.len() * 8);
         payload.push(OP_SCORE);
         put_u32(&mut payload, n_rows as u32);
+        // audit: allow(D010, reason = "wire format caps the width field at u32; n_cols is the model schema's column count (tens, never near 2^32) and the server rejects any width mismatch")
         put_u32(&mut payload, n_cols as u32);
         for &v in rows {
             put_f64(&mut payload, v);
