@@ -1,0 +1,46 @@
+//! Seeded D012/D013 violations: network-read bytes flowing into an
+//! allocation size, a jump-table index, and wrapping arithmetic with no
+//! dominating bound check. This file is never compiled; it exists to be
+//! scanned.
+
+/// Reads a length prefix off the wire and allocates for it verbatim —
+/// a peer declaring 4 GiB gets 4 GiB reserved (D012).
+pub fn read_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut len4 = [0u8; 4];
+    stream.read_exact(&mut len4).ok();
+    let len = decode_len(&len4);
+    alloc_body(len)
+}
+
+/// Little-endian decode; the taint rides through the arithmetic.
+fn decode_len(b: &[u8]) -> usize {
+    let lo = b[0] as usize;
+    let hi = b[1] as usize;
+    lo + hi * 256
+}
+
+/// The allocation sink, two calls away from the socket read.
+fn alloc_body(len: usize) -> Vec<u8> {
+    // D012: attacker-declared length used as an allocation size.
+    let mut body = Vec::with_capacity(len);
+    body.resize(len, 0);
+    body
+}
+
+/// Dispatches on the first payload byte by indexing the jump table —
+/// a byte past the table length panics the worker (D013).
+pub fn dispatch(stream: &mut TcpStream, table: &[u8]) -> u8 {
+    let mut op = [0u8; 1];
+    stream.read(&mut op).ok();
+    let idx = op[0] as usize;
+    table[idx]
+}
+
+/// Folds the advertised sequence byte with wrapping arithmetic — a
+/// hostile peer steers the product anywhere in u32 space (D013).
+pub fn fold_seq(stream: &mut TcpStream) -> u32 {
+    let mut seq = [0u8; 1];
+    stream.read(&mut seq).ok();
+    let s = seq[0] as u32;
+    s.wrapping_mul(2654435761)
+}

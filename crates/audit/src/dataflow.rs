@@ -38,12 +38,43 @@
 //! * **casts** (D010) — `x as u32`-style narrowing where `x` is a tracked
 //!   `Wide` binding and the target type cannot hold every source value
 //!   (`Const` operands that fit are skipped).
-//! * **locks** (D011) — a second lock acquired while a guard is live, or
-//!   direct stream I/O (`write_all`, `read_exact`, `flush`, …) under a
-//!   live guard.
+//! * **locks** (D011) — direct stream I/O (`write_all`, `read_exact`,
+//!   `flush`, …) under a live guard.
+//! * **acquires / guarded_calls / blocking** (D014) — the raw material for
+//!   the interprocedural lock-acquisition graph: every lock acquisition
+//!   with the set of lock identities already held, every call made while a
+//!   guard is live, and every direct blocking-I/O site. Nested
+//!   acquisition itself is no longer flagged here — the taint layer's
+//!   order-aware graph (D014) decides whether an ordering is consistent.
 
 use crate::lexer::{Token, TokenKind};
 use crate::parser::Site;
+
+/// One lock acquisition with the lock identities already held at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockAcq {
+    /// Identity of the acquired lock: the receiver field of `.lock()`
+    /// (`queue` in `shared.queue.lock()`) or the last path segment of a
+    /// `lock(&…)` helper argument.
+    pub lock: String,
+    /// Identities of locks already held, innermost last.
+    pub held: Vec<String>,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A call made while at least one lock guard is live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardedCall {
+    /// Callee name.
+    pub callee: String,
+    /// How the call was written (drives call-graph resolution).
+    pub kind: crate::parser::CallKind,
+    /// Identities of the locks held at the call.
+    pub held: Vec<String>,
+    /// 1-based source line.
+    pub line: usize,
+}
 
 /// The dataflow facts mined from one function body.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -54,6 +85,12 @@ pub struct BodyFacts {
     pub casts: Vec<Site>,
     /// D011 sites: lock-discipline violations.
     pub locks: Vec<Site>,
+    /// D014: every lock acquisition with the held-set at it.
+    pub acquires: Vec<LockAcq>,
+    /// D014: calls made while a guard is live.
+    pub guarded_calls: Vec<GuardedCall>,
+    /// D014: direct blocking-I/O sites (socket read/write/accept family).
+    pub blocking: Vec<Site>,
 }
 
 /// Abstract value of a local binding.
@@ -71,8 +108,9 @@ enum Val {
     Handle,
     /// Element drawn from a `Parallel`/`Handle` collection.
     ParallelElem,
-    /// A live lock guard.
-    Guard,
+    /// A live lock guard; payload is the lock's identity (receiver field
+    /// of `.lock()`, or the argument of the `lock(&…)` helper).
+    Guard(String),
     /// Anything else — tracked for shadowing only.
     Other,
 }
@@ -126,6 +164,37 @@ const IO_METHODS: [&str; 7] = [
     "read_to_string",
     "write_fmt",
     "write_vectored",
+];
+
+/// Method calls that block on a socket (D014 seeds; the interprocedural
+/// pass only consults these for functions in the serving crate, where
+/// `read`/`write`/`accept` receivers are streams and listeners).
+const BLOCKING_METHODS: [&str; 12] = [
+    "write_all",
+    "read_exact",
+    "flush",
+    "read_to_end",
+    "read_to_string",
+    "write_fmt",
+    "write_vectored",
+    "read",
+    "write",
+    "accept",
+    "incoming",
+    "connect",
+];
+
+/// Calls never worth recording as guarded work: the lock/condvar
+/// machinery itself and poison plumbing.
+const GUARD_MACHINERY: [&str; 8] = [
+    "lock",
+    "wait",
+    "notify_one",
+    "notify_all",
+    "drop",
+    "unwrap_or_else",
+    "into_inner",
+    "unwrap",
 ];
 
 /// Whether `v` fits in the `bits`-wide (un)signed target.
@@ -244,8 +313,19 @@ impl Analyzer<'_, '_> {
         self.binds
             .iter()
             .rev()
-            .find(|b| b.val == Val::Guard)
+            .find(|b| matches!(b.val, Val::Guard(_)))
             .map(|b| b.name.as_str())
+    }
+
+    /// Identities of every live guard, outermost first.
+    fn held_locks(&self) -> Vec<String> {
+        self.binds
+            .iter()
+            .filter_map(|b| match &b.val {
+                Val::Guard(lock) => Some(lock.clone()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Seeds bindings from `name: Type` parameter pairs in the signature.
@@ -315,7 +395,8 @@ impl Analyzer<'_, '_> {
             return Val::Handle;
         }
         if ty.contains(&"MutexGuard") {
-            return Val::Guard;
+            // Identity unknown from a type annotation alone.
+            return Val::Guard(String::from("?"));
         }
         Val::Other
     }
@@ -424,7 +505,7 @@ impl Analyzer<'_, '_> {
                 match self.text(j) {
                     "map_chunks" => return Val::Parallel,
                     "spawn" => return Val::Handle,
-                    "lock" => return Val::Guard,
+                    "lock" => return Val::Guard(self.lock_identity(j, end)),
                     _ => {}
                 }
             }
@@ -440,6 +521,38 @@ impl Analyzer<'_, '_> {
             }
         }
         Val::Other
+    }
+
+    /// The identity of the lock acquired by the `lock` token at `at`:
+    /// for a method call (`shared.queue.lock()`) the receiver's last
+    /// field; for the free helper (`lock(&shared.queue)`) the last
+    /// identifier inside the argument parens.
+    fn lock_identity(&self, at: usize, end: usize) -> String {
+        // Method form: ident `.` lock — the preceding identifier.
+        if let Some(recv) = at
+            .checked_sub(2)
+            .filter(|&p| self.is_punct(p + 1, ".") && self.is_ident_tok(p))
+        {
+            return self.text(recv).to_string();
+        }
+        // Free form: last identifier inside the balanced paren group.
+        let mut depth = 0i32;
+        let mut j = at + 1;
+        let mut last = None;
+        while j < end {
+            if self.is_punct(j, "(") {
+                depth += 1;
+            } else if self.is_punct(j, ")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if self.is_ident_tok(j) {
+                last = Some(self.text(j).to_string());
+            }
+            j += 1;
+        }
+        last.unwrap_or_else(|| String::from("?"))
     }
 
     /// Whether the range contains a no-argument `.join()` call (thread
@@ -548,6 +661,9 @@ impl Analyzer<'_, '_> {
                 continue;
             }
             if self.is_ident_tok(i) {
+                if self.is_punct(i + 1, "(") {
+                    self.call_site(i);
+                }
                 match self.text(i) {
                     "let" => {
                         i = self.let_stmt(i, end, depth);
@@ -574,16 +690,15 @@ impl Analyzer<'_, '_> {
                         self.reduction_site(i);
                     }
                     "lock" if self.is_punct(i + 1, "(") => {
-                        // A second acquisition while a guard is live. The
-                        // acquisition that *creates* a guard binding is
-                        // handled in let_stmt; a bare `lock(..)` call here
-                        // still counts as an acquisition.
-                        if let Some(g) = self.live_guard() {
-                            self.facts.locks.push(Site {
-                                what: format!("lock() acquired while guard `{g}` is live"),
-                                line: self.toks[i].line,
-                            });
-                        }
+                        // An acquisition outside a `let` (those are
+                        // recorded in let_stmt): feed the D014 graph.
+                        let lock = self.lock_identity(i, end);
+                        let held = self.held_locks();
+                        self.facts.acquires.push(LockAcq {
+                            lock,
+                            held,
+                            line: self.toks[i].line,
+                        });
                     }
                     name if IO_METHODS.contains(&name)
                         && i > 0
@@ -612,7 +727,7 @@ impl Analyzer<'_, '_> {
                             let name = self.text(i).to_string();
                             let stmt_end = self.stmt_end(i + 2, end);
                             // `g = cv.wait(g)` keeps the guard live.
-                            let keeps_guard = self.lookup(&name) == Some(&Val::Guard)
+                            let keeps_guard = matches!(self.lookup(&name), Some(Val::Guard(_)))
                                 && (i + 2..stmt_end).any(|j| {
                                     self.is_ident_tok(j)
                                         && self.text(j) == "wait"
@@ -668,6 +783,9 @@ impl Analyzer<'_, '_> {
         let mut i = start;
         while i < end {
             if self.is_ident_tok(i) {
+                if self.is_punct(i + 1, "(") {
+                    self.call_site(i);
+                }
                 match self.text(i) {
                     "as" => self.cast_site(i),
                     "sum" | "fold" if i > 0 && self.is_punct(i - 1, ".") => self.reduction_site(i),
@@ -688,6 +806,58 @@ impl Analyzer<'_, '_> {
             }
             i += 1;
         }
+    }
+
+    /// Records D014 facts for the call whose name token is at `i` (next
+    /// token is `(`): a direct blocking-I/O site, and — when a guard is
+    /// live — a guarded call for the interprocedural blocking check.
+    fn call_site(&mut self, i: usize) {
+        let name = self.text(i).to_string();
+        let name = name.as_str();
+        if matches!(
+            name,
+            "if" | "while" | "for" | "match" | "loop" | "return" | "fn" | "move" | "else" | "in"
+        ) {
+            return;
+        }
+        let line = self.toks[i].line;
+        let prev_dot = i.checked_sub(1).is_some_and(|p| self.is_punct(p, "."));
+        let prev_path = i.checked_sub(1).is_some_and(|p| self.is_punct(p, "::"));
+        if prev_dot && BLOCKING_METHODS.contains(&name) {
+            self.facts.blocking.push(Site {
+                what: format!("{name}()"),
+                line,
+            });
+        }
+        if GUARD_MACHINERY.contains(&name) {
+            return;
+        }
+        let held = self.held_locks();
+        if held.is_empty() {
+            return;
+        }
+        let name = name.to_string();
+        let kind = if prev_dot {
+            let on_self = i
+                .checked_sub(2)
+                .is_some_and(|p| self.is_ident_tok(p) && self.text(p) == "self");
+            crate::parser::CallKind::Method { on_self }
+        } else if prev_path {
+            let head = i
+                .checked_sub(2)
+                .filter(|&p| self.is_ident_tok(p))
+                .map(|p| self.text(p).to_string())
+                .unwrap_or_default();
+            crate::parser::CallKind::Qualified { head }
+        } else {
+            crate::parser::CallKind::Free
+        };
+        self.facts.guarded_calls.push(GuardedCall {
+            callee: name,
+            kind,
+            held,
+            line,
+        });
     }
 
     /// Handles a `let` statement at `i`; returns the resume index.
@@ -725,16 +895,15 @@ impl Analyzer<'_, '_> {
         } else {
             stmt_end
         };
-        // When a second lock is taken *as* a new guard binding, the site
-        // is the acquisition itself.
+        // A lock taken *as* a new guard binding is an acquisition site
+        // for the D014 lock graph, with the current held-set.
         let init_val = self.classify_init(init_start, stmt_end);
-        if init_val == Val::Guard {
-            if let Some(g) = self.live_guard() {
-                self.facts.locks.push(Site {
-                    what: format!("lock() acquired while guard `{g}` is live"),
-                    line: self.toks[i].line,
-                });
-            }
+        if let Val::Guard(lock) = &init_val {
+            self.facts.acquires.push(LockAcq {
+                lock: lock.clone(),
+                held: self.held_locks(),
+                line: self.toks[i].line,
+            });
         }
         // Annotation beats initializer shape for scalar types; the
         // initializer wins for call shapes (Parallel/Handle/Guard).
@@ -742,7 +911,7 @@ impl Analyzer<'_, '_> {
         let val = match Self::classify_type(&ann_refs) {
             Val::Other => init_val,
             ann_val => match init_val {
-                Val::Parallel | Val::Handle | Val::Guard | Val::Const(_) => init_val,
+                Val::Parallel | Val::Handle | Val::Guard(_) | Val::Const(_) => init_val,
                 _ => ann_val,
             },
         };
@@ -1047,7 +1216,10 @@ mod tests {
     }
 
     #[test]
-    fn second_lock_while_guard_live_is_flagged() {
+    fn second_lock_while_guard_live_records_acquisition_order() {
+        // Nested acquisition is no longer an intra-function D011: the
+        // acquires facts carry the held-set and D014's lock-order graph
+        // decides whether the order is actually cyclic.
         let f = facts(
             "fn f(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {\n\
                  let ga = a.lock().unwrap_or_else(|p| p.into_inner());\n\
@@ -1055,8 +1227,12 @@ mod tests {
                  *ga + *gb\n\
              }\n",
         );
-        assert_eq!(f.locks.len(), 1, "{f:?}");
-        assert!(f.locks[0].what.contains("`ga`"));
+        assert!(f.locks.is_empty(), "{f:?}");
+        assert_eq!(f.acquires.len(), 2, "{f:?}");
+        assert_eq!(f.acquires[0].lock, "a");
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].lock, "b");
+        assert_eq!(f.acquires[1].held, vec!["a".to_string()]);
     }
 
     #[test]

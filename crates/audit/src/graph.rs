@@ -32,6 +32,12 @@ pub struct CallGraph {
     pub fns: Vec<FnDef>,
     /// `edges[i]` = sorted, deduplicated callee indices of `fns[i]`.
     pub edges: Vec<Vec<usize>>,
+    /// Free functions by bare name (non-test only).
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by bare name (non-test only).
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by `(owner, name)` (non-test only).
+    methods_by_owner: BTreeMap<(String, String), Vec<usize>>,
 }
 
 /// Strips a workspace-relative path to its crate root (`crates/sim/` or
@@ -39,12 +45,12 @@ pub struct CallGraph {
 fn crate_root(rel: &str) -> &str {
     if let Some(rest) = rel.strip_prefix("crates/") {
         match rest.find('/') {
-            Some(end) => &rel[..7 + end + 1],
+            Some(end) => rel.get(..7 + end + 1).unwrap_or(rel),
             None => rel,
         }
     } else {
         match rel.find('/') {
-            Some(end) => &rel[..end + 1],
+            Some(end) => rel.get(..end + 1).unwrap_or(rel),
             None => rel,
         }
     }
@@ -55,101 +61,128 @@ impl CallGraph {
     /// as callees only if a non-test function actually names them — roots
     /// and rule reporting both exclude them downstream.
     pub fn build(fns: Vec<FnDef>) -> CallGraph {
-        // Lookup indexes. BTreeMap: lookups only, but ordered anyway so
+        // Lookup indexes, retained for per-call-site resolution by the
+        // taint layer. BTreeMap: lookups only, but ordered anyway so
         // that no future iteration can introduce nondeterminism.
-        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut methods_by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         for (i, f) in fns.iter().enumerate() {
             if f.is_test {
                 continue; // never resolve *into* test code
             }
             match &f.owner {
-                None => free_by_name.entry(&f.name).or_default().push(i),
+                None => free_by_name.entry(f.name.clone()).or_default().push(i),
                 Some(o) => {
-                    methods_by_name.entry(&f.name).or_default().push(i);
+                    methods_by_name.entry(f.name.clone()).or_default().push(i);
                     methods_by_owner
-                        .entry((o.as_str(), &f.name))
+                        .entry((o.clone(), f.name.clone()))
                         .or_default()
                         .push(i);
                 }
             }
         }
-
-        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
-        for f in &fns {
+        let mut g = CallGraph {
+            fns,
+            edges: Vec::new(),
+            free_by_name,
+            methods_by_name,
+            methods_by_owner,
+        };
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(g.fns.len());
+        for (i, f) in g.fns.iter().enumerate() {
             let mut out: Vec<usize> = Vec::new();
             for call in &f.calls {
-                match &call.kind {
-                    CallKind::Free => {
-                        if let Some(cands) = free_by_name.get(call.name.as_str()) {
-                            // Narrow by proximity: same module+file, then
-                            // same file, then same crate, then anywhere.
-                            let same_file: Vec<usize> = cands
-                                .iter()
-                                .copied()
-                                .filter(|&c| fns[c].file == f.file)
-                                .collect();
-                            let same_mod: Vec<usize> = same_file
-                                .iter()
-                                .copied()
-                                .filter(|&c| fns[c].module == f.module)
-                                .collect();
-                            let same_crate: Vec<usize> = cands
-                                .iter()
-                                .copied()
-                                .filter(|&c| crate_root(&fns[c].file) == crate_root(&f.file))
-                                .collect();
-                            let chosen = if !same_mod.is_empty() {
-                                same_mod
-                            } else if !same_file.is_empty() {
-                                same_file
-                            } else if !same_crate.is_empty() {
-                                same_crate
-                            } else {
-                                cands.clone()
-                            };
-                            out.extend(chosen);
-                        }
-                    }
-                    CallKind::Method { on_self } => {
-                        let scoped = f
-                            .owner
-                            .as_deref()
-                            .filter(|_| *on_self)
-                            .and_then(|o| methods_by_owner.get(&(o, call.name.as_str())));
-                        match scoped {
-                            Some(ms) => out.extend(ms.iter().copied()),
-                            None => {
-                                if let Some(ms) = methods_by_name.get(call.name.as_str()) {
-                                    out.extend(ms.iter().copied());
-                                }
-                            }
-                        }
-                    }
-                    CallKind::Qualified { head } => {
-                        if let Some(ms) = methods_by_owner.get(&(head.as_str(), call.name.as_str()))
-                        {
-                            out.extend(ms.iter().copied());
-                        } else if let Some(cands) = free_by_name.get(call.name.as_str()) {
-                            // Module-qualified free call (`helpers::f()`):
-                            // accept free fns whose module path ends with
-                            // the head segment, or any when head is a
-                            // crate-ish qualifier.
-                            let crate_ish = matches!(head.as_str(), "crate" | "self" | "super");
-                            out.extend(cands.iter().copied().filter(|&c| {
-                                crate_ish || fns[c].module.last().map(String::as_str) == Some(head)
-                            }));
-                        }
-                    }
-                    CallKind::Macro => {}
-                }
+                out.extend(g.resolve(i, &call.name, &call.kind));
             }
             out.sort_unstable();
             out.dedup();
             edges.push(out);
         }
-        CallGraph { fns, edges }
+        g.edges = edges;
+        g
+    }
+
+    /// Resolves one call site in `fns[caller]` to its candidate callee
+    /// indices under the module/impl-scoped policy documented above.
+    pub fn resolve(&self, caller: usize, name: &str, kind: &CallKind) -> Vec<usize> {
+        let Some(f) = self.fns.get(caller) else {
+            return Vec::new();
+        };
+        match kind {
+            CallKind::Free => {
+                let Some(cands) = self.free_by_name.get(name) else {
+                    return Vec::new();
+                };
+                // Narrow by proximity: same module+file, then same file,
+                // then same crate, then anywhere.
+                let same_file: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.fns.get(c).is_some_and(|g| g.file == f.file))
+                    .collect();
+                let same_mod: Vec<usize> = same_file
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.fns.get(c).is_some_and(|g| g.module == f.module))
+                    .collect();
+                let same_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        self.fns
+                            .get(c)
+                            .is_some_and(|g| crate_root(&g.file) == crate_root(&f.file))
+                    })
+                    .collect();
+                if !same_mod.is_empty() {
+                    same_mod
+                } else if !same_file.is_empty() {
+                    same_file
+                } else if !same_crate.is_empty() {
+                    same_crate
+                } else {
+                    cands.clone()
+                }
+            }
+            CallKind::Method { on_self } => {
+                let scoped = f
+                    .owner
+                    .clone()
+                    .filter(|_| *on_self)
+                    .and_then(|o| self.methods_by_owner.get(&(o, name.to_string())));
+                match scoped {
+                    Some(ms) => ms.clone(),
+                    None => self.methods_by_name.get(name).cloned().unwrap_or_default(),
+                }
+            }
+            CallKind::Qualified { head } => {
+                if let Some(ms) = self
+                    .methods_by_owner
+                    .get(&(head.clone(), name.to_string()))
+                {
+                    ms.clone()
+                } else if let Some(cands) = self.free_by_name.get(name) {
+                    // Module-qualified free call (`helpers::f()`): accept
+                    // free fns whose module path ends with the head
+                    // segment, or any when head is a crate-ish qualifier.
+                    let crate_ish = matches!(head.as_str(), "crate" | "self" | "super");
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            crate_ish
+                                || self.fns.get(c).is_some_and(|g| {
+                                    g.module.last().map(String::as_str) == Some(head)
+                                })
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            CallKind::Macro => Vec::new(),
+        }
     }
 
     /// Indices of non-test functions whose qualified name ends with any of
@@ -184,15 +217,19 @@ impl CallGraph {
         sorted_roots.sort_unstable();
         sorted_roots.dedup();
         for r in sorted_roots {
-            if parent[r].is_none() {
-                parent[r] = Some(usize::MAX);
+            if let Some(slot @ None) = parent.get_mut(r) {
+                *slot = Some(usize::MAX);
                 queue.push_back(r);
             }
         }
         while let Some(u) = queue.pop_front() {
-            for &v in &self.edges[u] {
-                if parent[v].is_none() && !self.fns[v].is_test {
-                    parent[v] = Some(u);
+            let callees = self.edges.get(u).map(Vec::as_slice).unwrap_or(&[]);
+            for &v in callees {
+                if self.fns.get(v).is_some_and(|f| f.is_test) {
+                    continue;
+                }
+                if let Some(slot @ None) = parent.get_mut(v) {
+                    *slot = Some(u);
                     queue.push_back(v);
                 }
             }
@@ -206,9 +243,12 @@ impl CallGraph {
         let mut rev = Vec::new();
         let mut cur = idx;
         for _ in 0..64 {
-            rev.push(self.fns[cur].qualified());
-            match parent[cur] {
-                Some(p) if p != usize::MAX => cur = p,
+            let Some(f) = self.fns.get(cur) else {
+                break;
+            };
+            rev.push(f.qualified());
+            match parent.get(cur) {
+                Some(Some(p)) if *p != usize::MAX => cur = *p,
                 _ => break,
             }
         }

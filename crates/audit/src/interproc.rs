@@ -77,11 +77,11 @@ pub struct FileCtx {
 }
 
 impl FileCtx {
-    fn is_allowed(&self, rule: Rule, line0: usize) -> bool {
+    pub(crate) fn is_allowed(&self, rule: Rule, line0: usize) -> bool {
         self.allowed.iter().any(|&(r, l)| r == rule && l == line0)
     }
 
-    fn snippet(&self, line1: usize) -> String {
+    pub(crate) fn snippet(&self, line1: usize) -> String {
         self.lines
             .get(line1.saturating_sub(1))
             .map(|l| l.trim().to_string())
@@ -91,7 +91,7 @@ impl FileCtx {
 
 /// Renders a call chain for a finding note, eliding the middle of long
 /// chains so messages stay readable.
-fn render_chain(chain: &[String]) -> String {
+pub(crate) fn render_chain(chain: &[String]) -> String {
     if chain.len() <= 6 {
         chain.join(" → ")
     } else {

@@ -1,9 +1,11 @@
 //! # cfa-audit
 //!
-//! A zero-dependency, two-layer static analyzer for the manet-cfa
-//! workspace: a **lexical** determinism lint (PR 3) and an
+//! A zero-dependency, four-layer static analyzer for the manet-cfa
+//! workspace: a **lexical** determinism lint (PR 3), an
 //! **interprocedural** reachability layer over a workspace call graph
-//! (this PR). The repo's headline guarantees — PR 1's "bit-identical at
+//! (PR 4), a per-function **dataflow** value-tracking pass (PR 8), and an
+//! interprocedural **taint** pass for untrusted network/CLI input plus a
+//! lock-acquisition graph (this PR). The repo's headline guarantees — PR 1's "bit-identical at
 //! any thread count" ensemble, PR 2's "batch == stream bit-for-bit"
 //! equivalence — rest on discipline the compiler does not enforce: one
 //! careless `HashMap` iteration, one wall-clock read, one reachable panic
@@ -30,7 +32,10 @@
 //! | D008 | interprocedural | allocation (`Vec::new`, `to_vec`, `clone`, `format!`, `collect`, …) reachable from the zero-alloc predict/score path | whole workspace |
 //! | D009 | dataflow | `f64` reduction (`sum::<f64>()`, float `fold`, `+=`) over parallel/chunked results without a documented canonical combine order | non-test code |
 //! | D010 | dataflow | truncating cast (`as u16`/`as u32`/…) on a tracked wide value (u64/u128/SimTime/…) in a function reachable from the panic/predict hot roots | whole workspace |
-//! | D011 | dataflow | lock discipline in the serving crate: a second lock acquired while a guard is live, or a guard held across stream I/O | `crates/serve` |
+//! | D011 | dataflow | guard held across direct stream I/O in the serving crate | `crates/serve` |
+//! | D012 | taint | network/CLI-tainted value used as an allocation size (`with_capacity`, `reserve`, `resize`, …) without a dominating bound check | whole workspace |
+//! | D013 | taint | network/CLI-tainted value used in slice indexing or `wrapping_*`/`unchecked_*` arithmetic | whole workspace |
+//! | D014 | taint | lock-order violation: a cycle in the lock-acquisition graph, or a lock held across a call that reaches blocking stream I/O | `crates/serve` |
 //!
 //! ## Escape hatch
 //!
@@ -61,7 +66,9 @@ pub mod fix;
 pub mod graph;
 pub mod interproc;
 pub mod lexer;
+pub mod par;
 pub mod parser;
+pub mod taint;
 
 pub use baseline::{Baseline, BASELINE_REL_PATH};
 pub use emit::{to_json, to_sarif};
@@ -96,6 +103,12 @@ pub enum Rule {
     D010,
     /// Lock-discipline violation in the serving crate.
     D011,
+    /// Tainted value used as an allocation size without a bound check.
+    D012,
+    /// Tainted value used in indexing or unchecked/wrapping arithmetic.
+    D013,
+    /// Lock-order cycle or lock held across a blocking call.
+    D014,
 }
 
 /// How severe a rule's findings are: [`Severity::Error`] findings are
@@ -112,7 +125,7 @@ pub enum Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 14] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
@@ -124,6 +137,9 @@ impl Rule {
         Rule::D009,
         Rule::D010,
         Rule::D011,
+        Rule::D012,
+        Rule::D013,
+        Rule::D014,
     ];
 
     /// The rule's stable identifier.
@@ -140,6 +156,9 @@ impl Rule {
             Rule::D009 => "D009",
             Rule::D010 => "D010",
             Rule::D011 => "D011",
+            Rule::D012 => "D012",
+            Rule::D013 => "D013",
+            Rule::D014 => "D014",
         }
     }
 
@@ -165,7 +184,10 @@ impl Rule {
                 "f64 reduction over parallel/chunked results without a documented combine order"
             }
             Rule::D010 => "truncating integer cast on a wide id/index/time value on a hot path",
-            Rule::D011 => "nested lock or guard held across I/O in the serving crate",
+            Rule::D011 => "guard held across stream I/O in the serving crate",
+            Rule::D012 => "tainted value used as an allocation size without a dominating bound check",
+            Rule::D013 => "tainted value used in slice indexing or wrapping/unchecked arithmetic",
+            Rule::D014 => "lock-order cycle or lock held across a call reaching blocking I/O",
         }
     }
 
@@ -182,7 +204,10 @@ impl Rule {
             Rule::D008 => "pre-size and reuse caller-owned buffers (scratch pattern); a cold-path or setup allocation needs `// audit: allow(D008, reason = \"...\")`",
             Rule::D009 => "make the combine order canonical (ordered left-fold over map_chunks output, joins in spawn order) and document it with `// audit: allow(D009, reason = \"...\")` stating why the order is thread-count invariant",
             Rule::D010 => "use `Target::try_from(x)` and handle the error (`cfa-audit --fix` rewrites simple sites), or document the range invariant with `// audit: allow(D010, reason = \"...\")`",
-            Rule::D011 => "drop the guard (`drop(g)`) before stream I/O and never acquire a second lock while one is live; the Condvar wait loop is exempt by construction",
+            Rule::D011 => "drop the guard (`drop(g)`) before stream I/O; the Condvar wait loop is exempt by construction",
+            Rule::D012 => "validate the value against a cap before sizing an allocation with it — compare against a limit, go through a validated newtype like FrameLen, or use try_into/checked ops; a proven bound needs `// audit: allow(D012, reason = \"...\")`",
+            Rule::D013 => "bound-check the value before indexing (get()/get_mut() degrade gracefully) and replace wrapping/unchecked arithmetic on untrusted input with checked ops; a proven bound needs `// audit: allow(D013, reason = \"...\")`",
+            Rule::D014 => "acquire locks in one global order everywhere and drop every guard before calling anything that can block on a socket; an intentional ordering needs `// audit: allow(D014, reason = \"...\")`",
         }
     }
 
@@ -673,41 +698,92 @@ pub struct ScanStats {
     pub functions: usize,
 }
 
+/// Per-file output of the parallel scan phase, merged in input order.
+struct FileResult {
+    rel: String,
+    lines: usize,
+    findings: Vec<Finding>,
+    fns: Vec<parser::FnDef>,
+    ctx: interproc::FileCtx,
+    err: Option<std::io::Error>,
+}
+
 /// Scans every `.rs` file under `root` (a workspace checkout) with all
-/// three layers — the lexical rules per file, the dataflow pass per
-/// function body, then the interprocedural rules over the workspace call
-/// graph — and returns all findings (ordered by file, line, then rule)
-/// plus scan-size statistics.
-pub fn scan_tree_with_stats(root: &Path) -> std::io::Result<(Vec<Finding>, ScanStats)> {
+/// four layers — the lexical rules per file, the dataflow pass per
+/// function body, then the interprocedural reachability and taint rules
+/// over the workspace call graph — and returns all findings (ordered by
+/// file, line, then rule) plus scan-size statistics.
+///
+/// The per-file phase (read + lex + parse + line rules) fans out over
+/// `threads` scoped threads via [`par::map_chunks`]; results are merged
+/// in input order and the graph phases stay serial, so the output is
+/// byte-identical at every thread count.
+pub fn scan_tree_with_stats_at(
+    root: &Path,
+    threads: usize,
+) -> std::io::Result<(Vec<Finding>, ScanStats)> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
+    let per_file = par::map_chunks(threads, files.len(), |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for i in range {
+            let path = &files[i];
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    out.push(FileResult {
+                        rel,
+                        lines: 0,
+                        findings: Vec::new(),
+                        fns: Vec::new(),
+                        ctx: interproc::FileCtx {
+                            lines: Vec::new(),
+                            allowed: Vec::new(),
+                        },
+                        err: Some(e),
+                    });
+                    continue;
+                }
+            };
+            let scan = scan_source_inner(&rel, &source);
+            let fns = parser::parse_file(&rel, &source, is_test_path(&rel));
+            out.push(FileResult {
+                lines: source.lines().count(),
+                findings: scan.findings,
+                fns,
+                ctx: interproc::FileCtx {
+                    lines: source.lines().map(str::to_string).collect(),
+                    allowed: scan.allowed_lines,
+                },
+                rel,
+                err: None,
+            });
+        }
+        out
+    });
     let mut findings = Vec::new();
     let mut fns: Vec<parser::FnDef> = Vec::new();
     let mut contexts: BTreeMap<String, interproc::FileCtx> = BTreeMap::new();
     let mut stats = ScanStats::default();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = std::fs::read_to_string(&path)?;
+    for file in per_file {
+        if let Some(e) = file.err {
+            return Err(e);
+        }
         stats.files += 1;
-        stats.lines += source.lines().count();
-        let scan = scan_source_inner(&rel, &source);
-        findings.extend(scan.findings);
-        fns.extend(parser::parse_file(&rel, &source, is_test_path(&rel)));
-        contexts.insert(
-            rel,
-            interproc::FileCtx {
-                lines: source.lines().map(str::to_string).collect(),
-                allowed: scan.allowed_lines,
-            },
-        );
+        stats.lines += file.lines;
+        findings.extend(file.findings);
+        fns.extend(file.fns);
+        contexts.insert(file.rel, file.ctx);
     }
     stats.functions = fns.len();
     let graph = graph::CallGraph::build(fns);
     findings.extend(interproc::check(&graph, &contexts));
+    findings.extend(taint::check(&graph, &contexts));
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule, a.snippet.as_str()).cmp(&(
             b.file.as_str(),
@@ -717,6 +793,11 @@ pub fn scan_tree_with_stats(root: &Path) -> std::io::Result<(Vec<Finding>, ScanS
         ))
     });
     Ok((findings, stats))
+}
+
+/// [`scan_tree_with_stats_at`] on a single thread.
+pub fn scan_tree_with_stats(root: &Path) -> std::io::Result<(Vec<Finding>, ScanStats)> {
+    scan_tree_with_stats_at(root, 1)
 }
 
 /// [`scan_tree_with_stats`] without the statistics.

@@ -1,0 +1,73 @@
+//! Scoped-thread fan-out for the file-scan phase.
+//!
+//! Mirrors `cfa_core::parallel::map_chunks` — contiguous index chunks on
+//! `std::thread::scope`, outputs concatenated **in input order** so the
+//! result is identical, bit for bit, at every thread count — but lives
+//! here because the analyzer is deliberately dependency-free: linking the
+//! whole detector stack into the audit binary for one twenty-line
+//! primitive would be backwards.
+
+use std::ops::Range;
+
+/// Runs `f` over `0..n` split into at most `threads` contiguous chunks
+/// and concatenates the per-chunk outputs in input order.
+///
+/// `f` receives the index sub-range it owns and returns one output per
+/// index, in order. With one thread (or one chunk) `f` runs inline on the
+/// calling thread and no thread is spawned — exactly the serial path.
+pub fn map_chunks<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let n_threads = threads.max(1).min(n.max(1));
+    if n_threads <= 1 {
+        return f(0..n);
+    }
+    // Chunks differ in size by at most one, larger chunks first.
+    let base = n / n_threads;
+    let extra = n % n_threads;
+    let mut ranges = Vec::with_capacity(n_threads);
+    let mut start = 0;
+    for t in 0..n_threads {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        // Joining in spawn order keeps the concatenation deterministic.
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_identical_at_any_thread_count() {
+        let serial = map_chunks(1, 100, |r| r.map(|i| i * 3).collect());
+        for threads in [2, 3, 4, 7] {
+            let par = map_chunks(threads, 100, |r| r.map(|i| i * 3).collect());
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn zero_threads_and_empty_input_are_fine() {
+        assert_eq!(map_chunks(0, 3, |r| r.collect::<Vec<_>>()), vec![0, 1, 2]);
+        assert!(map_chunks(4, 0, |r| r.collect::<Vec<usize>>()).is_empty());
+    }
+}

@@ -94,8 +94,12 @@ pub struct FnDef {
     pub grows: Vec<FieldOp>,
     /// Eviction calls on `self` fields (`remove`/`pop`/`retain`/…).
     pub evicts: Vec<FieldOp>,
+    /// Parameter names in declaration order (`self` excluded).
+    pub params: Vec<String>,
     /// Dataflow facts (D009–D011) from the value-tracking pass.
     pub flow: BodyFacts,
+    /// Taint facts (D012–D014) mined from the body.
+    pub taint: crate::taint::FnTaint,
 }
 
 impl FnDef {
@@ -486,12 +490,70 @@ impl Parser<'_, '_> {
             allocs: Vec::new(),
             grows: Vec::new(),
             evicts: Vec::new(),
+            params: Vec::new(),
             flow: BodyFacts::default(),
+            taint: crate::taint::FnTaint::default(),
         };
+        def.params = self.param_names(name_at + 1, j);
         self.mine_body(j + 1, body_close - 1, &mut def);
         def.flow = dataflow::analyze(self.src, self.toks, (fn_at, j), (j + 1, body_close - 1));
+        def.taint = crate::taint::mine(
+            self.src,
+            self.toks,
+            (j + 1, body_close - 1),
+            self.rel,
+            &def.params,
+        );
         self.fns.push(def);
         body_close
+    }
+
+    /// Mines the parameter names out of a signature token range
+    /// (`[after_name, body_open)`): identifiers at paren depth 1 that are
+    /// immediately followed by `:`, skipping generic bounds (which may
+    /// themselves contain parens, e.g. `F: Fn(usize) -> T`).
+    fn param_names(&self, start: usize, end: usize) -> Vec<String> {
+        // The parameter list opens at the first `(` at angle depth 0.
+        let mut angle = 0i32;
+        let mut open = None;
+        let mut i = start;
+        while i < end {
+            if self.is_punct(i, "<") {
+                angle += 1;
+            } else if self.is_punct(i, ">") {
+                angle -= 1;
+            } else if angle == 0 && self.is_punct(i, "(") {
+                open = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(open) = open else {
+            return Vec::new();
+        };
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.is_punct(i, "(") || self.is_punct(i, "[") {
+                depth += 1;
+            } else if self.is_punct(i, ")") || self.is_punct(i, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && self.toks[i].kind == TokenKind::Ident
+                && self.is_punct(i + 1, ":")
+                && i.checked_sub(1).is_some_and(|p| {
+                    self.is_punct(p, "(") || self.is_punct(p, ",") || self.is_ident(p, "mut")
+                })
+            {
+                names.push(self.text(i).to_string());
+            }
+            i += 1;
+        }
+        names
     }
 
     /// Extracts calls and rule sites from a body token range. Nested `fn`

@@ -9,7 +9,9 @@
 
 use std::path::PathBuf;
 
-use cfa_audit::{scan_tree, to_json, to_sarif, Baseline, Rule, BASELINE_REL_PATH};
+use cfa_audit::{
+    scan_tree, scan_tree_with_stats_at, to_json, to_sarif, Baseline, Rule, BASELINE_REL_PATH,
+};
 
 fn audit_crate_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -175,6 +177,82 @@ fn fixture_grid_and_fleet_roots_are_live() {
         "fleet D006 note must root at run_fleet, got: {:?}",
         d006.note
     );
+}
+
+#[test]
+fn fixture_taint_findings_carry_source_to_sink_chains() {
+    // The taint layer's findings must read like D006's: the note names
+    // the untrusted source and the call chain from source to sink.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d012 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D012 && f.file.ends_with("serve/src/frame.rs"))
+        .expect("taint fixture D012");
+    let note = d012.note.as_deref().unwrap_or("");
+    assert!(
+        note.contains("stream.read_exact")
+            && note.contains("read_frame")
+            && note.contains("alloc_body"),
+        "D012 note must carry the source and the source→sink chain, got: {note}"
+    );
+    let d013 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D013 && f.file.ends_with("serve/src/frame.rs"))
+        .expect("taint fixture D013");
+    assert!(
+        d013.note.as_deref().unwrap_or("").contains("stream.read"),
+        "D013 note must name the network source, got: {:?}",
+        d013.note
+    );
+}
+
+#[test]
+fn fixture_lock_findings_cover_cycle_and_blocking_guard() {
+    // Both D014 shapes stay live: the snapshot/retire reverse-order
+    // cycle, and the guard relay holds across forward's socket write.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d014: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::D014)
+        .filter_map(|f| f.note.as_deref())
+        .collect();
+    assert!(
+        d014.iter().any(|n| n.contains("lock-order cycle")),
+        "fixture must trip the D014 lock-order cycle, got: {d014:?}"
+    );
+    assert!(
+        d014.iter()
+            .any(|n| n.contains("blocking call") && n.contains("write_all")),
+        "fixture must trip the D014 blocking-guard check, got: {d014:?}"
+    );
+}
+
+#[test]
+fn parallel_scan_is_byte_identical_across_thread_counts() {
+    // The `map_chunks` contract applied to the analyzer itself: the
+    // report bytes must not depend on `--threads`.
+    let root = workspace_root();
+    let baseline = Baseline::load(&root.join(BASELINE_REL_PATH));
+    let run = |threads: usize| {
+        let (findings, stats) = scan_tree_with_stats_at(&root, threads).unwrap();
+        let flags = baseline.classify(&findings);
+        (to_json(&findings, &flags), to_sarif(&findings, &flags), stats)
+    };
+    let (json_1, sarif_1, stats_1) = run(1);
+    for threads in [2, 4] {
+        let (json_n, sarif_n, stats_n) = run(threads);
+        assert_eq!(
+            json_1, json_n,
+            "JSON report must be byte-identical at {threads} threads"
+        );
+        assert_eq!(
+            sarif_1, sarif_n,
+            "SARIF report must be byte-identical at {threads} threads"
+        );
+        assert_eq!(stats_1, stats_n, "scan stats must not depend on threads");
+    }
 }
 
 #[test]

@@ -60,6 +60,15 @@ OPTIONS (fleet):
     --out DIR               output directory (required)
 ";
 
+/// Hard ceiling on the number of seeds one fleet invocation may expand
+/// to: `--seeds 0..u64::MAX` must fail at parse time, not OOM collecting
+/// the range.
+const MAX_FLEET_SEEDS: u64 = 65_536;
+
+/// Hard ceiling on `--threads`; beyond this the spawn cost dwarfs any
+/// parallel win and a typo'd huge value would exhaust the process.
+const MAX_FLEET_THREADS: usize = 1024;
+
 /// Parses `A,B,C` or the half-open range `A..B` into a seed list.
 fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
     if let Some((a, b)) = s.split_once("..") {
@@ -67,6 +76,12 @@ fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
         let hi: u64 = b.trim().parse().map_err(|_| format!("bad seed `{b}`"))?;
         if hi <= lo {
             return Err(format!("empty seed range `{s}`"));
+        }
+        if hi - lo > MAX_FLEET_SEEDS {
+            return Err(format!(
+                "seed range `{s}` expands to {} seeds (max {MAX_FLEET_SEEDS})",
+                hi - lo
+            ));
         }
         Ok((lo..hi).collect())
     } else {
@@ -210,6 +225,17 @@ fn fleet(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Range validation at the trust boundary: every job count derived
+    // from CLI input downstream of here (fan-out width, per-run scratch)
+    // is bounded by these caps.
+    if parsed.spec.seeds.len() as u64 > MAX_FLEET_SEEDS || parsed.threads > MAX_FLEET_THREADS {
+        eprintln!(
+            "cfa-bench fleet: {} seeds / {} threads exceeds the fleet caps ({MAX_FLEET_SEEDS} / {MAX_FLEET_THREADS})",
+            parsed.spec.seeds.len(),
+            parsed.threads,
+        );
+        return ExitCode::FAILURE;
+    }
     let base = &parsed.spec.base;
     println!(
         "fleet: {} {} — {} nodes on {:.0}x{:.0} m, {} s, {} seeds x {} vantages, {} threads, grid {}",

@@ -108,7 +108,12 @@ where
         let mut out = Vec::with_capacity(n);
         // Joining in spawn order keeps the concatenation deterministic.
         for h in handles {
-            out.extend(h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // Re-raise the worker's own panic payload instead of
+                // minting a new one here (D006: no panic site of ours).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     })

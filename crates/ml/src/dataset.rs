@@ -178,7 +178,7 @@ impl NominalTable {
             }
         }
         let n_rows = cols.first().map_or(0, Vec::len);
-        for (c, col) in cols.iter().enumerate() {
+        for (c, (col, &card)) in cols.iter().zip(&cards).enumerate() {
             if col.len() != n_rows {
                 return Err(DatasetError::ColumnLength {
                     col: c,
@@ -186,7 +186,6 @@ impl NominalTable {
                     expected: n_rows,
                 });
             }
-            let card = cards[c];
             for (r, &v) in col.iter().enumerate() {
                 if v as usize >= card {
                     return Err(DatasetError::ValueOutOfRange {
@@ -227,12 +226,10 @@ impl NominalTable {
     }
 
     /// One column as a contiguous slice — the learners' training currency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `col` is out of range.
+    /// An out-of-range `col` yields an empty slice, so the training path
+    /// stays panic-free on a malformed column index.
     pub fn col(&self, col: usize) -> &[u8] {
-        &self.cols[col]
+        self.cols.get(col).map_or(&[], Vec::as_slice)
     }
 
     /// A single cell.
@@ -254,7 +251,10 @@ impl NominalTable {
     pub fn copy_row_into(&self, row: usize, buf: &mut Vec<u8>) {
         assert!(row < self.n_rows, "row out of range");
         buf.clear();
-        buf.extend(self.cols.iter().map(|c| c[row]));
+        // Every column holds exactly n_rows values (checked at
+        // construction), so the filter_map drops nothing — it only
+        // replaces the panicking index with a total lookup.
+        buf.extend(self.cols.iter().filter_map(|c| c.get(row)));
     }
 
     /// Row `row` as a freshly allocated `Vec` (tests, examples).

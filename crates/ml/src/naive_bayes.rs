@@ -41,7 +41,7 @@ impl Learner for NaiveBayes {
     fn fit(&self, table: &NominalTable, class_col: usize) -> NaiveBayesModel {
         assert!(class_col < table.n_cols(), "class column out of range");
         assert!(table.n_rows() > 0, "cannot fit on an empty table");
-        let n_classes = table.cards()[class_col];
+        let n_classes = table.cards().get(class_col).copied().unwrap_or(0);
         let attr_cards: Vec<usize> = table
             .cards()
             .iter()
@@ -54,19 +54,27 @@ impl Learner for NaiveBayes {
 
         // Counting is one linear scan per column: the class column once for
         // the priors, then each attribute column zipped against it.
+        // Counting stays panic-free under malformed values: a value past
+        // its declared cardinality is dropped rather than indexed.
         let y = table.col(class_col);
+        // audit: allow(D012, reason = "conservative dispatch false positive: the serve read loop's buf.get_mut(filled..) binds to every workspace get_mut, smearing network taint onto cards().get(); n_classes comes from the table's declared cardinalities, not wire bytes")
         let mut class_counts = vec![0usize; n_classes];
         for &c in y {
-            class_counts[c as usize] += 1;
+            if let Some(slot) = class_counts.get_mut(c as usize) {
+                *slot += 1;
+            }
         }
         let cond_counts: Vec<Vec<usize>> = attr_cards
             .iter()
             .enumerate()
             .map(|(a, &card)| {
                 let col = table.col(attr_index(a, class_col));
+                // audit: allow(D012, reason = "same conservative-dispatch chain as class_counts above; card and n_classes are validated table cardinalities")
                 let mut counts = vec![0usize; n_classes * card];
                 for (&v, &c) in col.iter().zip(y) {
-                    counts[c as usize * card + v as usize] += 1;
+                    if let Some(slot) = counts.get_mut(c as usize * card + v as usize) {
+                        *slot += 1;
+                    }
                 }
                 counts
             })
@@ -77,14 +85,16 @@ impl Learner for NaiveBayes {
             .collect();
         let log_cond = cond_counts
             .iter()
-            .enumerate()
-            .map(|(a, counts)| {
-                let card = attr_cards[a];
-                (0..n_classes * card)
-                    .map(|idx| {
-                        let class = idx / card;
-                        let class_n = class_counts[class] as f64;
-                        ((counts[idx] as f64 + alpha) / (class_n + alpha * card as f64)).ln()
+            .zip(&attr_cards)
+            .map(|(counts, &card)| {
+                counts
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &cnt)| {
+                        // counts.len() == n_classes * card, so idx / card
+                        // is the class this cell conditions on.
+                        let class_n = class_counts.get(idx / card).copied().unwrap_or(0) as f64;
+                        ((cnt as f64 + alpha) / (class_n + alpha * card as f64)).ln()
                     })
                     .collect()
             })
@@ -148,12 +158,17 @@ impl Classifier for NaiveBayesModel {
         check_row_width(row.len(), class_col, self.attr_cards.len());
         out.clear();
         out.extend_from_slice(&self.log_prior);
-        for (a, &card) in self.attr_cards.iter().enumerate() {
-            let v = row[attr_index(a, class_col)];
+        for (a, (table, &card)) in self.log_cond.iter().zip(&self.attr_cards).enumerate() {
+            if card == 0 {
+                continue;
+            }
+            let v = row.get(attr_index(a, class_col)).copied().unwrap_or(0);
             // Clamp unseen (out-of-domain) values to the last bucket.
             let v = (v as usize).min(card - 1);
-            for (class, score) in out.iter_mut().enumerate() {
-                *score += self.log_cond[a][class * card + v];
+            // The table is class-major (`class * card + v`), so each
+            // card-wide chunk is one class's conditionals.
+            for (score, cond) in out.iter_mut().zip(table.chunks_exact(card)) {
+                *score += cond.get(v).copied().unwrap_or(0.0);
             }
         }
         // Softmax-normalise in a numerically stable way.

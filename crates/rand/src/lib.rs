@@ -217,14 +217,17 @@ impl Xoshiro256 {
 
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        // Destructure the fixed-size state once: no indexing, so the
+        // generator core is panic-free by construction.
+        let [s0, s1, s2, s3] = &mut self.s;
+        let out = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         out
     }
 }

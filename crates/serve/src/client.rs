@@ -2,7 +2,7 @@
 //! bench tool, the end-to-end tests, and the CI smoke job.
 
 use crate::protocol::{
-    f64_le, put_f64, put_u32, u32_le, MAX_FRAME_BYTES, OP_PING, OP_SCORE, OP_SHUTDOWN, STATUS_OK,
+    f64_le, put_f64, put_u32, u32_le, FrameLen, OP_PING, OP_SCORE, OP_SHUTDOWN, STATUS_OK,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -17,7 +17,8 @@ pub enum ClientError {
     Status(u8),
     /// The response frame did not parse.
     Malformed(&'static str),
-    /// The response declared a frame larger than [`MAX_FRAME_BYTES`].
+    /// The response declared a frame larger than
+    /// [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES).
     TooLarge(u32),
 }
 
@@ -85,12 +86,9 @@ impl Client {
 
         let mut len4 = [0u8; 4];
         self.stream.read_exact(&mut len4)?;
-        let len = u32::from_le_bytes(len4);
-        if len as usize > MAX_FRAME_BYTES {
-            return Err(ClientError::TooLarge(len));
-        }
+        let len = FrameLen::parse(len4).map_err(ClientError::TooLarge)?;
         self.buf.clear();
-        self.buf.resize(len as usize, 0);
+        self.buf.resize(len.get(), 0);
         self.stream.read_exact(&mut self.buf)?;
         Ok(())
     }

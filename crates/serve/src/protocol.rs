@@ -47,6 +47,33 @@ pub const STATUS_BAD_WIDTH: u8 = 4;
 /// Response status: the server is draining and accepts no new work.
 pub const STATUS_SHUTTING_DOWN: u8 = 5;
 
+/// A frame length that has passed the [`MAX_FRAME_BYTES`] cap — the one
+/// validated doorway between a raw 4-byte length prefix and anything
+/// that allocates. Both ends of the wire parse their prefix through
+/// here, so the cap check lives in exactly one place, and cfa-audit's
+/// D012 taint rule recognises `FrameLen::…` as a sanitizer: a length
+/// that came through [`FrameLen::parse`] is bounded by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLen(usize);
+
+impl FrameLen {
+    /// Validates a little-endian length prefix against the frame cap.
+    /// `Err` carries the raw declared length for diagnostics.
+    pub fn parse(len4: [u8; 4]) -> Result<FrameLen, u32> {
+        let raw = u32::from_le_bytes(len4);
+        if raw as usize > MAX_FRAME_BYTES {
+            Err(raw)
+        } else {
+            Ok(FrameLen(raw as usize))
+        }
+    }
+
+    /// The validated length, at most [`MAX_FRAME_BYTES`].
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
 /// Reads a little-endian `u32` from the first four bytes of `b`, if
 /// present. Panic-free by construction (the scoring path must stay clear
 /// of cfa-audit D006).
@@ -97,5 +124,19 @@ mod tests {
     fn short_buffers_return_none() {
         assert_eq!(u32_le(&[1, 2, 3]), None);
         assert_eq!(f64_le(&[0; 7]), None);
+    }
+
+    #[test]
+    fn frame_len_accepts_up_to_the_cap() {
+        let at_cap = (MAX_FRAME_BYTES as u32).to_le_bytes();
+        assert_eq!(FrameLen::parse(at_cap).map(FrameLen::get), Ok(MAX_FRAME_BYTES));
+        assert_eq!(FrameLen::parse(0u32.to_le_bytes()).map(FrameLen::get), Ok(0));
+    }
+
+    #[test]
+    fn frame_len_rejects_over_cap_with_raw_value() {
+        let over = MAX_FRAME_BYTES as u32 + 1;
+        assert_eq!(FrameLen::parse(over.to_le_bytes()), Err(over));
+        assert_eq!(FrameLen::parse(u32::MAX.to_le_bytes()), Err(u32::MAX));
     }
 }

@@ -10,7 +10,7 @@
 //! long a slow or stalled client can pin a worker.
 
 use crate::protocol::{
-    f64_le, put_f64, put_u32, u32_le, MAX_FRAME_BYTES, OP_PING, OP_SCORE, OP_SHUTDOWN,
+    f64_le, put_f64, put_u32, u32_le, FrameLen, OP_PING, OP_SCORE, OP_SHUTDOWN,
     STATUS_BAD_WIDTH, STATUS_BUSY, STATUS_MALFORMED, STATUS_OK, STATUS_SHUTTING_DOWN,
     STATUS_TOO_LARGE,
 };
@@ -351,21 +351,23 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut Scratch) {
         if !read_exact_quiet(&mut stream, &mut len4) {
             return;
         }
-        let len = u32::from_le_bytes(len4) as usize;
-        if len > MAX_FRAME_BYTES {
-            // The body is never read, so there is nothing to resync to.
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            resp.clear();
-            resp.push(STATUS_TOO_LARGE);
-            send_frame(&mut stream, resp, frame);
-            return;
-        }
+        let len = match FrameLen::parse(len4) {
+            Ok(len) => len,
+            Err(_) => {
+                // The body is never read, so there is nothing to resync to.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                resp.clear();
+                resp.push(STATUS_TOO_LARGE);
+                send_frame(&mut stream, resp, frame);
+                return;
+            }
+        };
         // Reuse the frame buffer: resize keeps the high-water capacity.
         frame.clear();
-        frame.resize(len, 0);
+        frame.resize(len.get(), 0);
         if !read_exact_quiet(&mut stream, frame) {
             return;
         }
