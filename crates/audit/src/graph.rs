@@ -157,10 +157,7 @@ impl CallGraph {
                 }
             }
             CallKind::Qualified { head } => {
-                if let Some(ms) = self
-                    .methods_by_owner
-                    .get(&(head.clone(), name.to_string()))
-                {
+                if let Some(ms) = self.methods_by_owner.get(&(head.clone(), name.to_string())) {
                     ms.clone()
                 } else if let Some(cands) = self.free_by_name.get(name) {
                     // Module-qualified free call (`helpers::f()`): accept

@@ -49,7 +49,7 @@ pub const EVENT_ROOTS: [&str; 2] = ["Simulator::run", "Simulator::run_until"];
 /// interpreted walk; they are qualified so the client-side convenience
 /// `Client::score_batch` (which builds a wire frame per request) stays
 /// out of the hot-path net.
-pub const PREDICT_ROOTS: [&str; 12] = [
+pub const PREDICT_ROOTS: [&str; 13] = [
     "predict_row",
     "prob_of_row",
     "class_probs_into",
@@ -65,6 +65,10 @@ pub const PREDICT_ROOTS: [&str; 12] = [
     // the kernel's hottest loop — and must reuse caller scratch, never
     // allocate per query.
     "SpatialGrid::candidates_into",
+    // Alarm fan-out runs on the reactor thread for every alarm × every
+    // subscriber; it must reuse its frame scratch and never allocate (or
+    // block) per event, or a popular model stalls the whole event loop.
+    "fanout_alarms",
 ];
 
 /// Per-file context the interprocedural pass needs back from the lexical
@@ -117,6 +121,11 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     // `run_fleet` is the corpus-production entry point: it drives whole
     // batches of simulations across worker threads, so any panic it can
     // reach takes the entire fleet down with it.
+    // `Reactor::run` is cfa-serve's single event loop: every connection
+    // lives in its poll table, so one panic drops the whole fleet of
+    // clients at once — nothing reachable from it may panic on network
+    // input. `score_job` is the worker-side scoring entry the reactor
+    // dispatches to; it is held to the same standard.
     let panic_roots: Vec<&str> = EVENT_ROOTS
         .iter()
         .copied()
@@ -126,6 +135,8 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
             "CompiledEnsemble::score_row",
             "CompiledEnsemble::score_batch",
             "run_fleet",
+            "Reactor::run",
+            "score_job",
         ])
         .collect();
     let parent = graph.reachable(&graph.roots(&panic_roots));

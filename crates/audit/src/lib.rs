@@ -185,7 +185,9 @@ impl Rule {
             }
             Rule::D010 => "truncating integer cast on a wide id/index/time value on a hot path",
             Rule::D011 => "guard held across stream I/O in the serving crate",
-            Rule::D012 => "tainted value used as an allocation size without a dominating bound check",
+            Rule::D012 => {
+                "tainted value used as an allocation size without a dominating bound check"
+            }
             Rule::D013 => "tainted value used in slice indexing or wrapping/unchecked arithmetic",
             Rule::D014 => "lock-order cycle or lock held across a call reaching blocking I/O",
         }

@@ -346,7 +346,10 @@ impl Miner<'_, '_> {
             .toks
             .get(i + 1)
             .is_some_and(|t| t.kind == TokenKind::Punct)
-            && matches!(self.text(i + 1), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+            && matches!(
+                self.text(i + 1),
+                "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+            )
             && self.is_punct(i + 2, "=")
         {
             (i + 2, true)
@@ -357,8 +360,7 @@ impl Miner<'_, '_> {
         if self.is_punct(eq_at + 1, "=") {
             return None;
         }
-        if i
-            .checked_sub(1)
+        if i.checked_sub(1)
             .is_some_and(|p| self.toks[p].kind == TokenKind::Punct)
             && matches!(self.text(i - 1), "=" | "<" | ">" | "!")
         {
@@ -642,7 +644,9 @@ impl Miner<'_, '_> {
                 }
             }
             let kind = if prev_dot {
-                let on_self = i.checked_sub(2).is_some_and(|p| self.is_ident_at(p, "self"));
+                let on_self = i
+                    .checked_sub(2)
+                    .is_some_and(|p| self.is_ident_at(p, "self"));
                 CallKind::Method { on_self }
             } else if prev_path {
                 let head = i
@@ -931,11 +935,11 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     };
     for _round in 0..24 {
         let mut changed = false;
-        for i in 0..n {
+        for (i, tgt) in targets.iter().enumerate() {
             if graph.fns[i].is_test {
                 continue;
             }
-            let out = eval(graph, i, &targets[i], &st, true);
+            let out = eval(graph, i, tgt, &st, true);
             for (t, pos, prov) in out.arg_out {
                 if graph.fns[t].is_test || pos >= graph.fns[t].params.len() {
                     continue;
@@ -951,7 +955,7 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
                     changed = true;
                 }
             }
-            let o2 = eval(graph, i, &targets[i], &st, false);
+            let o2 = eval(graph, i, tgt, &st, false);
             for (pos, pname) in graph.fns[i].params.iter().enumerate() {
                 if let Some(prov) = o2.env.get(pname) {
                     st.out[i].entry(pos).or_insert_with(|| {
@@ -967,7 +971,7 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
     }
 
     let mut findings = Vec::new();
-    for i in 0..n {
+    for (i, tgt) in targets.iter().enumerate() {
         let f = &graph.fns[i];
         if f.is_test {
             continue;
@@ -975,7 +979,7 @@ pub fn check(graph: &CallGraph, files: &BTreeMap<String, FileCtx>) -> Vec<Findin
         let Some(ctx) = files.get(&f.file) else {
             continue;
         };
-        let out = eval(graph, i, &targets[i], &st, true);
+        let out = eval(graph, i, tgt, &st, true);
         let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
         for h in out.hits {
             if !seen.insert((h.line, h.what.clone())) {
@@ -1276,10 +1280,13 @@ mod tests {
             .ops
             .iter()
             .any(|o| matches!(o, TaintOp::SourceFill { dst, .. } if dst == "buf")));
-        assert!(t
-            .ops
-            .iter()
-            .any(|o| matches!(o, TaintOp::Sink { kind: SinkKind::Index, .. })));
+        assert!(t.ops.iter().any(|o| matches!(
+            o,
+            TaintOp::Sink {
+                kind: SinkKind::Index,
+                ..
+            }
+        )));
         assert!(t
             .ops
             .iter()
@@ -1320,29 +1327,37 @@ mod tests {
             })
             .collect();
         assert_eq!(sanitized, vec![true, false]);
-        assert!(t
-            .ops
-            .iter()
-            .any(|o| matches!(o, TaintOp::Sink { kind: SinkKind::AllocSize, .. })));
+        assert!(t.ops.iter().any(|o| matches!(
+            o,
+            TaintOp::Sink {
+                kind: SinkKind::AllocSize,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn env_args_is_a_source_only_in_seeded_paths() {
         let serve = mine_one("fn f() { let a = std::env::args().count(); }\n");
-        assert!(serve
-            .ops
-            .iter()
-            .any(|o| matches!(o, TaintOp::Assign { source: Some(_), .. })));
+        assert!(serve.ops.iter().any(|o| matches!(
+            o,
+            TaintOp::Assign {
+                source: Some(_),
+                ..
+            }
+        )));
         let fns = parse_file(
             "crates/audit/src/x.rs",
             "fn f() { let a = std::env::args().count(); }\n",
             false,
         );
-        assert!(!fns[0]
-            .taint
-            .ops
-            .iter()
-            .any(|o| matches!(o, TaintOp::Assign { source: Some(_), .. })));
+        assert!(!fns[0].taint.ops.iter().any(|o| matches!(
+            o,
+            TaintOp::Assign {
+                source: Some(_),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -180,6 +180,47 @@ fn fixture_grid_and_fleet_roots_are_live() {
 }
 
 #[test]
+fn fixture_reactor_fanout_and_registry_roots_are_live() {
+    // The fleet front-end roots: `Reactor::run` seeds D006 reachability
+    // (a panic in the event loop drops every connection at once),
+    // `fanout_alarms` seeds D008 (a per-alarm allocation stalls the
+    // loop), and the registry-swap lock pair keeps the D014 cycle check
+    // pointed at the name → model map.
+    let root = audit_crate_dir().join("fixtures/seeded");
+    let findings = scan_tree(&root).unwrap();
+    let d006 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D006 && f.file.ends_with("serve/src/reactor.rs"))
+        .expect("reactor fixture D006");
+    assert!(
+        d006.note.as_deref().unwrap_or("").contains("Reactor::run"),
+        "reactor D006 note must root at Reactor::run, got: {:?}",
+        d006.note
+    );
+    let d008 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D008 && f.file.ends_with("serve/src/reactor.rs"))
+        .expect("fan-out fixture D008");
+    assert!(
+        d008.note.as_deref().unwrap_or("").contains("fanout_alarms"),
+        "fan-out D008 note must root at fanout_alarms, got: {:?}",
+        d008.note
+    );
+    let d014 = findings
+        .iter()
+        .find(|f| f.rule == Rule::D014 && f.file.ends_with("serve/src/reactor.rs"))
+        .expect("registry-swap fixture D014");
+    assert!(
+        d014.note
+            .as_deref()
+            .unwrap_or("")
+            .contains("lock-order cycle"),
+        "registry-swap D014 note must name the cycle, got: {:?}",
+        d014.note
+    );
+}
+
+#[test]
 fn fixture_taint_findings_carry_source_to_sink_chains() {
     // The taint layer's findings must read like D006's: the note names
     // the untrusted source and the call chain from source to sink.
@@ -238,7 +279,11 @@ fn parallel_scan_is_byte_identical_across_thread_counts() {
     let run = |threads: usize| {
         let (findings, stats) = scan_tree_with_stats_at(&root, threads).unwrap();
         let flags = baseline.classify(&findings);
-        (to_json(&findings, &flags), to_sarif(&findings, &flags), stats)
+        (
+            to_json(&findings, &flags),
+            to_sarif(&findings, &flags),
+            stats,
+        )
     };
     let (json_1, sarif_1, stats_1) = run(1);
     for threads in [2, 4] {

@@ -74,6 +74,10 @@ struct Tap {
     series: Vec<(f64, f64)>,
 }
 
+/// A live alarm observer: boxed so the monitor need not be generic over
+/// the closure type (see [`OnlineMonitor::with_alarm_sink`]).
+type AlarmSink<'a> = Box<dyn FnMut(&Alarm) + 'a>;
+
 /// Couples a running [`Simulator`] to per-node extractors and a trained
 /// detector; see the module docs.
 pub struct OnlineMonitor<'a, A: Agent, M> {
@@ -86,6 +90,10 @@ pub struct OnlineMonitor<'a, A: Agent, M> {
     /// Class-probability scratch reused across every scored snapshot.
     score_buf: Vec<f64>,
     alarms: Vec<Alarm>,
+    /// Optional live observer, invoked the moment each alarm is raised
+    /// (before the run finishes) — the hook a streaming front end uses to
+    /// push alarms to subscribers instead of waiting for the report.
+    sink: Option<AlarmSink<'a>>,
 }
 
 /// The snapshot cadence in seconds, which is also the monitor's step size.
@@ -137,6 +145,7 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
             row_buf: Vec::new(),
             score_buf: Vec::new(),
             alarms: Vec::new(),
+            sink: None,
         }
     }
 
@@ -144,6 +153,16 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
     /// `k` snapshots before the threshold decision (`k = 1` is raw scores).
     pub fn with_smoothing(mut self, k: usize) -> OnlineMonitor<'a, A, M> {
         self.smoothing = k.max(1);
+        self
+    }
+
+    /// Installs a live alarm observer, called once per alarm at the moment
+    /// it is raised (in detection order, before [`OnlineMonitor::run`]
+    /// returns its report). The final [`MonitorReport`] still contains
+    /// every alarm; the sink is for streaming consumers that cannot wait
+    /// for the run to end.
+    pub fn with_alarm_sink(mut self, sink: impl FnMut(&Alarm) + 'a) -> OnlineMonitor<'a, A, M> {
+        self.sink = Some(Box::new(sink));
         self
     }
 
@@ -204,12 +223,16 @@ impl<'a, A: Agent, M: Classifier> OnlineMonitor<'a, A, M> {
                     Verdict::Anomaly
                 };
                 if verdict == Verdict::Anomaly {
-                    self.alarms.push(Alarm {
+                    let alarm = Alarm {
                         node: tap.node,
                         snapshot_time: row.time,
                         detected_at: now_secs,
                         score: smoothed,
-                    });
+                    };
+                    if let Some(sink) = self.sink.as_mut() {
+                        sink(&alarm);
+                    }
+                    self.alarms.push(alarm);
                 }
             }
         }
@@ -363,6 +386,31 @@ mod tests {
                 a.latency()
             );
         }
+    }
+
+    #[test]
+    fn alarm_sink_sees_every_alarm_live_and_in_order() {
+        let duration = 120.0;
+        let node = NodeId(5);
+        let mut train_sim = sim_with_traffic(11, duration);
+        train_sim.run();
+        let m =
+            FeatureExtractor::new().extract(train_sim.trace(node), SimTime::from_secs(duration));
+        let disc = EqualFrequencyDiscretizer::fit(&m, 5, None, 7);
+        let table = disc.transform(&m).expect("schema");
+        let det = AnomalyDetector::fit(
+            &NaiveBayes::default(),
+            &table,
+            ScoreMethod::AvgProbability,
+            0.2,
+        );
+        let streamed: RefCell<Vec<Alarm>> = RefCell::new(Vec::new());
+        let report = OnlineMonitor::new(sim_with_traffic(23, duration), &[node], &det, &disc)
+            .with_smoothing(3)
+            .with_alarm_sink(|a| streamed.borrow_mut().push(*a))
+            .run();
+        assert!(!report.alarms.is_empty(), "fixture must raise alarms");
+        assert_eq!(streamed.into_inner(), report.alarms);
     }
 
     #[test]

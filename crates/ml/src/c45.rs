@@ -101,17 +101,21 @@ impl C45Model {
                     counts,
                 } => {
                     let children_at =
+                        // audit: allow(D006, reason = "pool length is bounded by the trained tree size, far below u32::MAX")
                         u32::try_from(children_pool.len()).expect("child pool fits u32");
                     children_pool.extend(children.iter().map(|&c| {
                         if c == usize::MAX {
                             NO_NODE
                         } else {
+                            // audit: allow(D006, reason = "node indices are bounded by the trained tree size, far below u32::MAX")
                             u32::try_from(c).expect("node index fits u32")
                         }
                     }));
                     nodes.push(TreeNode {
                         col: u32::try_from(attr_index(*attr, class_col))
+                            // audit: allow(D006, reason = "column index is bounded by the feature schema width, far below u32::MAX")
                             .expect("column index fits u32"),
+                        // audit: allow(D006, reason = "attr came from enumerating attr_cards, so the index is in range by construction")
                         clamp: clamp_for(self.attr_cards[*attr]),
                         children_at,
                     });
@@ -119,6 +123,7 @@ impl C45Model {
                 }
             };
             push_laplace(&mut probs, counts, k);
+            // audit: allow(D006, reason = "push_laplace just appended k entries, so the probs slice tail is in range")
             preds.push(crate::argmax_last(&probs[probs.len() - k..]));
         }
         CompiledTree {
@@ -126,6 +131,7 @@ impl C45Model {
             children: children_pool,
             probs,
             preds,
+            // audit: allow(D006, reason = "the root index is bounded by the trained tree size, far below u32::MAX")
             root: u32::try_from(self.root).expect("node index fits u32"),
             n_classes: k,
         }

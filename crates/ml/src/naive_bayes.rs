@@ -128,13 +128,16 @@ impl NaiveBayesModel {
             // Row bytes clamp to min(card - 1, 255): values past 255 are
             // unreachable, so their columns need no storage.
             let stored = card.min(256);
+            // audit: allow(D006, reason = "table length is bounded by cards × classes of a trained model, far below u32::MAX")
             let offset = u32::try_from(table.len()).expect("table offset fits u32");
             for v in 0..stored {
                 for class in 0..k {
+                    // audit: allow(D006, reason = "a and class*card+v enumerate the trained log_cond layout, in range by construction")
                     table.push(self.log_cond[a][class * card + v]);
                 }
             }
             attrs.push(BayesAttr {
+                // audit: allow(D006, reason = "column index is bounded by the feature schema width, far below u32::MAX")
                 col: u32::try_from(attr_index(a, class_col)).expect("column index fits u32"),
                 clamp: clamp_for(card),
                 offset,

@@ -111,6 +111,7 @@ impl RipperModel {
                 assert!(col < (1 << 24), "column index fits 24 bits");
                 conds.push((col as u32) << 8 | u32::from(value));
             }
+            // audit: allow(D006, reason = "condition count is bounded by the trained rule set size, far below u32::MAX")
             bounds.push(u32::try_from(conds.len()).expect("condition count fits u32"));
             push_laplace(&mut probs, &rule.counts, k);
             preds.push(rule.class);

@@ -1,6 +1,8 @@
 //! `cfa-serve bench`: a deterministic load generator for a running
 //! server, reporting throughput and latency percentiles, with an optional
-//! bitwise verification of every served score against in-process scoring.
+//! bitwise verification of every served score against in-process scoring
+//! and an optional pool of live alarm subscribers riding alongside the
+//! scoring connections (mixed score + subscribe load).
 //!
 //! Row payloads come from a seeded xorshift generator, so two bench runs
 //! with the same seed send byte-identical requests; only the timing is
@@ -8,9 +10,11 @@
 //! of a latency benchmark) and justified per site for cfa-audit D002.
 
 use crate::client::{Client, ClientError};
+use crate::protocol::{StatsFrame, DEFAULT_MODEL};
 use crate::server::Engine;
 use crate::train::load_artifact;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Load-generator parameters.
@@ -35,6 +39,12 @@ pub struct BenchConfig {
     /// engine is whatever the server was started with; both produce the
     /// same bits, which is exactly what `verify` checks).
     pub engine: Engine,
+    /// Dedicated connections subscribed to the scored model's alarm
+    /// stream for the duration of the run (mixed score + subscribe load).
+    pub subscribers: usize,
+    /// Score against this registry name via `SCORE_AS` instead of the
+    /// default model (also the name the subscribers watch).
+    pub score_as: Option<String>,
 }
 
 impl Default for BenchConfig {
@@ -48,6 +58,8 @@ impl Default for BenchConfig {
             seed: 1,
             verify: false,
             engine: Engine::Compiled,
+            subscribers: 0,
+            score_as: None,
         }
     }
 }
@@ -75,6 +87,14 @@ pub struct BenchReport {
     pub mismatches: usize,
     /// Which engine the in-process reference ran.
     pub engine: Engine,
+    /// Alarm event frames received across all subscriber connections.
+    pub alarm_frames: u64,
+    /// Whether every subscriber saw strictly increasing sequence numbers
+    /// (vacuously true with no subscribers).
+    pub alarms_in_order: bool,
+    /// The server's counters from a final PING (queue depth, BUSY
+    /// rejections, slow-consumer disconnects…), if it answered.
+    pub server: Option<StatsFrame>,
 }
 
 /// p50/p90/p99/max of a latency sample, in microseconds.
@@ -133,6 +153,47 @@ struct WorkerOutcome {
     latencies_us: Vec<u64>,
 }
 
+struct SubOutcome {
+    frames: u64,
+    in_order: bool,
+}
+
+/// One subscriber connection: watch `model`'s alarm stream until the
+/// scoring fleet finishes, counting frames and checking that sequence
+/// numbers are strictly increasing.
+fn subscriber_loop(addr: &str, model: &str, stop: &AtomicBool) -> SubOutcome {
+    let mut outcome = SubOutcome {
+        frames: 0,
+        in_order: true,
+    };
+    // Short read timeout so the stop flag is observed promptly between
+    // pushed frames.
+    let Ok(mut client) = Client::connect(addr, Duration::from_millis(200)) else {
+        return outcome;
+    };
+    if client.subscribe(model).is_err() {
+        return outcome;
+    }
+    let mut last_seq = 0u64;
+    loop {
+        match client.recv_alarm() {
+            Ok(evt) => {
+                outcome.frames += 1;
+                if evt.seq <= last_seq {
+                    outcome.in_order = false;
+                }
+                last_seq = evt.seq;
+            }
+            Err(ClientError::TimedOut { .. }) => {
+                if stop.load(Ordering::Relaxed) {
+                    return outcome;
+                }
+            }
+            Err(_) => return outcome,
+        }
+    }
+}
+
 /// Runs the load generator against a live server.
 ///
 /// # Errors
@@ -153,9 +214,15 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
 
     let connections = cfg.connections.max(1);
     let per_conn = cfg.requests.div_ceil(connections);
+    let model_name = cfg.score_as.as_deref().unwrap_or(DEFAULT_MODEL);
+    let stop = AtomicBool::new(false);
     // audit: allow(D002, reason = "bench tool measures real wall-clock throughput; it never feeds simulation or scoring state")
     let started = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+    let (outcomes, subs): (Vec<WorkerOutcome>, Vec<SubOutcome>) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let sub_handles: Vec<_> = (0..cfg.subscribers)
+            .map(|_| scope.spawn(move || subscriber_loop(cfg.addr.as_str(), model_name, stop)))
+            .collect();
         let handles: Vec<_> = (0..connections)
             .map(|conn_idx| {
                 scope.spawn(move || {
@@ -186,7 +253,10 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                         }
                         // audit: allow(D002, reason = "bench tool measures real request latency; timing never influences scores")
                         let t0 = Instant::now();
-                        let served = client.score_batch(&rows, n_cols);
+                        let served = match cfg.score_as.as_deref() {
+                            Some(name) => client.score_batch_as(name, &rows, n_cols),
+                            None => client.score_batch(&rows, n_cols),
+                        };
                         let dt = t0.elapsed();
                         match served {
                             Ok(scored) => {
@@ -216,7 +286,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                 })
             })
             .collect();
-        handles
+        let outcomes: Vec<WorkerOutcome> = handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or(WorkerOutcome {
@@ -227,9 +297,24 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                     latencies_us: Vec::new(),
                 })
             })
-            .collect()
+            .collect();
+        // Scoring fleet is done; release the subscribers.
+        stop.store(true, Ordering::Relaxed);
+        let subs: Vec<SubOutcome> = sub_handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(SubOutcome {
+                    frames: 0,
+                    in_order: true,
+                })
+            })
+            .collect();
+        (outcomes, subs)
     });
     let elapsed = started.elapsed();
+    let server = Client::connect(cfg.addr.as_str(), Duration::from_secs(5))
+        .ok()
+        .and_then(|mut c| c.ping().ok());
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut ok = 0;
@@ -260,6 +345,9 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         protocol_errors: errors,
         mismatches,
         engine: cfg.engine,
+        alarm_frames: subs.iter().map(|s| s.frames).sum(),
+        alarms_in_order: subs.iter().all(|s| s.in_order),
+        server,
     })
 }
 

@@ -1,25 +1,55 @@
 //! A small blocking client for the `cfa-serve` protocol, used by the
-//! bench tool, the end-to-end tests, and the CI smoke job.
+//! bench tool, the CLI subcommands, the end-to-end tests, and the CI
+//! smoke job.
+//!
+//! Transport hiccups are typed and bounded instead of surfaced raw:
+//! `connect` retries refused/interrupted attempts with a short backoff
+//! (a server still binding its socket is a normal race, not an error),
+//! and reads absorb `Interrupted` and retry `WouldBlock`/`TimedOut` a
+//! bounded number of times before reporting [`ClientError::TimedOut`],
+//! so a CLI caller always sees either data or one typed, explainable
+//! failure.
 
 use crate::protocol::{
-    f64_le, put_f64, put_u32, u32_le, FrameLen, OP_PING, OP_SCORE, OP_SHUTDOWN, STATUS_OK,
+    f64_le, parse_alarm_event, parse_name, put_name, put_u32, u32_le, u64_le, valid_name,
+    AlarmEvent, FrameLen, StatsFrame, EVT_ALARM, MAX_FRAME_BYTES, OP_LIST, OP_LOAD, OP_PING,
+    OP_SCORE, OP_SCORE_AS, OP_SHUTDOWN, OP_SUBSCRIBE, OP_UNLOAD, STATUS_OK,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Connect attempts before [`ClientError::Io`] is surfaced.
+const CONNECT_ATTEMPTS: u32 = 5;
+
+/// `WouldBlock`/`TimedOut` read retries before [`ClientError::TimedOut`].
+const READ_RETRIES: u32 = 3;
+
 /// Everything that can go wrong talking to a server.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The socket failed.
+    /// The socket failed fatally (after connect retries, where relevant).
     Io(std::io::Error),
     /// The server answered with a non-OK status byte.
     Status(u8),
     /// The response frame did not parse.
     Malformed(&'static str),
     /// The response declared a frame larger than
-    /// [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES).
+    /// [`MAX_FRAME_BYTES`].
     TooLarge(u32),
+    /// The server closed the connection mid-frame (e.g. the slow-consumer
+    /// disconnect, or shutdown).
+    Disconnected,
+    /// Reads kept timing out; `attempts` bounded retries were exhausted.
+    TimedOut {
+        /// How many bounded retries were spent before giving up.
+        attempts: u32,
+    },
+    /// A frame of an unexpected kind arrived (e.g. a pushed alarm event
+    /// where a response was expected, or vice versa).
+    UnexpectedFrame(u8),
+    /// A model name failed client-side validation before being sent.
+    BadName,
 }
 
 impl std::fmt::Display for ClientError {
@@ -29,6 +59,17 @@ impl std::fmt::Display for ClientError {
             ClientError::Status(s) => write!(f, "server answered status {s}"),
             ClientError::Malformed(what) => write!(f, "malformed response: {what}"),
             ClientError::TooLarge(n) => write!(f, "response frame of {n} bytes exceeds cap"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::TimedOut { attempts } => {
+                write!(f, "read timed out after {attempts} bounded retries")
+            }
+            ClientError::UnexpectedFrame(kind) => {
+                write!(f, "unexpected frame kind {kind}")
+            }
+            ClientError::BadName => write!(
+                f,
+                "invalid model name (1-64 bytes of [A-Za-z0-9_.-] required)"
+            ),
         }
     }
 }
@@ -50,6 +91,17 @@ pub struct ScoredRow {
     pub alarm: bool,
 }
 
+/// One registry entry as reported by `LIST`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Row width the model scores.
+    pub n_features: u32,
+    /// Hot-swap generation (1 = first load).
+    pub generation: u64,
+}
+
 /// A blocking connection to a `cfa-serve` server.
 pub struct Client {
     stream: TcpStream,
@@ -57,13 +109,37 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and applies `timeout` to both reads and writes.
+    /// Connects with bounded retry + backoff (a refused connect usually
+    /// means the server is mid-bind) and applies `timeout` to both reads
+    /// and writes.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error on connect/configure failure.
-    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// Returns the last underlying I/O error once the retry budget is
+    /// spent.
+    pub fn connect(addr: impl ToSocketAddrs + Clone, timeout: Duration) -> std::io::Result<Client> {
+        let mut attempt = 0u32;
+        let stream = loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(s) => break s,
+                Err(e) => {
+                    let retryable = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::WouldBlock
+                    );
+                    attempt += 1;
+                    if !retryable || attempt >= CONNECT_ATTEMPTS {
+                        return Err(e);
+                    }
+                    // Linear backoff: 20, 40, 60, 80 ms across the
+                    // budget — enough for a server racing its bind.
+                    std::thread::sleep(Duration::from_millis(20 * u64::from(attempt)));
+                }
+            }
+        };
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         // Each request is one small frame; waiting for ACK clocking under
@@ -75,21 +151,65 @@ impl Client {
         })
     }
 
+    /// `read_exact` with typed, bounded failure: `Interrupted` retries
+    /// freely, `WouldBlock`/`TimedOut` retry [`READ_RETRIES`] times with
+    /// a short backoff, EOF becomes [`ClientError::Disconnected`].
+    fn read_exact_retry(&mut self, buf: &mut [u8]) -> Result<(), ClientError> {
+        let mut filled = 0usize;
+        let mut timeouts = 0u32;
+        while filled < buf.len() {
+            match self.stream.read(buf.get_mut(filled..).unwrap_or(&mut [])) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    timeouts += 1;
+                    if timeouts > READ_RETRIES {
+                        return Err(ClientError::TimedOut { attempts: timeouts });
+                    }
+                    std::thread::sleep(Duration::from_millis(10 * u64::from(timeouts)));
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one complete frame payload into `self.buf`.
+    fn read_frame(&mut self) -> Result<(), ClientError> {
+        let mut len4 = [0u8; 4];
+        self.read_exact_retry(&mut len4)?;
+        let len = FrameLen::parse(len4).map_err(ClientError::TooLarge)?;
+        self.buf.clear();
+        self.buf.resize(len.get(), 0);
+        let mut buf = std::mem::take(&mut self.buf);
+        let res = self.read_exact_retry(&mut buf);
+        self.buf = buf;
+        res
+    }
+
     /// Sends one request frame and reads the response payload (status byte
     /// first) into `self.buf`.
     fn round_trip(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(ClientError::TooLarge(
+                u32::try_from(payload.len()).unwrap_or(u32::MAX),
+            ));
+        }
         // audit: allow(D008, reason = "client-side wire framing: one buffer per request is I/O cost, not the per-row scoring loop")
         let mut frame = Vec::with_capacity(4 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         frame.extend_from_slice(payload);
         self.stream.write_all(&frame)?;
-
-        let mut len4 = [0u8; 4];
-        self.stream.read_exact(&mut len4)?;
-        let len = FrameLen::parse(len4).map_err(ClientError::TooLarge)?;
-        self.buf.clear();
-        self.buf.resize(len.get(), 0);
-        self.stream.read_exact(&mut self.buf)?;
+        self.read_frame()?;
+        // A pushed event arriving where a response is expected means the
+        // caller mixed scoring and subscription on one connection.
+        if self.buf.first() == Some(&EVT_ALARM) {
+            return Err(ClientError::UnexpectedFrame(EVT_ALARM));
+        }
         Ok(())
     }
 
@@ -102,18 +222,20 @@ impl Client {
         }
     }
 
-    /// Liveness check.
+    /// Liveness check; returns the server's live counters.
     ///
     /// # Errors
     ///
     /// [`ClientError::Status`] for any non-OK answer, or a transport error.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    pub fn ping(&mut self) -> Result<StatsFrame, ClientError> {
         self.round_trip(&[OP_PING])?;
-        self.expect_ok().map(|_| ())
+        let body = self.expect_ok()?;
+        StatsFrame::decode(body).ok_or(ClientError::Malformed("bad stats frame"))
     }
 
-    /// Scores a batch of continuous rows (`rows.len()` must be a multiple
-    /// of `n_cols`). Returns one [`ScoredRow`] per input row.
+    /// Scores a batch of continuous rows against the default model
+    /// (`rows.len()` must be a multiple of `n_cols`). Returns one
+    /// [`ScoredRow`] per input row.
     ///
     /// # Errors
     ///
@@ -128,17 +250,55 @@ impl Client {
         rows: &[f64],
         n_cols: usize,
     ) -> Result<Vec<ScoredRow>, ClientError> {
+        self.score_batch_inner(None, rows, n_cols)
+    }
+
+    /// Scores a batch against the named model via `SCORE_AS`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BadName`] before sending for an invalid name;
+    /// otherwise as [`Client::score_batch`] (`STATUS_NO_MODEL` arrives as
+    /// [`ClientError::Status`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of a nonzero `n_cols`.
+    pub fn score_batch_as(
+        &mut self,
+        name: &str,
+        rows: &[f64],
+        n_cols: usize,
+    ) -> Result<Vec<ScoredRow>, ClientError> {
+        if !valid_name(name) {
+            return Err(ClientError::BadName);
+        }
+        self.score_batch_inner(Some(name), rows, n_cols)
+    }
+
+    fn score_batch_inner(
+        &mut self,
+        name: Option<&str>,
+        rows: &[f64],
+        n_cols: usize,
+    ) -> Result<Vec<ScoredRow>, ClientError> {
         assert!(n_cols > 0, "n_cols must be positive");
         assert_eq!(rows.len() % n_cols, 0, "rows must be n_rows × n_cols");
         let n_rows = rows.len() / n_cols;
         // audit: allow(D008, reason = "client-side request encoding: one payload per batch is I/O cost, not the per-row scoring loop")
         let mut payload = Vec::with_capacity(9 + rows.len() * 8);
-        payload.push(OP_SCORE);
+        match name {
+            None => payload.push(OP_SCORE),
+            Some(name) => {
+                payload.push(OP_SCORE_AS);
+                put_name(&mut payload, name);
+            }
+        }
         put_u32(&mut payload, n_rows as u32);
         // audit: allow(D010, reason = "wire format caps the width field at u32; n_cols is the model schema's column count (tens, never near 2^32) and the server rejects any width mismatch")
         put_u32(&mut payload, n_cols as u32);
         for &v in rows {
-            put_f64(&mut payload, v);
+            crate::protocol::put_f64(&mut payload, v);
         }
         self.round_trip(&payload)?;
         let body = self.expect_ok()?;
@@ -162,6 +322,121 @@ impl Client {
             out.push(ScoredRow { score, alarm });
         }
         Ok(out)
+    }
+
+    /// Registers (or hot-swaps) `artifact_bytes` — a complete `CFAM`
+    /// file image — under `name` via `LOAD`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BadName`] before sending for an invalid name;
+    /// [`ClientError::Status`] when the server rejects the artifact.
+    pub fn load_model(&mut self, name: &str, artifact_bytes: &[u8]) -> Result<(), ClientError> {
+        if !valid_name(name) {
+            return Err(ClientError::BadName);
+        }
+        if artifact_bytes.len() > MAX_FRAME_BYTES {
+            return Err(ClientError::TooLarge(
+                u32::try_from(artifact_bytes.len()).unwrap_or(u32::MAX),
+            ));
+        }
+        // audit: allow(D008, reason = "control-plane request encoding: LOAD is a rare administrative op, not the scoring loop")
+        let mut payload = Vec::with_capacity(2 + name.len() + artifact_bytes.len());
+        payload.push(OP_LOAD);
+        put_name(&mut payload, name);
+        payload.extend_from_slice(artifact_bytes);
+        self.round_trip(&payload)?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Drops `name` from the registry via `UNLOAD`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] with `STATUS_NO_MODEL` when the name is
+    /// not registered, or a transport error.
+    pub fn unload_model(&mut self, name: &str) -> Result<(), ClientError> {
+        if !valid_name(name) {
+            return Err(ClientError::BadName);
+        }
+        let mut payload = Vec::with_capacity(2 + name.len());
+        payload.push(OP_UNLOAD);
+        put_name(&mut payload, name);
+        self.round_trip(&payload)?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Lists registered models in name order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Malformed`] when the LIST body does not parse, or
+    /// a transport error.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ClientError> {
+        self.round_trip(&[OP_LIST])?;
+        let body = self.expect_ok()?;
+        let count = u32_le(body).ok_or(ClientError::Malformed("list response missing count"))?;
+        let mut rest = body.get(4..).unwrap_or(&[]);
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (name, after) =
+                parse_name(rest).ok_or(ClientError::Malformed("bad name in list"))?;
+            let n_features =
+                u32_le(after).ok_or(ClientError::Malformed("bad feature count in list"))?;
+            let generation = u64_le(after.get(4..).unwrap_or(&[]))
+                .ok_or(ClientError::Malformed("bad generation in list"))?;
+            out.push(ModelInfo {
+                name: name.to_string(),
+                n_features,
+                generation,
+            });
+            rest = after.get(12..).unwrap_or(&[]);
+        }
+        if !rest.is_empty() {
+            return Err(ClientError::Malformed("trailing bytes in list response"));
+        }
+        Ok(out)
+    }
+
+    /// Subscribes this connection to `name`'s alarm stream. After an OK
+    /// answer, the server pushes [`AlarmEvent`] frames as they fire —
+    /// read them with [`Client::recv_alarm`] and do not send further
+    /// scoring requests on this connection (their responses would
+    /// interleave with pushed frames).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] with `STATUS_NO_MODEL` when the name is
+    /// not registered, or a transport error.
+    pub fn subscribe(&mut self, name: &str) -> Result<(), ClientError> {
+        if !valid_name(name) {
+            return Err(ClientError::BadName);
+        }
+        let mut payload = Vec::with_capacity(2 + name.len());
+        payload.push(OP_SUBSCRIBE);
+        put_name(&mut payload, name);
+        self.round_trip(&payload)?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Blocks (up to the read timeout and its bounded retries) for the
+    /// next pushed alarm event on a subscribed connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::TimedOut`] when no event arrives in time (loop on
+    /// it to keep waiting), [`ClientError::Disconnected`] when the server
+    /// dropped this subscriber (e.g. as a slow consumer), or
+    /// [`ClientError::UnexpectedFrame`] for a non-event frame.
+    pub fn recv_alarm(&mut self) -> Result<AlarmEvent, ClientError> {
+        self.read_frame()?;
+        match self.buf.first() {
+            Some(&EVT_ALARM) => {
+                parse_alarm_event(&self.buf).ok_or(ClientError::Malformed("bad alarm event"))
+            }
+            Some(&other) => Err(ClientError::UnexpectedFrame(other)),
+            None => Err(ClientError::Malformed("empty pushed frame")),
+        }
     }
 
     /// Asks the server to shut down gracefully.

@@ -1,6 +1,10 @@
-//! The `cfa-serve` command line: `train`, `serve`, and `bench`.
+//! The `cfa-serve` command line: `train`, `serve`, `bench`, and the
+//! fleet-management verbs `load` / `unload` / `list` / `stats` /
+//! `subscribe` / `stop` against a running server.
 
 use cfa_serve::bench::{run_bench, BenchConfig};
+use cfa_serve::client::{Client, ClientError};
+use cfa_serve::protocol::StatsFrame;
 use cfa_serve::server::{Server, ServerConfig};
 use cfa_serve::train::{load_artifact, train_and_save, TrainConfig};
 use manet_cfa::core::ScoreMethod;
@@ -14,11 +18,18 @@ const USAGE: &str = "usage:
                   [--duration SECS] [--seed N] [--classifier c45|ripper|nbc]
                   [--method match|prob]
   cfa-serve serve --model model.cfam [--addr 127.0.0.1:7878] [--workers N]
-                  [--queue N] [--timeout-secs N]
-                  [--engine interpreted|compiled]
+                  [--queue N] [--timeout-secs N] [--max-conns N]
+                  [--sub-outbox-kib N] [--engine interpreted|compiled]
   cfa-serve bench --model model.cfam [--addr 127.0.0.1:7878] [--requests N]
                   [--batch N] [--connections N] [--seed N] [--verify]
-                  [--engine interpreted|compiled]";
+                  [--subscribers N] [--score-as NAME]
+                  [--engine interpreted|compiled]
+  cfa-serve load --model model.cfam --name NAME [--addr 127.0.0.1:7878]
+  cfa-serve unload --name NAME [--addr 127.0.0.1:7878]
+  cfa-serve list [--addr 127.0.0.1:7878]
+  cfa-serve stats [--addr 127.0.0.1:7878]
+  cfa-serve subscribe --name NAME [--count N] [--addr 127.0.0.1:7878]
+  cfa-serve stop [--addr 127.0.0.1:7878]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +37,12 @@ fn main() {
         Some((cmd, rest)) if cmd == "train" => cmd_train(rest),
         Some((cmd, rest)) if cmd == "serve" => cmd_serve(rest),
         Some((cmd, rest)) if cmd == "bench" => cmd_bench(rest),
+        Some((cmd, rest)) if cmd == "load" => cmd_load(rest),
+        Some((cmd, rest)) if cmd == "unload" => cmd_unload(rest),
+        Some((cmd, rest)) if cmd == "list" => cmd_list(rest),
+        Some((cmd, rest)) if cmd == "stats" => cmd_stats(rest),
+        Some((cmd, rest)) if cmd == "subscribe" => cmd_subscribe(rest),
+        Some((cmd, rest)) if cmd == "stop" => cmd_stop(rest),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -48,6 +65,30 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
 
 fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Server address for the client verbs.
+fn addr_flag(args: &[String]) -> Result<String, String> {
+    flag_value(args, "--addr", "127.0.0.1:7878".to_owned())
+}
+
+/// Connects a client verb to a running server.
+fn connect(addr: &str) -> Result<Client, i32> {
+    Client::connect(addr, Duration::from_secs(10)).map_err(|e| {
+        eprintln!("cfa-serve: cannot connect to {addr}: {e}");
+        1
+    })
+}
+
+fn print_stats(s: &StatsFrame) {
+    println!(
+        "accepted {} conns ({} open), rejected busy {}, served {} requests, {} protocol errors",
+        s.accepted, s.open_conns, s.rejected_busy, s.requests_ok, s.protocol_errors
+    );
+    println!(
+        "queue depth {}, models {}, subscribers {}, alarms pushed {}, slow-consumer disconnects {}",
+        s.queue_depth, s.models, s.subscribers, s.alarms_pushed, s.slow_disconnects
+    );
 }
 
 fn cmd_train(args: &[String]) -> i32 {
@@ -115,14 +156,17 @@ fn cmd_serve(args: &[String]) -> i32 {
     let parsed = (|| -> Result<(String, ServerConfig), String> {
         let d = ServerConfig::default();
         let timeout = flag_value(args, "--timeout-secs", 5u64)?;
+        let outbox_kib: usize = flag_value(args, "--sub-outbox-kib", d.sub_outbox_cap >> 10)?;
         Ok((
-            flag_value(args, "--addr", "127.0.0.1:7878".to_owned())?,
+            addr_flag(args)?,
             ServerConfig {
                 workers: flag_value(args, "--workers", d.workers)?,
                 queue_cap: flag_value(args, "--queue", d.queue_cap)?,
                 read_timeout: Duration::from_secs(timeout),
                 write_timeout: Duration::from_secs(timeout),
                 engine: flag_value(args, "--engine", d.engine)?,
+                max_conns: flag_value(args, "--max-conns", d.max_conns)?,
+                sub_outbox_cap: outbox_kib << 10,
             },
         ))
     })();
@@ -154,13 +198,18 @@ fn cmd_serve(args: &[String]) -> i32 {
     match server.run() {
         Ok(stats) => {
             println!(
-                "shutdown: accepted {} connections, served {} requests ({} protocol errors, {} busy-rejected)",
-                stats.accepted, stats.requests_ok, stats.protocol_errors, stats.rejected_busy
+                "shutdown: accepted {} connections, served {} requests ({} protocol errors, {} busy-rejected, {} alarms pushed, {} slow-consumer disconnects)",
+                stats.accepted,
+                stats.requests_ok,
+                stats.protocol_errors,
+                stats.rejected_busy,
+                stats.alarms_pushed,
+                stats.slow_disconnects
             );
             0
         }
         Err(e) => {
-            eprintln!("cfa-serve serve: accept loop failed: {e}");
+            eprintln!("cfa-serve serve: event loop failed: {e}");
             1
         }
     }
@@ -170,8 +219,9 @@ fn cmd_bench(args: &[String]) -> i32 {
     let cfg = (|| -> Result<BenchConfig, String> {
         let d = BenchConfig::default();
         let model: PathBuf = flag_value(args, "--model", d.model)?;
+        let score_as = flag_value(args, "--score-as", String::new())?;
         Ok(BenchConfig {
-            addr: flag_value(args, "--addr", d.addr)?,
+            addr: addr_flag(args)?,
             model,
             requests: flag_value(args, "--requests", d.requests)?,
             batch: flag_value(args, "--batch", d.batch)?,
@@ -179,6 +229,8 @@ fn cmd_bench(args: &[String]) -> i32 {
             seed: flag_value(args, "--seed", d.seed)?,
             verify: flag_present(args, "--verify"),
             engine: flag_value(args, "--engine", d.engine)?,
+            subscribers: flag_value(args, "--subscribers", d.subscribers)?,
+            score_as: (!score_as.is_empty()).then_some(score_as),
         })
     })();
     let cfg = match cfg {
@@ -207,10 +259,236 @@ fn cmd_bench(args: &[String]) -> i32 {
                 "protocol errors: {}; score mismatches: {}",
                 r.protocol_errors, r.mismatches
             );
-            i32::from(r.protocol_errors > 0 || r.mismatches > 0)
+            if cfg.subscribers > 0 {
+                println!(
+                    "alarm frames received: {} across {} subscribers, in order: {}",
+                    r.alarm_frames, cfg.subscribers, r.alarms_in_order
+                );
+            }
+            if let Some(s) = &r.server {
+                println!(
+                    "server: queue depth {}, busy-rejected {}, slow-consumer disconnects {}",
+                    s.queue_depth, s.rejected_busy, s.slow_disconnects
+                );
+            }
+            i32::from(r.protocol_errors > 0 || r.mismatches > 0 || !r.alarms_in_order)
         }
         Err(e) => {
             eprintln!("cfa-serve bench: {e}");
+            1
+        }
+    }
+}
+
+/// `load`: register (or hot-swap) an artifact under a registry name.
+fn cmd_load(args: &[String]) -> i32 {
+    let model: PathBuf = match flag_value(args, "--model", PathBuf::new()) {
+        Ok(p) if !p.as_os_str().is_empty() => p,
+        _ => {
+            eprintln!("cfa-serve load: --model is required\n{USAGE}");
+            return 2;
+        }
+    };
+    let name = match flag_value(args, "--name", String::new()) {
+        Ok(n) if !n.is_empty() => n,
+        _ => {
+            eprintln!("cfa-serve load: --name is required\n{USAGE}");
+            return 2;
+        }
+    };
+    let addr = match addr_flag(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfa-serve load: {e}");
+            return 2;
+        }
+    };
+    let bytes = match std::fs::read(&model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cfa-serve load: cannot read {}: {e}", model.display());
+            return 1;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.load_model(&name, &bytes) {
+        Ok(()) => {
+            println!("loaded {} as {name}", model.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve load: {e}");
+            1
+        }
+    }
+}
+
+/// `unload`: drop a named model from the registry.
+fn cmd_unload(args: &[String]) -> i32 {
+    let name = match flag_value(args, "--name", String::new()) {
+        Ok(n) if !n.is_empty() => n,
+        _ => {
+            eprintln!("cfa-serve unload: --name is required\n{USAGE}");
+            return 2;
+        }
+    };
+    let addr = match addr_flag(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfa-serve unload: {e}");
+            return 2;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.unload_model(&name) {
+        Ok(()) => {
+            println!("unloaded {name}");
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve unload: {e}");
+            1
+        }
+    }
+}
+
+/// `list`: print the registry, one model per line.
+fn cmd_list(args: &[String]) -> i32 {
+    let addr = match addr_flag(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfa-serve list: {e}");
+            return 2;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.list_models() {
+        Ok(models) => {
+            for m in &models {
+                println!(
+                    "{}  features {}  generation {}",
+                    m.name, m.n_features, m.generation
+                );
+            }
+            println!("{} model(s)", models.len());
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve list: {e}");
+            1
+        }
+    }
+}
+
+/// `stats`: print the server's live counters from a PING.
+fn cmd_stats(args: &[String]) -> i32 {
+    let addr = match addr_flag(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfa-serve stats: {e}");
+            return 2;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.ping() {
+        Ok(stats) => {
+            print_stats(&stats);
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve stats: {e}");
+            1
+        }
+    }
+}
+
+/// `subscribe`: stream alarm events to stdout, one per line, until
+/// `--count` events arrived (0 = forever).
+fn cmd_subscribe(args: &[String]) -> i32 {
+    let name = match flag_value(args, "--name", String::new()) {
+        Ok(n) if !n.is_empty() => n,
+        _ => {
+            eprintln!("cfa-serve subscribe: --name is required\n{USAGE}");
+            return 2;
+        }
+    };
+    let parsed = (|| -> Result<(String, u64), String> {
+        Ok((addr_flag(args)?, flag_value(args, "--count", 0u64)?))
+    })();
+    let (addr, count) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cfa-serve subscribe: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if let Err(e) = client.subscribe(&name) {
+        eprintln!("cfa-serve subscribe: {e}");
+        return 1;
+    }
+    let mut received = 0u64;
+    loop {
+        match client.recv_alarm() {
+            Ok(evt) => {
+                println!(
+                    "alarm model={} seq={} row={} score={:.6}",
+                    evt.model, evt.seq, evt.row, evt.score
+                );
+                received += 1;
+                if count > 0 && received >= count {
+                    return 0;
+                }
+            }
+            // Quiet stream: keep waiting.
+            Err(ClientError::TimedOut { .. }) => continue,
+            Err(ClientError::Disconnected) => {
+                eprintln!("cfa-serve subscribe: server closed the stream");
+                return i32::from(count > 0 && received < count);
+            }
+            Err(e) => {
+                eprintln!("cfa-serve subscribe: {e}");
+                return 1;
+            }
+        }
+    }
+}
+
+/// `stop`: ask a running server to shut down gracefully.
+fn cmd_stop(args: &[String]) -> i32 {
+    let addr = match addr_flag(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfa-serve stop: {e}");
+            return 2;
+        }
+    };
+    let mut client = match connect(&addr) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.shutdown_server() {
+        Ok(()) => {
+            println!("server stopping");
+            0
+        }
+        Err(e) => {
+            eprintln!("cfa-serve stop: {e}");
             1
         }
     }

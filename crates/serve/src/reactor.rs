@@ -1,0 +1,894 @@
+//! The readiness-driven connection layer: one thread, one `poll(2)`
+//! table, every connection.
+//!
+//! The old server pinned a worker thread per in-flight connection, so
+//! 1 024 mostly-idle monitors cost 1 024 blocked threads. The reactor
+//! replaces that with a single event loop owning every socket
+//! non-blocking: a `poll` sweep (see [`crate::poll`]) reports which
+//! connections have bytes, which can be flushed, and which hung up, and
+//! the loop advances each one a state at a time. Scoring still happens
+//! on the bounded worker pool — the reactor packages a SCORE body into a
+//! [`Job`], queues it, and a worker pushes the finished job onto the
+//! completion list and pokes the wake pipe (the successor of the old
+//! self-connect shutdown hack: a socketpair whose read end sits in the
+//! poll table, so worker completions and shutdown both wake the loop the
+//! same way).
+//!
+//! Per-connection state machine:
+//!
+//! - at most one scoring job in flight (`busy`); read interest is
+//!   dropped while a job runs or while the outbox is above its high
+//!   water mark, so a flooding client is throttled by TCP backpressure
+//!   instead of unbounded buffering;
+//! - control-plane ops (PING/LOAD/UNLOAD/LIST/SUBSCRIBE/SHUTDOWN) are
+//!   handled inline on the reactor thread — LOAD decodes and compiles an
+//!   artifact inline, which stalls the loop for the duration; that is an
+//!   accepted cost for a rare control operation and keeps the registry
+//!   swap trivially ordered before the LOAD response;
+//! - responses and pushed alarm frames queue into a per-connection
+//!   outbox flushed on writability; `close_after_flush` drains the
+//!   outbox before the socket drops.
+//!
+//! There are no per-connection socket timeouts: bounded buffers, the
+//! connection cap, and the slow-consumer disconnect bound every resource
+//! a stalled peer can hold, and an idle monitor connection is expected
+//! to stay open for days. (No clock is read anywhere in the loop —
+//! cfa-audit D002 keeps wall-time out of the serving crate.)
+//!
+//! Everything reachable from [`Reactor::run`] must stay panic-free:
+//! cfa-audit's D006 rule roots here (alongside the workers' `score_job`),
+//! which is why this file indexes nothing and unwraps nothing.
+
+use crate::poll::PollSet;
+use crate::protocol::{
+    put_u32, FrameLen, StatsFrame, DEFAULT_MODEL, OP_LIST, OP_LOAD, OP_PING, OP_SCORE, OP_SCORE_AS,
+    OP_SHUTDOWN, OP_SUBSCRIBE, OP_UNLOAD, STATUS_BAD_NAME, STATUS_BUSY, STATUS_MALFORMED,
+    STATUS_NO_MODEL, STATUS_OK, STATUS_SHUTTING_DOWN, STATUS_TOO_LARGE,
+};
+use crate::registry::RegistryError;
+use crate::server::{lock, reject_busy, Job, Shared};
+use crate::subscribe::SubscriberTable;
+use cfa_core::ModelArtifact;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Pending-outbox level above which a connection stops being read (and,
+/// for request/response traffic, effectively stops being served) until
+/// it drains. Distinct from the subscriber cap, which disconnects.
+pub(crate) const OUTBOX_HIGH_WATER: usize = 256 << 10;
+
+/// Poll iterations the post-shutdown drain may take before the reactor
+/// gives up on unflushed outboxes and exits anyway.
+const MAX_DRAIN_TICKS: u32 = 1_000;
+
+/// Read chunk size per non-blocking `read` call.
+const READ_CHUNK: usize = 64 << 10;
+
+/// Inbuf consumed-prefix size that triggers compaction.
+const COMPACT_AT: usize = 4 << 10;
+
+/// `slot_map` sentinel for the listener registration.
+const SLOT_LISTENER: usize = usize::MAX;
+/// `slot_map` sentinel for the wake-pipe registration.
+const SLOT_WAKE: usize = usize::MAX - 1;
+
+/// The wake pipe: a local socketpair whose read end lives in the poll
+/// table. Workers (and tests) write a byte to wake the loop.
+#[cfg(unix)]
+pub(crate) type WakeStream = std::os::unix::net::UnixStream;
+/// Loopback-TCP stand-in for platforms without `socketpair`.
+#[cfg(not(unix))]
+pub(crate) type WakeStream = TcpStream;
+
+/// Builds the `(read_end, write_end)` wake pipe, both non-blocking.
+pub(crate) fn wake_pair() -> std::io::Result<(WakeStream, WakeStream)> {
+    #[cfg(unix)]
+    {
+        let (rx, tx) = WakeStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok((rx, tx))
+    }
+    #[cfg(not(unix))]
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok((rx, tx))
+    }
+}
+
+/// Wakes the reactor. A full pipe (`WouldBlock`) already guarantees a
+/// pending wake-up, so every outcome is success.
+pub(crate) fn wake(tx: &WakeStream) {
+    let _ = (&*tx).write(&[1u8]);
+}
+
+/// Identifies a connection across its slot's lifetimes: the slot index
+/// plus a generation stamp, so a completion for a closed-and-reused slot
+/// is recognized as stale and dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ConnToken {
+    /// Slot index in the reactor's connection table.
+    pub idx: u32,
+    /// Generation the slot held when the token was minted.
+    pub gen: u32,
+}
+
+/// Per-connection state owned by the reactor thread.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub gen: u32,
+    /// Raw received bytes; `in_pos` is the parse cursor.
+    pub inbuf: Vec<u8>,
+    pub in_pos: usize,
+    /// Queued response/event bytes; `out_pos` is the flush cursor.
+    pub outbox: Vec<u8>,
+    pub out_pos: usize,
+    /// A scoring job is in flight; reads pause until it completes.
+    pub busy: bool,
+    /// Drain the outbox, then drop the socket.
+    pub close_after_flush: bool,
+    /// Model name this connection subscribed to, if any.
+    pub subscribed: Option<String>,
+}
+
+impl Conn {
+    /// Bytes queued but not yet flushed to the socket.
+    pub fn pending_out(&self) -> usize {
+        self.outbox.len().saturating_sub(self.out_pos)
+    }
+
+    /// Queues a complete response payload (status byte first) behind a
+    /// length prefix.
+    pub fn queue_payload(&mut self, payload: &[u8]) {
+        put_u32(&mut self.outbox, payload.len() as u32);
+        self.outbox.extend_from_slice(payload);
+    }
+
+    /// Queues a bare-status response.
+    pub fn queue_status(&mut self, status: u8) {
+        put_u32(&mut self.outbox, 1);
+        self.outbox.push(status);
+    }
+}
+
+enum IoStep {
+    /// Bytes arrived (`true` = the chunk filled, so more may be pending).
+    Progress(bool),
+    /// Blocked; come back on the next readiness event.
+    Blocked,
+    /// Interrupted; retry immediately.
+    Retry,
+    /// EOF or fatal error; close the connection.
+    Gone,
+}
+
+/// The event loop: connection table, poll set, subscriber table, and the
+/// job round-trip to the worker pool.
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    wake_rx: WakeStream,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u32,
+    open_conns: usize,
+    in_flight: usize,
+    subs: SubscriberTable,
+    poll: PollSet,
+    slot_map: Vec<usize>,
+    job_pool: Vec<Job>,
+    done_scratch: Vec<Job>,
+    resp_scratch: Vec<u8>,
+    max_conns: usize,
+    sub_outbox_cap: usize,
+    drain_ticks: u32,
+}
+
+impl Reactor {
+    /// Wires a reactor over an already non-blocking listener.
+    pub fn new(
+        listener: TcpListener,
+        wake_rx: WakeStream,
+        shared: Arc<Shared>,
+        max_conns: usize,
+        sub_outbox_cap: usize,
+    ) -> Reactor {
+        Reactor {
+            listener,
+            wake_rx,
+            shared,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            open_conns: 0,
+            in_flight: 0,
+            subs: SubscriberTable::default(),
+            poll: PollSet::default(),
+            slot_map: Vec::new(),
+            job_pool: Vec::new(),
+            done_scratch: Vec::new(),
+            resp_scratch: Vec::new(),
+            max_conns: max_conns.max(1),
+            sub_outbox_cap: sub_outbox_cap.max(64),
+            drain_ticks: 0,
+        }
+    }
+
+    /// Runs the loop until shutdown completes. This is a cfa-audit D006
+    /// panic-reachability root: nothing reachable from here may panic on
+    /// network input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error if the poll syscall itself fails
+    /// fatally.
+    pub fn run(mut self) -> std::io::Result<()> {
+        loop {
+            self.drain_done();
+            let shutting = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutting {
+                let flushed = self.conns.iter().flatten().all(|c| c.pending_out() == 0);
+                if (self.in_flight == 0 && flushed) || self.drain_ticks > MAX_DRAIN_TICKS {
+                    return Ok(());
+                }
+                self.drain_ticks += 1;
+            }
+
+            self.poll.clear();
+            self.slot_map.clear();
+            if !shutting {
+                self.poll.register(&self.listener, true, false);
+                self.slot_map.push(SLOT_LISTENER);
+            }
+            self.poll.register(&self.wake_rx, true, false);
+            self.slot_map.push(SLOT_WAKE);
+            for idx in 0..self.conns.len() {
+                let Some(Some(conn)) = self.conns.get(idx) else {
+                    continue;
+                };
+                let readable = !shutting
+                    && !conn.busy
+                    && !conn.close_after_flush
+                    && conn.pending_out() <= OUTBOX_HIGH_WATER;
+                let writable = conn.pending_out() > 0;
+                if readable || writable {
+                    self.poll.register(&conn.stream, readable, writable);
+                    self.slot_map.push(idx);
+                }
+            }
+
+            self.poll.wait()?;
+
+            let slot_map = std::mem::take(&mut self.slot_map);
+            for (slot, &target) in slot_map.iter().enumerate() {
+                let ready = self.poll.readiness(slot);
+                match target {
+                    SLOT_LISTENER => {
+                        if ready.readable {
+                            self.accept_ready();
+                        }
+                    }
+                    SLOT_WAKE => {
+                        if ready.readable {
+                            self.drain_wake();
+                        }
+                    }
+                    idx => {
+                        if ready.readable {
+                            self.read_conn(idx);
+                        }
+                        if ready.writable {
+                            self.flush_conn(idx);
+                        }
+                        if ready.closed && !ready.readable && !ready.writable {
+                            self.close(idx);
+                        }
+                    }
+                }
+            }
+            self.slot_map = slot_map;
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, ECONNABORTED, ...)
+                // shed this sweep's backlog; the listener stays armed.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Installs an accepted socket, or rejects it with a connection-level
+    /// BUSY frame when the table is full.
+    fn admit(&mut self, stream: TcpStream) {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if self.open_conns >= self.max_conns {
+            self.shared
+                .counters
+                .rejected_busy
+                .fetch_add(1, Ordering::Relaxed);
+            reject_busy(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Request/response RPC: Nagle + delayed ACK would add tens of
+        // milliseconds to every small frame.
+        drop(stream.set_nodelay(true));
+        self.shared
+            .counters
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let conn = Conn {
+            stream,
+            gen: self.next_gen,
+            inbuf: Vec::new(),
+            in_pos: 0,
+            outbox: Vec::new(),
+            out_pos: 0,
+            busy: false,
+            close_after_flush: false,
+            subscribed: None,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                if let Some(slot) = self.conns.get_mut(idx) {
+                    *slot = Some(conn);
+                }
+            }
+            None => self.conns.push(Some(conn)),
+        }
+        self.open_conns += 1;
+    }
+
+    /// Empties the wake pipe.
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drops a connection: slot freed, subscriptions swept, socket
+    /// closed on drop. A job still in flight for it will be recognized
+    /// as stale by its generation stamp and discarded.
+    fn close(&mut self, idx: usize) {
+        let Some(slot) = self.conns.get_mut(idx) else {
+            return;
+        };
+        let Some(conn) = slot.take() else {
+            return;
+        };
+        self.open_conns = self.open_conns.saturating_sub(1);
+        if conn.subscribed.is_some() {
+            // Slot indices are bounded by `max_conns`, far below u32::MAX.
+            let Ok(idx32) = u32::try_from(idx) else {
+                return;
+            };
+            self.subs.drop_conn(ConnToken {
+                idx: idx32,
+                gen: conn.gen,
+            });
+        }
+        self.free.push(idx);
+    }
+
+    fn with_conn<R>(&mut self, idx: usize, f: impl FnOnce(&mut Conn) -> R) -> Option<R> {
+        match self.conns.get_mut(idx) {
+            Some(Some(c)) => Some(f(c)),
+            _ => None,
+        }
+    }
+
+    /// Reads until the socket would block, parsing frames as they
+    /// complete. Reading pauses while a job is in flight or the outbox
+    /// is above high water — TCP backpressure does the rest.
+    fn read_conn(&mut self, idx: usize) {
+        loop {
+            let step = {
+                let Some(Some(conn)) = self.conns.get_mut(idx) else {
+                    return;
+                };
+                if conn.busy || conn.close_after_flush || conn.pending_out() > OUTBOX_HIGH_WATER {
+                    return;
+                }
+                let old = conn.inbuf.len();
+                conn.inbuf.resize(old + READ_CHUNK, 0);
+                let outcome = match conn.inbuf.get_mut(old..) {
+                    None => IoStep::Blocked,
+                    Some(dst) => match conn.stream.read(dst) {
+                        Ok(0) => IoStep::Gone,
+                        Ok(n) => {
+                            conn.inbuf.truncate(old + n);
+                            IoStep::Progress(n == READ_CHUNK)
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => IoStep::Blocked,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => IoStep::Retry,
+                        Err(_) => IoStep::Gone,
+                    },
+                };
+                if !matches!(outcome, IoStep::Progress(_)) {
+                    conn.inbuf.truncate(old);
+                }
+                outcome
+            };
+            match step {
+                IoStep::Progress(maybe_more) => {
+                    self.parse_conn(idx);
+                    self.flush_conn(idx);
+                    if !maybe_more {
+                        return;
+                    }
+                }
+                IoStep::Blocked => return,
+                IoStep::Retry => continue,
+                IoStep::Gone => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Extracts complete frames from the inbuf and dispatches each,
+    /// stopping when the connection goes busy (one job in flight) or the
+    /// buffer runs dry; then compacts the consumed prefix.
+    fn parse_conn(&mut self, idx: usize) {
+        loop {
+            let (start, end) = {
+                let Some(Some(conn)) = self.conns.get_mut(idx) else {
+                    return;
+                };
+                if conn.busy || conn.close_after_flush || conn.pending_out() > OUTBOX_HIGH_WATER {
+                    break;
+                }
+                let avail = conn.inbuf.get(conn.in_pos..).unwrap_or(&[]);
+                let Some(len4) = avail.get(..4) else {
+                    break;
+                };
+                let mut prefix = [0u8; 4];
+                for (dst, src) in prefix.iter_mut().zip(len4) {
+                    *dst = *src;
+                }
+                match FrameLen::parse(prefix) {
+                    Err(_) => {
+                        // The declared length is absurd; there is nothing
+                        // to resync to, so answer and hang up.
+                        self.shared
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.queue_status(STATUS_TOO_LARGE);
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                    Ok(len) => {
+                        let need = 4 + len.get();
+                        if avail.len() < need {
+                            break;
+                        }
+                        let start = conn.in_pos + 4;
+                        let end = conn.in_pos + need;
+                        conn.in_pos = end;
+                        (start, end)
+                    }
+                }
+            };
+            self.dispatch(idx, start, end);
+        }
+        if let Some(Some(conn)) = self.conns.get_mut(idx) {
+            if conn.in_pos >= conn.inbuf.len() {
+                conn.inbuf.clear();
+                conn.in_pos = 0;
+            } else if conn.in_pos >= COMPACT_AT {
+                conn.inbuf.drain(..conn.in_pos);
+                conn.in_pos = 0;
+            }
+        }
+    }
+
+    /// Routes one complete frame. The inbuf is temporarily moved out of
+    /// the connection so opcode handlers can borrow the reactor freely.
+    fn dispatch(&mut self, idx: usize, start: usize, end: usize) {
+        // Slot indices are bounded by `max_conns`, far below u32::MAX.
+        let Ok(idx32) = u32::try_from(idx) else {
+            return;
+        };
+        let (inbuf, token) = {
+            let Some(Some(conn)) = self.conns.get_mut(idx) else {
+                return;
+            };
+            (
+                std::mem::take(&mut conn.inbuf),
+                ConnToken {
+                    idx: idx32,
+                    gen: conn.gen,
+                },
+            )
+        };
+        let payload = inbuf.get(start..end).unwrap_or(&[]);
+        self.handle_frame(idx, token, payload);
+        if let Some(Some(conn)) = self.conns.get_mut(idx) {
+            conn.inbuf = inbuf;
+        }
+    }
+
+    fn count_protocol_error(&self) {
+        self.shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_ok(&self) {
+        self.shared
+            .counters
+            .requests_ok
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request frame: control-plane ops run inline, SCORE bodies go
+    /// to the worker pool.
+    fn handle_frame(&mut self, idx: usize, token: ConnToken, payload: &[u8]) {
+        let Some((&op, body)) = payload.split_first() else {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| {
+                c.queue_status(STATUS_MALFORMED);
+                c.close_after_flush = true;
+            });
+            return;
+        };
+        if self.shared.shutdown.load(Ordering::SeqCst) && op != OP_SHUTDOWN {
+            self.with_conn(idx, |c| {
+                c.queue_status(STATUS_SHUTTING_DOWN);
+                c.close_after_flush = true;
+            });
+            return;
+        }
+        match op {
+            OP_PING if body.is_empty() => {
+                // Count first so the frame reflects this request too.
+                self.count_ok();
+                let stats = self.stats_frame();
+                let mut resp = std::mem::take(&mut self.resp_scratch);
+                resp.clear();
+                resp.push(STATUS_OK);
+                stats.encode_into(&mut resp);
+                self.with_conn(idx, |c| c.queue_payload(&resp));
+                self.resp_scratch = resp;
+            }
+            OP_SHUTDOWN if body.is_empty() => self.op_shutdown(idx),
+            OP_SCORE => self.dispatch_score(idx, token, DEFAULT_MODEL, body),
+            OP_SCORE_AS => match crate::protocol::parse_name(body) {
+                Some((name, rest)) => self.dispatch_score(idx, token, name, rest),
+                None => {
+                    self.count_protocol_error();
+                    self.with_conn(idx, |c| c.queue_status(STATUS_BAD_NAME));
+                }
+            },
+            OP_LOAD => self.op_load(idx, body),
+            OP_UNLOAD => self.op_unload(idx, body),
+            OP_LIST if body.is_empty() => {
+                self.count_ok();
+                let mut resp = std::mem::take(&mut self.resp_scratch);
+                resp.clear();
+                resp.push(STATUS_OK);
+                self.shared.registry.list_into(&mut resp);
+                self.with_conn(idx, |c| c.queue_payload(&resp));
+                self.resp_scratch = resp;
+            }
+            OP_SUBSCRIBE => self.op_subscribe(idx, token, body),
+            _ => {
+                self.count_protocol_error();
+                self.with_conn(idx, |c| c.queue_status(STATUS_MALFORMED));
+            }
+        }
+    }
+
+    /// LOAD: decode the artifact from the frame, register (hot-swap)
+    /// under the name, answer OK. Runs inline on the reactor thread.
+    fn op_load(&mut self, idx: usize, body: &[u8]) {
+        let Some((name, rest)) = crate::protocol::parse_name(body) else {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_BAD_NAME));
+            return;
+        };
+        let mut reader = rest;
+        let status = match ModelArtifact::load(&mut reader) {
+            Err(_) => STATUS_MALFORMED,
+            Ok(_) if !reader.is_empty() => STATUS_MALFORMED,
+            Ok(artifact) => match self.shared.registry.insert_artifact(name, artifact) {
+                Ok(_) => STATUS_OK,
+                Err(RegistryError::BadName) => STATUS_BAD_NAME,
+                Err(RegistryError::Full) => STATUS_BUSY,
+            },
+        };
+        match status {
+            STATUS_OK => self.count_ok(),
+            STATUS_BUSY => {
+                self.shared
+                    .counters
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => self.count_protocol_error(),
+        }
+        self.with_conn(idx, |c| c.queue_status(status));
+    }
+
+    /// UNLOAD: drop the name; in-flight batches finish on their `Arc`.
+    fn op_unload(&mut self, idx: usize, body: &[u8]) {
+        let Some((name, rest)) = crate::protocol::parse_name(body) else {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_BAD_NAME));
+            return;
+        };
+        let status = if !rest.is_empty() {
+            STATUS_MALFORMED
+        } else if self.shared.registry.remove(name) {
+            STATUS_OK
+        } else {
+            STATUS_NO_MODEL
+        };
+        if status == STATUS_OK {
+            self.count_ok();
+        } else {
+            self.count_protocol_error();
+        }
+        self.with_conn(idx, |c| c.queue_status(status));
+    }
+
+    /// SUBSCRIBE: register the connection against an existing model's
+    /// alarm stream. Re-subscribing moves the registration. (A model
+    /// UNLOADed later keeps its subscribers; their stream simply goes
+    /// quiet until the name is LOADed again.)
+    fn op_subscribe(&mut self, idx: usize, token: ConnToken, body: &[u8]) {
+        let Some((name, rest)) = crate::protocol::parse_name(body) else {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_BAD_NAME));
+            return;
+        };
+        if !rest.is_empty() {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_MALFORMED));
+            return;
+        }
+        if self.shared.registry.get(name).is_none() {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_NO_MODEL));
+            return;
+        }
+        let previous = self.with_conn(idx, |c| c.subscribed.take()).flatten();
+        if let Some(old) = previous {
+            self.subs.unsubscribe(&old, token);
+        }
+        self.subs.subscribe(name, token);
+        let owned = name.to_string();
+        self.with_conn(idx, |c| c.subscribed = Some(owned));
+        self.count_ok();
+        self.with_conn(idx, |c| c.queue_status(STATUS_OK));
+    }
+
+    /// SHUTDOWN: flag the pool, wake every worker, answer OK on this
+    /// connection, and drop every other connection immediately (their
+    /// in-flight responses are discarded — shutdown is not graceful
+    /// per-client, only per-server: queued jobs still complete so the
+    /// workers exit cleanly).
+    fn op_shutdown(&mut self, idx: usize) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.job_ready.notify_all();
+        self.count_ok();
+        self.with_conn(idx, |c| {
+            c.queue_status(STATUS_OK);
+            c.close_after_flush = true;
+        });
+        for other in 0..self.conns.len() {
+            if other != idx && matches!(self.conns.get(other), Some(Some(_))) {
+                self.close(other);
+            }
+        }
+        self.flush_conn(idx);
+    }
+
+    /// SCORE / SCORE_AS: resolve the model, admit into the bounded job
+    /// queue (or answer BUSY), and mark the connection busy until the
+    /// completion comes back.
+    fn dispatch_score(&mut self, idx: usize, token: ConnToken, name: &str, body: &[u8]) {
+        let Some(entry) = self.shared.registry.get(name) else {
+            self.count_protocol_error();
+            self.with_conn(idx, |c| c.queue_status(STATUS_NO_MODEL));
+            return;
+        };
+        let mut job = self.job_pool.pop().unwrap_or_default();
+        job.conn = token;
+        job.entry = Some(entry);
+        job.payload.clear();
+        job.payload.extend_from_slice(body);
+        job.resp.clear();
+        job.alarms.clear();
+        let mut pending = Some(job);
+        {
+            let mut q = lock(&self.shared.jobs);
+            if q.len() < self.shared.queue_cap {
+                if let Some(j) = pending.take() {
+                    q.push_back(j);
+                }
+            }
+        }
+        match pending {
+            None => {
+                self.shared.job_ready.notify_one();
+                self.in_flight += 1;
+                self.with_conn(idx, |c| c.busy = true);
+            }
+            Some(job) => {
+                self.recycle_job(job);
+                self.shared
+                    .counters
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+                self.with_conn(idx, |c| c.queue_status(STATUS_BUSY));
+            }
+        }
+    }
+
+    /// Harvests completed jobs: queue each response on its connection,
+    /// fan out its alarms to subscribers, resume parsing any pipelined
+    /// frames, and recycle the job carcass.
+    fn drain_done(&mut self) {
+        {
+            let mut done = lock(&self.shared.done);
+            std::mem::swap(&mut *done, &mut self.done_scratch);
+        }
+        while let Some(job) = self.done_scratch.pop() {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            let token = job.conn;
+            let idx = token.idx as usize;
+            let live = matches!(self.conns.get(idx), Some(Some(c)) if c.gen == token.gen);
+            if live {
+                if let Some(Some(conn)) = self.conns.get_mut(idx) {
+                    conn.queue_payload(&job.resp);
+                    conn.busy = false;
+                }
+                if !job.alarms.is_empty() {
+                    if let Some(entry) = job.entry.as_ref() {
+                        self.subs.fanout_alarms(
+                            &entry.name,
+                            &job.alarms,
+                            &mut self.conns,
+                            self.sub_outbox_cap,
+                            &self.shared.counters,
+                        );
+                    }
+                    self.close_doomed();
+                }
+                self.parse_conn(idx);
+                self.flush_conn(idx);
+            }
+            self.recycle_job(job);
+        }
+    }
+
+    /// Closes subscribers the last fan-out marked as slow consumers.
+    fn close_doomed(&mut self) {
+        while let Some(token) = self.subs.pop_doomed() {
+            let idx = token.idx as usize;
+            if matches!(self.conns.get(idx), Some(Some(c)) if c.gen == token.gen) {
+                self.shared
+                    .counters
+                    .slow_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close(idx);
+            }
+        }
+    }
+
+    /// Returns a job carcass to the pool, shedding oversized buffers so
+    /// a one-off 8 MiB LOAD-sized payload does not pin memory forever.
+    fn recycle_job(&mut self, mut job: Job) {
+        job.entry = None;
+        job.conn = ConnToken::default();
+        job.payload.clear();
+        job.resp.clear();
+        job.alarms.clear();
+        if job.payload.capacity() > (1 << 20) {
+            job.payload = Vec::new();
+        }
+        if job.resp.capacity() > (1 << 20) {
+            job.resp = Vec::new();
+        }
+        if self.job_pool.len() < 64 {
+            self.job_pool.push(job);
+        }
+    }
+
+    /// Flushes the outbox until the socket would block; closes the
+    /// connection once drained if it is marked `close_after_flush`.
+    fn flush_conn(&mut self, idx: usize) {
+        loop {
+            let step = {
+                let Some(Some(conn)) = self.conns.get_mut(idx) else {
+                    return;
+                };
+                if conn.pending_out() == 0 {
+                    conn.outbox.clear();
+                    conn.out_pos = 0;
+                    if conn.close_after_flush {
+                        IoStep::Gone
+                    } else {
+                        IoStep::Blocked
+                    }
+                } else {
+                    let outcome = match conn.outbox.get(conn.out_pos..) {
+                        None => IoStep::Blocked,
+                        Some(chunk) => match conn.stream.write(chunk) {
+                            Ok(0) => IoStep::Gone,
+                            Ok(n) => {
+                                conn.out_pos += n;
+                                IoStep::Progress(true)
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => IoStep::Blocked,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => IoStep::Retry,
+                            Err(_) => IoStep::Gone,
+                        },
+                    };
+                    if matches!(outcome, IoStep::Blocked) && conn.out_pos >= OUTBOX_HIGH_WATER {
+                        // Keep the flushed prefix from growing without
+                        // bound under sustained partial writes.
+                        conn.outbox.drain(..conn.out_pos);
+                        conn.out_pos = 0;
+                    }
+                    outcome
+                }
+            };
+            match step {
+                IoStep::Progress(_) | IoStep::Retry => continue,
+                IoStep::Blocked => return,
+                IoStep::Gone => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Assembles the PING stats frame from the shared counters and the
+    /// reactor's live gauges.
+    fn stats_frame(&self) -> StatsFrame {
+        let c = &self.shared.counters;
+        let queue_depth = lock(&self.shared.jobs).len() as u32;
+        StatsFrame {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
+            requests_ok: c.requests_ok.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            alarms_pushed: c.alarms_pushed.load(Ordering::Relaxed),
+            slow_disconnects: c.slow_disconnects.load(Ordering::Relaxed),
+            queue_depth,
+            models: self.shared.registry.len() as u32,
+            subscribers: self.subs.len() as u32,
+            open_conns: self.open_conns as u32,
+        }
+    }
+}

@@ -1,24 +1,35 @@
-//! The scoring server: a bounded accept queue feeding a fixed worker
-//! pool, each worker scoring batches through the zero-alloc
-//! `score_snapshot_with` path with its own reusable scratch buffers.
+//! The scoring server: a readiness-driven reactor (one thread, every
+//! socket) feeding a bounded worker pool that scores batches through the
+//! zero-alloc `score_rows_with` path against a hot-swappable model
+//! registry.
 //!
-//! Backpressure policy: the acceptor never blocks on workers. An
-//! accepted connection is pushed onto a bounded queue; when the queue is
-//! full the connection is answered with [`STATUS_BUSY`] and closed
-//! immediately, so overload is explicit and cheap instead of an
-//! ever-growing backlog. Per-connection read/write timeouts bound how
-//! long a slow or stalled client can pin a worker.
+//! Division of labour:
+//!
+//! - the `reactor` thread owns every socket, parses frames, answers
+//!   control-plane ops inline, and round-trips SCORE bodies to the
+//!   workers as `Job`s;
+//! - workers only score: pop a job, validate and score the batch into
+//!   the job's response buffer, push it on the completion list, and poke
+//!   the wake pipe — they never touch a socket or the registry map;
+//! - the [`crate::registry`] maps names to `Arc`ed model entries; a job
+//!   captures its entry at dispatch, which is the hot-swap atomicity
+//!   contract (see registry docs).
+//!
+//! Backpressure is explicit at two levels: a full connection table
+//! answers a connection-level BUSY frame and closes; a full job queue
+//! answers a per-request BUSY and keeps the connection. Both counters
+//! surface in the PING stats frame so load generators can report honest
+//! numbers.
 
 use crate::protocol::{
-    f64_le, put_f64, put_u32, u32_le, FrameLen, OP_PING, OP_SCORE, OP_SHUTDOWN,
-    STATUS_BAD_WIDTH, STATUS_BUSY, STATUS_MALFORMED, STATUS_OK, STATUS_SHUTTING_DOWN,
-    STATUS_TOO_LARGE,
+    f64_le, put_f64, put_u32, u32_le, STATUS_BAD_WIDTH, STATUS_BUSY, STATUS_MALFORMED, STATUS_OK,
 };
-use cfa_core::{AnomalyDetector, ModelArtifact};
-use cfa_ml::AnyModel;
+use crate::reactor::{wake, wake_pair, ConnToken, Reactor, WakeStream};
+use crate::registry::{ModelEntry, Registry};
+use cfa_core::ModelArtifact;
 use manet_features::EqualFrequencyDiscretizer;
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -64,12 +75,22 @@ impl std::str::FromStr for Engine {
 pub struct ServerConfig {
     /// Worker threads scoring requests (each owns one scratch set).
     pub workers: usize,
-    /// Accepted connections that may wait for a worker before new
-    /// arrivals are rejected with [`STATUS_BUSY`].
+    /// Scoring jobs that may wait for a worker before new requests are
+    /// answered with a per-request [`STATUS_BUSY`].
     pub queue_cap: usize,
-    /// Per-connection read timeout.
+    /// Open connections the reactor will hold before answering new
+    /// arrivals with a connection-level [`STATUS_BUSY`] frame.
+    pub max_conns: usize,
+    /// Pending-outbox byte cap per subscriber; a slow consumer that
+    /// exceeds it is disconnected rather than buffered further.
+    pub sub_outbox_cap: usize,
+    /// Retained for CLI compatibility: the reactor runs every socket
+    /// non-blocking, so per-connection socket timeouts no longer apply
+    /// server-side (bounded buffers, `max_conns`, and the slow-consumer
+    /// policy bound what a stalled peer can hold instead).
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Retained for CLI compatibility; see
+    /// [`read_timeout`](ServerConfig::read_timeout).
     pub write_timeout: Duration,
     /// Execution form for the scoring hot loop.
     pub engine: Engine,
@@ -80,6 +101,8 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_cap: 64,
+            max_conns: 4096,
+            sub_outbox_cap: 256 << 10,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             engine: Engine::Compiled,
@@ -87,45 +110,84 @@ impl Default for ServerConfig {
     }
 }
 
-/// Counters the server reports after [`Server::run`] returns.
+/// Counters the server reports after [`Server::run`] returns (and live
+/// over the wire in every PING stats frame).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Connections accepted and queued for a worker.
+    /// Connections accepted into the reactor's table.
     pub accepted: u64,
-    /// Connections rejected with [`STATUS_BUSY`] because the queue was
-    /// full.
+    /// BUSY answers sent: connection-table overflow plus job-queue
+    /// overflow.
     pub rejected_busy: u64,
     /// Requests answered with [`STATUS_OK`].
     pub requests_ok: u64,
     /// Requests answered with a protocol error status.
     pub protocol_errors: u64,
+    /// Alarm event frames pushed to subscribers.
+    pub alarms_pushed: u64,
+    /// Subscribers disconnected for not draining their alarm queue.
+    pub slow_disconnects: u64,
 }
 
-struct Counters {
-    accepted: AtomicU64,
-    rejected_busy: AtomicU64,
-    requests_ok: AtomicU64,
-    protocol_errors: AtomicU64,
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub requests_ok: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub alarms_pushed: AtomicU64,
+    pub slow_disconnects: AtomicU64,
 }
 
-struct Shared {
-    detector: AnomalyDetector<AnyModel>,
-    disc: EqualFrequencyDiscretizer,
-    n_features: usize,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    queue_cap: usize,
-    counters: Counters,
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            alarms_pushed: AtomicU64::new(0),
+            slow_disconnects: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One SCORE round-trip between the reactor and a worker. The buffers
+/// are recycled through the reactor's job pool, so steady-state scoring
+/// allocates nothing.
+#[derive(Default)]
+pub(crate) struct Job {
+    /// Which connection gets the response (generation-stamped, so a
+    /// response for a closed-and-reused slot is dropped).
+    pub conn: ConnToken,
+    /// The model entry captured at dispatch — the hot-swap atomicity
+    /// point: every row of this batch scores against exactly this
+    /// generation.
+    pub entry: Option<Arc<ModelEntry>>,
+    /// The SCORE body: `[u32 n_rows][u32 n_cols]` + packed rows.
+    pub payload: Vec<u8>,
+    /// The response payload (status byte first).
+    pub resp: Vec<u8>,
+    /// `(row, score)` for each row that scored below threshold, for the
+    /// subscriber fan-out.
+    pub alarms: Vec<(u32, f64)>,
+}
+
+/// State shared between the reactor thread and the worker pool.
+pub(crate) struct Shared {
+    pub registry: Registry,
+    pub shutdown: AtomicBool,
+    pub jobs: Mutex<VecDeque<Job>>,
+    pub job_ready: Condvar,
+    pub queue_cap: usize,
+    pub done: Mutex<Vec<Job>>,
+    pub counters: Counters,
 }
 
 /// Per-worker reusable buffers: after warm-up, a SCORE request touches no
-/// allocator in steady state (frame/response buffers keep their high-water
-/// capacity; the scoring path is the audited zero-alloc one).
+/// allocator in steady state (the scoring path is the audited zero-alloc
+/// one; response bytes go into the job's recycled buffer).
 #[derive(Default)]
 struct Scratch {
-    frame: Vec<u8>,
     row_f64: Vec<f64>,
     row_u8: Vec<u8>,
     /// All discretized rows of one request, packed row-major, so the
@@ -133,7 +195,6 @@ struct Scratch {
     rows_u8: Vec<u8>,
     scores: Vec<f64>,
     probs: Vec<f64>,
-    resp: Vec<u8>,
 }
 
 /// A bound scoring server, ready to [`run`](Server::run).
@@ -143,9 +204,9 @@ pub struct Server {
     cfg: ServerConfig,
 }
 
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     // A poisoned lock only means another worker panicked while holding
-    // it; the queue itself (a VecDeque of sockets) is still valid.
+    // it; the protected queue/list itself is still structurally valid.
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -153,8 +214,9 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 }
 
 impl Server {
-    /// Binds a listener and prepares the worker state from a loaded
-    /// artifact. Pass port 0 to let the OS choose (tests do).
+    /// Binds a listener and prepares the shared state, registering the
+    /// boot artifact under the [`crate::protocol::DEFAULT_MODEL`] name.
+    /// Pass port 0 to let the OS choose (tests do).
     ///
     /// # Errors
     ///
@@ -165,29 +227,26 @@ impl Server {
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let n_features = artifact.discretizer.cards().len();
-        // Lower the ensemble once here; every worker then scores through
-        // the shared compiled engine (bit-identical to interpreted).
-        let mut detector = artifact.detector;
-        if cfg.engine == Engine::Compiled {
-            detector.compile();
+        listener.set_nonblocking(true)?;
+        let registry = Registry::new(cfg.engine);
+        if registry
+            .insert_artifact(crate::protocol::DEFAULT_MODEL, artifact)
+            .is_err()
+        {
+            // Unreachable: the default name is valid and the map is empty.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "boot artifact could not be registered",
+            ));
         }
         let shared = Arc::new(Shared {
-            detector,
-            disc: artifact.discretizer,
-            n_features,
-            addr: local,
+            registry,
             shutdown: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
             queue_cap: cfg.queue_cap.max(1),
-            counters: Counters {
-                accepted: AtomicU64::new(0),
-                rejected_busy: AtomicU64::new(0),
-                requests_ok: AtomicU64::new(0),
-                protocol_errors: AtomicU64::new(0),
-            },
+            done: Mutex::new(Vec::new()),
+            counters: Counters::new(),
         });
         Ok(Server {
             listener,
@@ -205,247 +264,132 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until a client sends `SHUTDOWN`, then drains the queue,
-    /// joins the workers, and reports counters. Blocks the calling
-    /// thread.
+    /// Serves until a client sends `SHUTDOWN`, then drains in-flight
+    /// jobs, joins the workers, and reports counters. Blocks the calling
+    /// thread (the reactor runs on it).
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if accepting fails fatally.
+    /// Returns the underlying I/O error if the event loop fails fatally.
     pub fn run(self) -> std::io::Result<ServeStats> {
+        let (wake_rx, wake_tx) = wake_pair()?;
         let mut workers = Vec::with_capacity(self.cfg.workers.max(1));
         for _ in 0..self.cfg.workers.max(1) {
             let shared = Arc::clone(&self.shared);
-            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+            let tx = wake_tx.try_clone()?;
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &tx)));
         }
 
-        for stream in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                // The wake-up connection (or any racer) lands here; it is
-                // dropped unanswered on purpose.
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => {
-                    // Tear down the pool before surfacing the error.
-                    self.shared.shutdown.store(true, Ordering::SeqCst);
-                    self.shared.available.notify_all();
-                    for w in workers {
-                        drop(w.join());
-                    }
-                    return Err(e);
-                }
-            };
-            drop(stream.set_read_timeout(Some(self.cfg.read_timeout)));
-            drop(stream.set_write_timeout(Some(self.cfg.write_timeout)));
-            // Request/response RPC: Nagle + delayed ACK would add tens of
-            // milliseconds to every small frame.
-            drop(stream.set_nodelay(true));
-            let mut q = lock(&self.shared.queue);
-            if q.len() >= self.shared.queue_cap {
-                drop(q);
-                self.shared
-                    .counters
-                    .rejected_busy
-                    .fetch_add(1, Ordering::Relaxed);
-                reject_busy(stream);
-            } else {
-                q.push_back(stream);
-                drop(q);
-                self.shared
-                    .counters
-                    .accepted
-                    .fetch_add(1, Ordering::Relaxed);
-                self.shared.available.notify_one();
-            }
-        }
+        let reactor = Reactor::new(
+            self.listener,
+            wake_rx,
+            Arc::clone(&self.shared),
+            self.cfg.max_conns,
+            self.cfg.sub_outbox_cap,
+        );
+        let result = reactor.run();
 
-        self.shared.available.notify_all();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.job_ready.notify_all();
         for w in workers {
             drop(w.join());
         }
+        result?;
         let c = &self.shared.counters;
         Ok(ServeStats {
             accepted: c.accepted.load(Ordering::Relaxed),
             rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
             requests_ok: c.requests_ok.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            alarms_pushed: c.alarms_pushed.load(Ordering::Relaxed),
+            slow_disconnects: c.slow_disconnects.load(Ordering::Relaxed),
         })
     }
 }
 
-/// Answers a connection the queue has no room for, then drops it.
-fn reject_busy(mut stream: TcpStream) {
+/// Answers a connection the table has no room for, then drops it.
+pub(crate) fn reject_busy(mut stream: TcpStream) {
     let frame = [1u8, 0, 0, 0, STATUS_BUSY];
     let _ = stream.write_all(&frame);
 }
 
-/// One worker: pop connections until shutdown, scoring with a private,
-/// reused scratch set.
-fn worker_loop(shared: &Shared) {
+/// One worker: pop jobs until shutdown, score each with a private reused
+/// scratch set, push the completion, poke the wake pipe. The queue is
+/// drained even after the shutdown flag rises, so every admitted job is
+/// answered (or discarded by the reactor if its connection is gone).
+fn worker_loop(shared: &Shared, wake_tx: &WakeStream) {
     let mut scratch = Scratch::default();
     loop {
-        let conn = {
-            let mut q = lock(&shared.queue);
+        let job = {
+            let mut q = lock(&shared.jobs);
             loop {
-                if let Some(c) = q.pop_front() {
-                    break Some(c);
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = match shared.available.wait(q) {
+                q = match shared.job_ready.wait(q) {
                     Ok(g) => g,
                     Err(poisoned) => poisoned.into_inner(),
                 };
             }
         };
-        match conn {
-            Some(stream) => handle_conn(shared, stream, &mut scratch),
-            None => return,
+        let Some(mut job) = job else { return };
+        score_job(&mut job, &mut scratch, &shared.counters);
+        {
+            let mut done = lock(&shared.done);
+            done.push(job);
         }
+        // The wake byte is written strictly after the completion guard
+        // drops — no lock is ever held across socket I/O (D011/D014).
+        wake(wake_tx);
     }
 }
 
-/// Reads exactly `buf.len()` bytes; `false` on EOF, timeout, or error
-/// (the caller drops the connection either way).
-fn read_exact_quiet(stream: &mut TcpStream, buf: &mut [u8]) -> bool {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(buf.get_mut(filled..).unwrap_or(&mut [])) {
-            Ok(0) => return false,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
-        }
-    }
-    true
-}
-
-/// Frames `resp` (status byte already first in the buffer) and writes it.
-fn send_frame(stream: &mut TcpStream, resp: &[u8], frame: &mut Vec<u8>) {
-    frame.clear();
-    put_u32(frame, resp.len() as u32);
-    frame.extend_from_slice(resp);
-    let _ = stream.write_all(frame);
-}
-
-/// Serves one connection: a sequence of length-prefixed requests until
-/// EOF, timeout, a fatal framing error, or server shutdown. This is the
-/// request-handling entry point cfa-audit's D006 panic-reachability rule
-/// roots at, so everything reachable from here must stay panic-free.
-fn handle_conn(shared: &Shared, mut stream: TcpStream, scratch: &mut Scratch) {
-    let Scratch {
-        frame,
-        row_f64,
-        row_u8,
-        rows_u8,
-        scores,
-        probs,
+/// Validates one SCORE body and fills the job's response with either the
+/// OK payload or an error status. Runs on a worker thread; alongside the
+/// reactor loop this is a cfa-audit D006 panic-reachability root, and
+/// everything it calls must stay panic-free on network input.
+fn score_job(job: &mut Job, scratch: &mut Scratch, counters: &Counters) {
+    let Job {
+        entry,
+        payload,
         resp,
-    } = scratch;
-    loop {
-        let mut len4 = [0u8; 4];
-        if !read_exact_quiet(&mut stream, &mut len4) {
-            return;
-        }
-        let len = match FrameLen::parse(len4) {
-            Ok(len) => len,
-            Err(_) => {
-                // The body is never read, so there is nothing to resync to.
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                resp.clear();
-                resp.push(STATUS_TOO_LARGE);
-                send_frame(&mut stream, resp, frame);
-                return;
-            }
-        };
-        // Reuse the frame buffer: resize keeps the high-water capacity.
-        frame.clear();
-        frame.resize(len.get(), 0);
-        if !read_exact_quiet(&mut stream, frame) {
-            return;
-        }
-        let Some((&op, body)) = frame.split_first() else {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            resp.clear();
+        alarms,
+        ..
+    } = job;
+    resp.clear();
+    alarms.clear();
+    let served = match entry.as_ref() {
+        None => {
             resp.push(STATUS_MALFORMED);
-            send_frame(&mut stream, resp, &mut Vec::new());
-            return;
-        };
-        resp.clear();
-        if shared.shutdown.load(Ordering::SeqCst) && op != OP_SHUTDOWN {
-            resp.push(STATUS_SHUTTING_DOWN);
-            send_frame(&mut stream, resp, &mut Vec::new());
-            return;
+            false
         }
-        match op {
-            OP_PING if body.is_empty() => {
-                resp.push(STATUS_OK);
-                shared.counters.requests_ok.fetch_add(1, Ordering::Relaxed);
-            }
-            OP_SHUTDOWN if body.is_empty() => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.available.notify_all();
-                // Unblock the acceptor with a throwaway connection.
-                drop(TcpStream::connect(shared.addr));
-                resp.push(STATUS_OK);
-                shared.counters.requests_ok.fetch_add(1, Ordering::Relaxed);
-                send_frame(&mut stream, resp, &mut Vec::new());
-                return;
-            }
-            OP_SCORE => {
-                let ok = score_request(shared, body, row_f64, row_u8, rows_u8, scores, probs, resp);
-                if ok {
-                    shared.counters.requests_ok.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            _ => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                resp.push(STATUS_MALFORMED);
-            }
-        }
-        // `frame` doubles as the send buffer now that the request bytes
-        // are fully consumed into `resp`.
-        send_frame(&mut stream, resp, frame);
+        Some(entry) => score_body(entry, payload, scratch, resp, alarms),
+    };
+    if served {
+        counters.requests_ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// Validates a SCORE body and fills `resp` with either the OK payload or
-/// an error status. Returns whether the request was served.
-#[allow(clippy::too_many_arguments)] // flat borrows keep the scratch fields disjoint
-fn score_request(
-    shared: &Shared,
+/// Parses `[u32 n_rows][u32 n_cols]` + rows, checks the width against
+/// the model, and scores. Returns whether the request was served.
+fn score_body(
+    entry: &ModelEntry,
     body: &[u8],
-    row_f64: &mut Vec<f64>,
-    row_u8: &mut Vec<u8>,
-    rows_u8: &mut Vec<u8>,
-    scores: &mut Vec<f64>,
-    probs: &mut Vec<f64>,
+    scratch: &mut Scratch,
     resp: &mut Vec<u8>,
+    alarms: &mut Vec<(u32, f64)>,
 ) -> bool {
     let (Some(n_rows), Some(n_cols)) = (u32_le(body), u32_le(body.get(4..).unwrap_or(&[]))) else {
         resp.push(STATUS_MALFORMED);
         return false;
     };
     let (n_rows, n_cols) = (n_rows as usize, n_cols as usize);
-    if n_cols != shared.n_features {
+    if n_cols != entry.n_features {
         resp.push(STATUS_BAD_WIDTH);
         return false;
     }
@@ -459,9 +403,16 @@ fn score_request(
     }
     resp.push(STATUS_OK);
     put_u32(resp, n_rows as u32);
+    let Scratch {
+        row_f64,
+        row_u8,
+        rows_u8,
+        scores,
+        probs,
+    } = scratch;
     score_rows_into(
-        &shared.disc,
-        &shared.detector,
+        &entry.disc,
+        &entry.detector,
         rows_bytes,
         n_cols,
         row_f64,
@@ -470,6 +421,7 @@ fn score_request(
         scores,
         probs,
         resp,
+        alarms,
     );
     true
 }
@@ -477,14 +429,17 @@ fn score_request(
 /// Scores one packed request batch: decode `f64`s and discretize every
 /// row into one row-major buffer, push the whole batch through the
 /// detector's batch entry (the compiled structure-of-arrays path when the
-/// server compiled at load; the interpreted row loop otherwise — same
-/// bits either way), then append `[f64 score][u8 alarm]` per row. This is
-/// the steady-state hot loop — cfa-audit's D008 zero-alloc rule roots
-/// here, so nothing below may allocate once buffers are warm.
+/// registry compiled at load; the interpreted row loop otherwise — same
+/// bits either way), then append `[f64 score][u8 alarm]` per row and
+/// collect `(row, score)` for every alarm so the reactor can fan them
+/// out to subscribers. This is the steady-state hot loop — cfa-audit's
+/// D008 zero-alloc rule roots here, so nothing below may allocate once
+/// buffers are warm (the alarm list is one of the warm, recycled
+/// buffers).
 #[allow(clippy::too_many_arguments)] // flat borrows keep the scratch fields disjoint
 fn score_rows_into(
     disc: &EqualFrequencyDiscretizer,
-    detector: &AnomalyDetector<AnyModel>,
+    detector: &cfa_core::AnomalyDetector<cfa_ml::AnyModel>,
     rows_bytes: &[u8],
     n_cols: usize,
     row_f64: &mut Vec<f64>,
@@ -493,6 +448,7 @@ fn score_rows_into(
     scores: &mut Vec<f64>,
     probs: &mut Vec<f64>,
     resp: &mut Vec<u8>,
+    alarms: &mut Vec<(u32, f64)>,
 ) {
     if n_cols == 0 {
         return;
@@ -510,11 +466,14 @@ fn score_rows_into(
     }
     detector.score_rows_with(rows_u8, scores, probs);
     let threshold = detector.threshold();
-    for &score in scores.iter() {
+    for (i, &score) in scores.iter().enumerate() {
         put_f64(resp, score);
         // Same decision as `score_snapshot_with`: Normal iff
         // score >= threshold.
         let alarm = if score >= threshold { 0u8 } else { 1u8 };
         resp.push(alarm);
+        if alarm == 1 {
+            alarms.push((i as u32, score));
+        }
     }
 }

@@ -1,0 +1,145 @@
+//! Live alarm subscriptions: fan out scoring alarms to subscribed
+//! connections the moment a batch completes.
+//!
+//! The table is owned by the reactor thread, so it needs no locking; the
+//! scoring workers never see it. A completed job hands the reactor its
+//! `(row, score)` alarm list, and [`SubscriberTable::fanout_alarms`]
+//! encodes each alarm once into a reusable scratch frame and appends it
+//! to every subscriber's outbox. Sequence numbers are per model and
+//! bump once per alarm, so every subscriber independently observes a
+//! strictly increasing, gap-free stream from the moment it joins.
+//!
+//! Slow-consumer policy: a subscriber that lets its outbox exceed the
+//! configured cap (kernel socket buffer already full, user-space backlog
+//! on top) is disconnected rather than buffered further or waited on —
+//! the scoring path never blocks and never grows unboundedly on behalf
+//! of a stalled reader. Doomed connections are collected here and closed
+//! by the reactor after the fan-out sweep.
+//!
+//! `fanout_alarms` sits on the served scoring path, so cfa-audit's D008
+//! rule roots here: after warm-up it must not allocate (reused scratch
+//! frame, pushes into warm outboxes and the reusable doomed list only).
+
+use crate::protocol::put_alarm_event;
+use crate::reactor::{Conn, ConnToken};
+use crate::server::Counters;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Reactor-owned registry of which connections want which model's
+/// alarms. `BTreeMap` keeps iteration deterministic (cfa-audit D001).
+#[derive(Default)]
+pub(crate) struct SubscriberTable {
+    by_model: BTreeMap<String, Vec<ConnToken>>,
+    /// Per-model alarm sequence counters; created at first subscribe and
+    /// retained across subscriber churn so rejoining observers can
+    /// correlate streams.
+    seqs: BTreeMap<String, u64>,
+    /// Encode scratch for one alarm frame (length prefix + payload).
+    frame: Vec<u8>,
+    /// Subscribers whose outbox blew the cap this sweep; drained by the
+    /// reactor via [`SubscriberTable::pop_doomed`].
+    doomed: Vec<ConnToken>,
+    count: usize,
+}
+
+impl SubscriberTable {
+    /// Registers `token` for `model`'s alarm stream.
+    pub fn subscribe(&mut self, model: &str, token: ConnToken) {
+        let list = self.by_model.entry(model.to_string()).or_default();
+        if !list.contains(&token) {
+            list.push(token);
+            self.count += 1;
+        }
+        self.seqs.entry(model.to_string()).or_insert(0);
+    }
+
+    /// Removes `token` from one model's list (used when a connection
+    /// re-subscribes to a different model).
+    pub fn unsubscribe(&mut self, model: &str, token: ConnToken) {
+        if let Some(list) = self.by_model.get_mut(model) {
+            let before = list.len();
+            list.retain(|t| *t != token);
+            self.count -= before - list.len();
+        }
+    }
+
+    /// Removes `token` from every model's list (connection closed).
+    pub fn drop_conn(&mut self, token: ConnToken) {
+        for list in self.by_model.values_mut() {
+            let before = list.len();
+            list.retain(|t| *t != token);
+            self.count -= before - list.len();
+        }
+    }
+
+    /// Live subscription count.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Pops one connection doomed by the last fan-out, if any.
+    pub fn pop_doomed(&mut self) -> Option<ConnToken> {
+        self.doomed.pop()
+    }
+
+    /// Pushes every `(row, score)` alarm of a completed batch to every
+    /// subscriber of `model`, bumping the model's sequence counter once
+    /// per alarm. A subscriber whose pending outbox would exceed
+    /// `outbox_cap` is added to the doomed list instead of being written
+    /// to. This is the D008-rooted alarm hot path: the frame scratch and
+    /// the subscriber outboxes are warm buffers, and nothing else is
+    /// touched.
+    pub fn fanout_alarms(
+        &mut self,
+        model: &str,
+        alarms: &[(u32, f64)],
+        conns: &mut [Option<Conn>],
+        outbox_cap: usize,
+        counters: &Counters,
+    ) {
+        let Some(subscribers) = self.by_model.get(model) else {
+            return;
+        };
+        if subscribers.is_empty() {
+            return;
+        }
+        let Some(seq) = self.seqs.get_mut(model) else {
+            return;
+        };
+        let mut pushed: u64 = 0;
+        for &(row, score) in alarms {
+            *seq += 1;
+            self.frame.clear();
+            // Length prefix first, payload second — the scratch holds a
+            // complete wire frame so each outbox append is one copy.
+            crate::protocol::put_u32(&mut self.frame, 0);
+            put_alarm_event(&mut self.frame, model, *seq, row, score);
+            let body_len = (self.frame.len() - 4) as u32;
+            let Some(prefix) = self.frame.get_mut(..4) else {
+                return;
+            };
+            prefix.copy_from_slice(&body_len.to_le_bytes());
+            for token in subscribers.iter() {
+                let Some(Some(conn)) = conns.get_mut(token.idx as usize) else {
+                    continue;
+                };
+                if conn.gen != token.gen {
+                    continue;
+                }
+                if self.doomed.contains(token) {
+                    continue;
+                }
+                if conn.pending_out() + self.frame.len() > outbox_cap {
+                    self.doomed.push(*token);
+                    continue;
+                }
+                conn.outbox.extend_from_slice(&self.frame);
+                pushed += 1;
+            }
+        }
+        if pushed > 0 {
+            counters.alarms_pushed.fetch_add(pushed, Ordering::Relaxed);
+        }
+    }
+}

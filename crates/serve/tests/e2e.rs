@@ -1,12 +1,14 @@
 //! End-to-end tests: a real `Server` on a loopback socket, queried with
 //! the real `Client`, against a persisted-and-reloaded artifact. The
 //! core promise under test: a served score is bit-identical to in-process
-//! `score_snapshot` scoring of the same row.
+//! `score_snapshot` scoring of the same row — through the default model,
+//! through named `SCORE_AS` models, and across registry hot-swaps.
 
 use cfa_core::{AnomalyDetector, CrossFeatureModel, FittedThreshold, ModelArtifact, ScoreMethod};
 use cfa_ml::{AnyLearner, NaiveBayes};
 use cfa_serve::protocol::{
-    put_u32, OP_PING, OP_SCORE, STATUS_BAD_WIDTH, STATUS_MALFORMED, STATUS_TOO_LARGE,
+    put_u32, DEFAULT_MODEL, OP_PING, OP_SCORE, STATUS_BAD_WIDTH, STATUS_BUSY, STATUS_MALFORMED,
+    STATUS_NO_MODEL, STATUS_TOO_LARGE,
 };
 use cfa_serve::{Client, ClientError, Engine, Server, ServerConfig};
 use manet_features::{EqualFrequencyDiscretizer, FeatureMatrix};
@@ -220,45 +222,221 @@ fn malformed_and_oversized_frames_get_typed_statuses() {
 }
 
 #[test]
-fn full_queue_answers_busy() {
+fn connections_beyond_the_cap_get_a_busy_frame() {
     let (addr, handle) = start_server(ServerConfig {
-        workers: 1,
-        queue_cap: 1,
+        max_conns: 1,
         ..ServerConfig::default()
     });
 
-    // Occupy the single worker: a ping round trip guarantees this
-    // connection has been popped from the queue and is being served.
+    // Occupy the single connection slot; the ping round trip guarantees
+    // the reactor has admitted it.
     let mut held = Client::connect(addr, Duration::from_secs(5)).expect("connect");
-    held.ping().expect("ping");
+    let stats = held.ping().expect("ping");
+    assert_eq!(stats.open_conns, 1);
 
-    // Fill the queue's single slot…
-    let mut waiting = TcpStream::connect(addr).expect("connect waiting");
-    waiting
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .expect("timeout");
-
-    // …so the next arrival is rejected with BUSY.
+    // The next arrival is answered with a connection-level BUSY frame and
+    // closed without being admitted.
     let mut rejected = TcpStream::connect(addr).expect("connect rejected");
     rejected
         .set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
     let mut resp = [0u8; 5];
     rejected.read_exact(&mut resp).expect("busy frame");
-    assert_eq!(resp, [1, 0, 0, 0, cfa_serve::protocol::STATUS_BUSY]);
+    assert_eq!(resp, [1, 0, 0, 0, STATUS_BUSY]);
+    assert_eq!(rejected.read(&mut resp).expect("eof"), 0, "then closed");
 
-    // Free the worker; it drains the queued connection, which asks the
-    // server to stop (the shutdown frame is written on the raw stream so
-    // the request is already enqueued — no reconnect race).
-    drop(held);
-    waiting
-        .write_all(&[1, 0, 0, 0, cfa_serve::protocol::OP_SHUTDOWN])
-        .expect("write shutdown");
-    let mut ok = [0u8; 5];
-    waiting.read_exact(&mut ok).expect("shutdown response");
-    assert_eq!(ok, [1, 0, 0, 0, cfa_serve::protocol::STATUS_OK]);
+    // The admitted connection keeps working and can still stop the server.
+    let after = held.ping().expect("ping after rejection");
+    assert_eq!(after.rejected_busy, 1);
+    held.shutdown_server().expect("shutdown");
     let stats = handle.join().expect("join server");
     assert_eq!(stats.rejected_busy, 1);
+    // `accepted` counts admissions into the table, not BUSY-bounced
+    // arrivals.
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn registry_lifecycle_load_list_score_as_unload() {
+    let (_, reference) = two_copies();
+    let artifact_bytes = {
+        let mut buf = Vec::new();
+        tiny_artifact().save(&mut buf).expect("save to memory");
+        buf
+    };
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    // Boot state: exactly the default model.
+    let models = client.list_models().expect("list");
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].name, DEFAULT_MODEL);
+    assert_eq!(models[0].n_features, 3);
+    assert_eq!(models[0].generation, 1);
+
+    // LOAD a second copy under a new name and score through it.
+    client.load_model("v2", &artifact_bytes).expect("load v2");
+    let models = client.list_models().expect("list");
+    assert_eq!(
+        models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        vec![DEFAULT_MODEL, "v2"],
+        "LIST is name-ordered"
+    );
+
+    let n_cols = 3;
+    let mut rows = Vec::new();
+    for i in 0..20u32 {
+        let a = f64::from(i % 5);
+        rows.extend_from_slice(&[a * 10.0, f64::from(i % 7) * 5.0, f64::from(i % 2)]);
+    }
+    let via_default = client.score_batch(&rows, n_cols).expect("score default");
+    let via_v2 = client
+        .score_batch_as("v2", &rows, n_cols)
+        .expect("score v2");
+    let mut row_u8 = Vec::new();
+    let mut probs = Vec::new();
+    for ((row, d), v) in rows.chunks_exact(n_cols).zip(&via_default).zip(&via_v2) {
+        reference.discretizer.transform_row_into(row, &mut row_u8);
+        let local = reference.detector.score_snapshot_with(&row_u8, &mut probs);
+        assert_eq!(local.score.to_bits(), d.score.to_bits());
+        assert_eq!(local.score.to_bits(), v.score.to_bits());
+    }
+
+    // Re-LOAD bumps the generation (hot swap of the same name).
+    client.load_model("v2", &artifact_bytes).expect("reload v2");
+    let models = client.list_models().expect("list");
+    assert_eq!(models[1].generation, 2);
+
+    // UNLOAD and the name stops resolving, with a typed status.
+    client.unload_model("v2").expect("unload");
+    match client.score_batch_as("v2", &rows, n_cols) {
+        Err(ClientError::Status(s)) => assert_eq!(s, STATUS_NO_MODEL),
+        other => panic!("expected NO_MODEL, got {other:?}"),
+    }
+    match client.unload_model("v2") {
+        Err(ClientError::Status(s)) => assert_eq!(s, STATUS_NO_MODEL),
+        other => panic!("expected NO_MODEL, got {other:?}"),
+    }
+    match client.subscribe("v2") {
+        Err(ClientError::Status(s)) => assert_eq!(s, STATUS_NO_MODEL),
+        other => panic!("expected NO_MODEL, got {other:?}"),
+    }
+
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("join server");
+}
+
+#[test]
+fn subscribers_receive_every_alarm_in_order() {
+    let (addr, handle) = start_server(ServerConfig::default());
+
+    let mut subscriber = Client::connect(addr, Duration::from_secs(5)).expect("connect sub");
+    subscriber.subscribe(DEFAULT_MODEL).expect("subscribe");
+
+    // The subscribe OK round trip above guarantees the registration is
+    // live before any scoring happens.
+    let mut scorer = Client::connect(addr, Duration::from_secs(5)).expect("connect scorer");
+    let n_cols = 3;
+    let mut rows = Vec::new();
+    for i in 0..50u32 {
+        let a = f64::from(i % 5);
+        rows.extend_from_slice(&[a * 10.0, f64::from(i % 7) * 5.0, f64::from(i % 2)]);
+    }
+    let served = scorer.score_batch(&rows, n_cols).expect("score");
+    let alarmed: Vec<(u32, u64)> = served
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.alarm)
+        .map(|(i, s)| (i as u32, s.score.to_bits()))
+        .collect();
+    assert!(!alarmed.is_empty(), "fixture batch must raise alarms");
+
+    for (expected_seq, &(row, score_bits)) in (1u64..).zip(&alarmed) {
+        let evt = subscriber.recv_alarm().expect("alarm event");
+        assert_eq!(evt.model, DEFAULT_MODEL);
+        assert_eq!(evt.seq, expected_seq, "gap-free, strictly increasing");
+        assert_eq!(evt.row, row, "alarm rows arrive in batch order");
+        assert_eq!(evt.score.to_bits(), score_bits);
+    }
+
+    // A second batch continues the sequence instead of restarting it.
+    let served2 = scorer.score_batch(&rows, n_cols).expect("score again");
+    let alarms2 = served2.iter().filter(|s| s.alarm).count() as u64;
+    let first = subscriber.recv_alarm().expect("next event");
+    assert_eq!(first.seq, alarmed.len() as u64 + 1);
+    for _ in 1..alarms2 {
+        subscriber.recv_alarm().expect("drain");
+    }
+
+    let stats = scorer.ping().expect("ping");
+    assert_eq!(stats.subscribers, 1);
+    assert_eq!(stats.alarms_pushed, alarmed.len() as u64 + alarms2);
+    assert_eq!(stats.slow_disconnects, 0);
+
+    scorer.shutdown_server().expect("shutdown");
+    let final_stats = handle.join().expect("join server");
+    assert_eq!(final_stats.alarms_pushed, alarmed.len() as u64 + alarms2);
+}
+
+#[test]
+fn slow_subscribers_are_disconnected_not_waited_on() {
+    // The smallest permitted outbox (the reactor floors the cap at 64
+    // bytes) fills within the first fan-out sweep, so a subscriber that
+    // never reads is doomed before the batch finishes — the deterministic
+    // limit of the slow-consumer policy.
+    let (addr, handle) = start_server(ServerConfig {
+        sub_outbox_cap: 1,
+        ..ServerConfig::default()
+    });
+
+    let mut subscriber = Client::connect(addr, Duration::from_secs(5)).expect("connect sub");
+    subscriber.subscribe(DEFAULT_MODEL).expect("subscribe");
+
+    let mut scorer = Client::connect(addr, Duration::from_secs(5)).expect("connect scorer");
+    let n_cols = 3;
+    let mut rows = Vec::new();
+    for i in 0..50u32 {
+        let a = f64::from(i % 5);
+        rows.extend_from_slice(&[a * 10.0, f64::from(i % 7) * 5.0, f64::from(i % 2)]);
+    }
+    let served = scorer.score_batch(&rows, n_cols).expect("score");
+    assert!(served.iter().any(|s| s.alarm), "fixture must raise alarms");
+
+    // The scoring path never blocked; the slow subscriber was dropped
+    // partway through the fan-out instead of being buffered for.
+    let stats = scorer.ping().expect("ping");
+    assert_eq!(stats.slow_disconnects, 1);
+    assert_eq!(stats.subscribers, 0);
+    let total_alarms = served.iter().filter(|s| s.alarm).count() as u64;
+    assert!(
+        stats.alarms_pushed < total_alarms,
+        "fan-out must stop early: pushed {} of {total_alarms}",
+        stats.alarms_pushed
+    );
+    match subscriber.recv_alarm() {
+        Err(ClientError::Disconnected) => {}
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+
+    scorer.shutdown_server().expect("shutdown");
+    let final_stats = handle.join().expect("join server");
+    assert_eq!(final_stats.slow_disconnects, 1);
+}
+
+#[test]
+fn ping_stats_expose_queue_and_fleet_counters() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    let stats = client.ping().expect("ping");
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.open_conns, 1);
+    assert_eq!(stats.models, 1);
+    assert_eq!(stats.subscribers, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.rejected_busy, 0);
+    assert_eq!(stats.requests_ok, 1, "this ping is already counted");
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("join server");
 }
 
 #[test]

@@ -1,0 +1,83 @@
+//! Property-based tests for the registry-name and alarm-event wire
+//! codecs: every valid name survives an encode → decode round trip with
+//! arbitrary trailing payload, and no byte soup makes any parser panic.
+
+use cfa_serve::protocol::{
+    parse_alarm_event, parse_name, put_alarm_event, put_name, valid_name, StatsFrame,
+    MAX_NAME_BYTES,
+};
+use proptest::prelude::*;
+
+const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.-";
+
+/// Strategy: a valid registry name (1..=64 bytes of the allowed set).
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..ALPHABET.len(), 1..=MAX_NAME_BYTES).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|i| char::from(ALPHABET[i]))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    /// Encoding a valid name and parsing it back yields the same name and
+    /// leaves the trailing payload untouched.
+    #[test]
+    fn valid_names_round_trip_with_any_trailing_payload(
+        name in name_strategy(),
+        trailer in proptest::collection::vec(0u8..=u8::MAX, 0..200),
+    ) {
+        prop_assert!(valid_name(&name));
+        let mut buf = Vec::new();
+        put_name(&mut buf, &name);
+        buf.extend_from_slice(&trailer);
+        let (parsed, rest) = parse_name(&buf).expect("round trip");
+        prop_assert_eq!(parsed, name.as_str());
+        prop_assert_eq!(rest, &trailer[..]);
+    }
+
+    /// No byte soup panics any of the body parsers; they return `None`
+    /// or a value, never abort the reactor.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(
+        body in proptest::collection::vec(0u8..=u8::MAX, 0..300),
+    ) {
+        let _ = parse_name(&body);
+        let _ = parse_alarm_event(&body);
+        let _ = StatsFrame::decode(&body);
+    }
+
+    /// A parsed name is always one `valid_name` accepts — the parser
+    /// cannot be tricked into admitting an invalid registry key.
+    #[test]
+    fn parsed_names_are_always_valid(
+        body in proptest::collection::vec(0u8..=u8::MAX, 0..120),
+    ) {
+        if let Some((name, _)) = parse_name(&body) {
+            prop_assert!(valid_name(name));
+        }
+    }
+
+    /// Alarm events round-trip exactly, and every strict prefix of the
+    /// encoding is rejected rather than misparsed.
+    #[test]
+    fn alarm_events_round_trip_and_reject_truncation(
+        name in name_strategy(),
+        seq in 0u64..=u64::MAX,
+        row in 0u32..=u32::MAX,
+        bits in 0u64..=u64::MAX,
+    ) {
+        let score = f64::from_bits(bits);
+        let mut buf = Vec::new();
+        put_alarm_event(&mut buf, &name, seq, row, score);
+        let evt = parse_alarm_event(&buf).expect("round trip");
+        prop_assert_eq!(evt.model, name.as_str());
+        prop_assert_eq!(evt.seq, seq);
+        prop_assert_eq!(evt.row, row);
+        prop_assert_eq!(evt.score.to_bits(), score.to_bits());
+        for cut in 0..buf.len() {
+            prop_assert!(parse_alarm_event(&buf[..cut]).is_none(), "prefix {}", cut);
+        }
+    }
+}
